@@ -1,0 +1,61 @@
+// Ablation (Section 6): choice of aggregate.
+//
+// "We found that the choice of aggregate did not materially alter the
+// results."  Runs the aggregation tree over the same relation with all
+// five aggregate operators; COUNT carries the smallest state (8 bytes
+// here, 4 in the paper), AVG the largest (sum + count).
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+
+namespace tagg {
+namespace {
+
+constexpr size_t kTuples = 16 * 1024;
+
+template <typename Op>
+void RunAggregateBench(benchmark::State& state) {
+  const auto periods = bench::MakePeriods(kTuples, 0.4, TupleOrder::kRandom);
+  size_t intervals = 0;
+  for (auto _ : state) {
+    AggregationTreeAggregator<Op> agg;
+    double v = 1.0;
+    for (const Period& p : periods) {
+      (void)agg.Add(p, v);
+      v += 1.0;
+    }
+    auto out = agg.FinishTyped();
+    bench::KeepAlive(*out);
+    intervals = out->size();
+  }
+  state.counters["intervals"] = static_cast<double>(intervals);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kTuples));
+}
+
+void BM_Aggregate_Count(benchmark::State& state) {
+  RunAggregateBench<CountOp>(state);
+}
+void BM_Aggregate_Sum(benchmark::State& state) {
+  RunAggregateBench<SumOp>(state);
+}
+void BM_Aggregate_Min(benchmark::State& state) {
+  RunAggregateBench<MinOp>(state);
+}
+void BM_Aggregate_Max(benchmark::State& state) {
+  RunAggregateBench<MaxOp>(state);
+}
+void BM_Aggregate_Avg(benchmark::State& state) {
+  RunAggregateBench<AvgOp>(state);
+}
+
+BENCHMARK(BM_Aggregate_Count)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Aggregate_Sum)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Aggregate_Min)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Aggregate_Max)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Aggregate_Avg)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

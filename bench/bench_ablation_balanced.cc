@@ -1,0 +1,80 @@
+// Ablation (Section 7 future work): the balanced aggregation tree.
+//
+// Compares, on both sorted and random input:
+//   * the paper's unbalanced aggregation tree (O(n^2) when sorted);
+//   * the AVL-balanced variant (O(n log n) regardless of order, at the
+//     price of rotations and a height word per node);
+//   * the paper's recommended sorted-input strategy (k-ordered, k = 1).
+//
+// Expected: on sorted input the balanced tree crushes the unbalanced tree
+// but still loses to the k = 1 k-ordered tree (which also uses a fraction
+// of the memory); on random input the rotation overhead makes it a wash.
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/balanced_tree.h"
+#include "core/k_ordered_tree.h"
+
+namespace tagg {
+namespace {
+
+void BM_Balanced_Sorted(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kSorted);
+  bench::RunCountBench(state, periods,
+                       [] { return BalancedTreeAggregator<CountOp>(); });
+}
+
+void BM_Unbalanced_Sorted(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+void BM_KtreeK1_Sorted(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return KOrderedTreeAggregator<CountOp>(1); });
+}
+
+void BM_Balanced_Random(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kRandom);
+  bench::RunCountBench(state, periods,
+                       [] { return BalancedTreeAggregator<CountOp>(); });
+}
+
+void BM_Unbalanced_Random(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kRandom);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+BENCHMARK(BM_Balanced_Sorted)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Unbalanced_Sorted)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KtreeK1_Sorted)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Balanced_Random)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Unbalanced_Random)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Ablation (Section 3 / Epstein): many aggregates per query.
+//
+// Epstein's recipe — quoted by the paper — computes each scalar aggregate
+// separately.  For temporal aggregation every run rebuilds the same
+// constant intervals, so fusing all aggregates into one pass (MultiOp)
+// should approach a 5x win for a 5-aggregate query.  This bench measures
+// SELECT COUNT(*), SUM(s), MIN(s), MAX(s), AVG(s) both ways over the
+// aggregation tree.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+#include "core/aggregates.h"
+#include "core/multi_agg.h"
+#include "core/workload.h"
+
+namespace tagg {
+namespace {
+
+Relation MakeWorkload(size_t n) {
+  WorkloadSpec spec;
+  spec.num_tuples = n;
+  spec.lifespan = 1'000'000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 42;
+  return GenerateEmployedRelation(spec).value();
+}
+
+const std::vector<MultiSpec>& FiveSpecs() {
+  static const std::vector<MultiSpec> specs = {
+      {AggregateKind::kCount, AggregateOptions::kNoAttribute},
+      {AggregateKind::kSum, 1},
+      {AggregateKind::kMin, 1},
+      {AggregateKind::kMax, 1},
+      {AggregateKind::kAvg, 1},
+  };
+  return specs;
+}
+
+void BM_FiveAggregates_SeparatePasses(benchmark::State& state) {
+  const Relation relation = MakeWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const MultiSpec& spec : FiveSpecs()) {
+      AggregateOptions options;
+      options.aggregate = spec.kind;
+      options.attribute = spec.attribute;
+      options.algorithm = AlgorithmKind::kAggregationTree;
+      auto series = ComputeTemporalAggregate(relation, options);
+      if (!series.ok()) {
+        state.SkipWithError(series.status().ToString().c_str());
+        return;
+      }
+      bench::KeepAlive(series->intervals);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 5);
+}
+
+void BM_FiveAggregates_FusedSinglePass(benchmark::State& state) {
+  const Relation relation = MakeWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    MultiAggregateOptions options;
+    options.specs = FiveSpecs();
+    options.algorithm = AlgorithmKind::kAggregationTree;
+    auto series = ComputeMultiAggregate(relation, options);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series->periods);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 5);
+}
+
+BENCHMARK(BM_FiveAggregates_SeparatePasses)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FiveAggregates_FusedSinglePass)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

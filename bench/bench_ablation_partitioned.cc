@@ -1,0 +1,117 @@
+// Ablation (Sections 5.1 and 7): limited-memory partitioned evaluation.
+//
+// Sweeps the partition count for a fixed random relation.  The
+// peak_bytes16 counter shows the working set shrinking roughly linearly
+// with partitions (short-lived tuples rarely straddle regions) while the
+// run time stays near the single-tree cost — the trade the paper's
+// future-work section anticipates.  The spill variant additionally pushes
+// the clipped tuple buffers to temporary files.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+#include "core/partitioned_agg.h"
+#include "core/workload.h"
+
+namespace tagg {
+namespace {
+
+Relation MakeWorkload(size_t n, double long_lived) {
+  WorkloadSpec spec;
+  spec.num_tuples = n;
+  spec.lifespan = 1'000'000;
+  spec.long_lived_fraction = long_lived;
+  spec.seed = 42;
+  return GenerateEmployedRelation(spec).value();
+}
+
+void RunPartitioned(benchmark::State& state, bool spill) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto partitions = static_cast<size_t>(state.range(1));
+  const Relation relation = MakeWorkload(n, 0.0);
+  size_t peak_bytes = 0;
+  for (auto _ : state) {
+    PartitionedOptions options;
+    options.partitions = partitions;
+    options.spill_to_disk = spill;
+    auto series = ComputePartitionedAggregate(relation, options);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series->intervals);
+    peak_bytes = series->stats.peak_paper_bytes;
+  }
+  state.counters["peak_bytes16"] = static_cast<double>(peak_bytes);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_Partitioned_InMemory(benchmark::State& state) {
+  RunPartitioned(state, /*spill=*/false);
+}
+
+void BM_Partitioned_SpillToDisk(benchmark::State& state) {
+  RunPartitioned(state, /*spill=*/true);
+}
+
+// Regions are independent: parallel workers cut wall time while the
+// result stays identical (tested); the paper's bibliography includes
+// Bitton et al.'s parallel relational algorithms.
+void BM_Partitioned_Parallel(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto workers = static_cast<size_t>(state.range(1));
+  const Relation relation = MakeWorkload(n, 0.0);
+  for (auto _ : state) {
+    PartitionedOptions options;
+    options.partitions = 64;
+    options.parallel_workers = workers;
+    auto series = ComputePartitionedAggregate(relation, options);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series->intervals);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+// Long-lived tuples straddle regions and get replicated; this variant
+// quantifies the overhead of the clipping approach in its worst case.
+void BM_Partitioned_LongLived80(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto partitions = static_cast<size_t>(state.range(1));
+  const Relation relation = MakeWorkload(n, 0.8);
+  for (auto _ : state) {
+    PartitionedOptions options;
+    options.partitions = partitions;
+    auto series = ComputePartitionedAggregate(relation, options);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series->intervals);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+BENCHMARK(BM_Partitioned_InMemory)
+    ->ArgsProduct({{1 << 14, 1 << 16}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partitioned_SpillToDisk)
+    ->ArgsProduct({{1 << 14, 1 << 16}, {4, 16}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partitioned_Parallel)
+    ->ArgsProduct({{1 << 16}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partitioned_LongLived80)
+    ->ArgsProduct({{1 << 14}, {1, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Ablation (Section 7 future work): page randomization.
+//
+// "If the relation might be sorted, then the best choice would be the
+// aggregation tree algorithm, with the relation's pages randomized when
+// they are read to avoid linearizing the aggregation tree."
+//
+// Compares the aggregation tree over: sorted input (pathological), sorted
+// input with group-wise page randomization (the proposal; I/O order
+// preserved), and truly random input (the ideal).  Sweep over the group
+// size to show the recovery improving with more pages per group.
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/page_randomizer.h"
+
+namespace tagg {
+namespace {
+
+std::vector<Period> ApplyOrder(const std::vector<Period>& periods,
+                               const std::vector<size_t>& order) {
+  std::vector<Period> out;
+  out.reserve(periods.size());
+  for (size_t i : order) out.push_back(periods[i]);
+  return out;
+}
+
+void BM_Randomizer_SortedBaseline(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+void BM_Randomizer_PageRandomized(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto pages_per_group = static_cast<size_t>(state.range(1));
+  auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kSorted);
+  PageRandomizerOptions options;
+  options.pages_per_group = pages_per_group;
+  periods = ApplyOrder(periods, PageRandomizedOrder(periods.size(), options));
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+void BM_Randomizer_FullyRandom(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, 0.0, TupleOrder::kRandom);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+BENCHMARK(BM_Randomizer_SortedBaseline)
+    ->RangeMultiplier(2)
+    ->Range(1 << 12, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Randomizer_PageRandomized)
+    ->ArgsProduct({benchmark::CreateRange(1 << 12, bench::kMaxTuples, 2),
+                   {1, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Randomizer_FullyRandom)
+    ->RangeMultiplier(2)
+    ->Range(1 << 12, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

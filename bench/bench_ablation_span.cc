@@ -1,0 +1,64 @@
+// Ablation (Sections 2 and 7): temporal grouping by span.
+//
+// "If the number of spans is much smaller than the number of constant
+// intervals, then fewer 'buckets' need to be maintained ... the
+// performance of the slower algorithm tested here (the linked list) would
+// be expected to improve."
+//
+// Sweeps the span width over a fixed relation: wide spans mean few
+// buckets (the span aggregator flies, the linked list over spans is fine);
+// instant grouping is the constant-interval-count extreme.
+
+#include "bench/bench_util.h"
+#include "core/linked_list_agg.h"
+#include "core/span_agg.h"
+
+namespace tagg {
+namespace {
+
+constexpr size_t kTuples = 16 * 1024;
+constexpr Instant kLifespan = 1'000'000;
+
+void BM_Span_BucketArray(benchmark::State& state) {
+  const auto span_width = static_cast<Instant>(state.range(0));
+  const auto periods =
+      bench::MakePeriods(kTuples, 0.0, TupleOrder::kRandom);
+  size_t buckets = 0;
+  for (auto _ : state) {
+    auto agg = SpanAggregator<CountOp>::Make(Period(0, kLifespan - 1),
+                                             span_width);
+    if (!agg.ok()) {
+      state.SkipWithError(agg.status().ToString().c_str());
+      return;
+    }
+    for (const Period& p : periods) {
+      (void)agg->Add(p, 0.0);
+    }
+    auto out = agg->FinishTyped();
+    bench::KeepAlive(*out);
+    buckets = agg->bucket_count();
+  }
+  state.counters["buckets"] = static_cast<double>(buckets);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kTuples));
+}
+
+// The instant-grouping extreme for the same relation: one bucket per
+// constant interval, via the linked list the paper calls out.
+void BM_Span_InstantGroupingLinkedList(benchmark::State& state) {
+  const auto periods =
+      bench::MakePeriods(kTuples, 0.0, TupleOrder::kRandom);
+  bench::RunCountBench(state, periods,
+                       [] { return LinkedListAggregator<CountOp>(); });
+}
+
+BENCHMARK(BM_Span_BucketArray)
+    ->RangeMultiplier(10)
+    ->Range(100, 100000)  // 10000 buckets down to 10
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Span_InstantGroupingLinkedList)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Figure 6: query evaluation time on UNORDERED (randomly ordered)
+// relations — linked list vs aggregation tree, across relation sizes
+// (1K..64K tuples) and long-lived-tuple percentages (0%, 40%, 80%).
+//
+// Paper's findings to reproduce in shape:
+//   * the linked list is the worst performer at every size (300x slower
+//     than the aggregation tree at 64K tuples);
+//   * neither algorithm's run time is materially affected by the share of
+//     long-lived tuples on random input.
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/linked_list_agg.h"
+
+namespace tagg {
+namespace {
+
+void BM_Fig6_LinkedList(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const double ll = static_cast<double>(state.range(1)) / 100.0;
+  const auto periods = bench::MakePeriods(n, ll, TupleOrder::kRandom);
+  bench::RunCountBench(state, periods,
+                       [] { return LinkedListAggregator<CountOp>(); });
+}
+
+void BM_Fig6_AggregationTree(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const double ll = static_cast<double>(state.range(1)) / 100.0;
+  const auto periods = bench::MakePeriods(n, ll, TupleOrder::kRandom);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+BENCHMARK(BM_Fig6_LinkedList)
+    ->ArgsProduct({benchmark::CreateRange(bench::kMinTuples,
+                                          bench::kMaxTuples, 2),
+                   {0, 40, 80}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig6_AggregationTree)
+    ->ArgsProduct({benchmark::CreateRange(bench::kMinTuples,
+                                          bench::kMaxTuples, 2),
+                   {0, 40, 80}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Figure 7: query evaluation time on ORDERED / almost-ordered relations
+// WITHOUT long-lived tuples.
+//
+// Series, as in the paper's legend:
+//   * Linked List           — over the sorted relation;
+//   * Aggregation Tree      — over the sorted relation (degenerates to a
+//                             linear list, ~O(n^2): the paper's pathology);
+//   * Ktree K=400/40/4      — k-ordered aggregation tree over relations
+//                             perturbed to k with percentage 0.02 (the
+//                             paper found the k value dominates the
+//                             k-ordered-percentage effect);
+//   * Ktree, sorted, K=1    — the paper's recommended strategy.
+//
+// Expected shape: smaller k is faster; the aggregation tree is worst at
+// scale; K=1 on sorted input wins.
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/k_ordered_tree.h"
+#include "core/linked_list_agg.h"
+
+namespace tagg {
+namespace {
+
+constexpr double kLongLived = 0.0;
+constexpr double kKPct = 0.02;
+
+void BM_Fig7_LinkedList(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(state, periods,
+                       [] { return LinkedListAggregator<CountOp>(); });
+}
+
+void BM_Fig7_AggregationTree_Sorted(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+void BM_Fig7_Ktree(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto k = state.range(1);
+  const auto periods = bench::MakePeriods(
+      n, kLongLived, TupleOrder::kKOrdered, k, kKPct);
+  bench::RunCountBench(
+      state, periods, [k] { return KOrderedTreeAggregator<CountOp>(k); });
+}
+
+void BM_Fig7_Ktree_Sorted_K1(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return KOrderedTreeAggregator<CountOp>(1); });
+}
+
+BENCHMARK(BM_Fig7_LinkedList)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig7_AggregationTree_Sorted)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig7_Ktree)
+    ->ArgsProduct({benchmark::CreateRange(bench::kMinTuples,
+                                          bench::kMaxTuples, 2),
+                   {4, 40, 400}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig7_Ktree_Sorted_K1)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

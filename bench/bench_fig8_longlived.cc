@@ -1,0 +1,78 @@
+// Figure 8: query evaluation time on ORDERED / almost-ordered relations
+// WITH 80% long-lived tuples — the same series as Figure 7 at
+// long-lived-fraction 0.8.
+//
+// Expected shape versus Figure 7:
+//   * the linked list is unaffected by long-lived tuples;
+//   * the k-ordered trees slow down (end-time nodes live much longer
+//     before garbage collection);
+//   * paradoxically the plain aggregation tree IMPROVES on sorted input,
+//     because the long tuples' end timestamps pre-populate the right side
+//     of the tree and de-linearize it (Section 6.1's observation).
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/k_ordered_tree.h"
+#include "core/linked_list_agg.h"
+
+namespace tagg {
+namespace {
+
+constexpr double kLongLived = 0.8;
+constexpr double kKPct = 0.02;
+
+void BM_Fig8_LinkedList(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(state, periods,
+                       [] { return LinkedListAggregator<CountOp>(); });
+}
+
+void BM_Fig8_AggregationTree_Sorted(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+void BM_Fig8_Ktree(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto k = state.range(1);
+  const auto periods = bench::MakePeriods(
+      n, kLongLived, TupleOrder::kKOrdered, k, kKPct);
+  bench::RunCountBench(
+      state, periods, [k] { return KOrderedTreeAggregator<CountOp>(k); });
+}
+
+void BM_Fig8_Ktree_Sorted_K1(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return KOrderedTreeAggregator<CountOp>(1); });
+}
+
+BENCHMARK(BM_Fig8_LinkedList)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig8_AggregationTree_Sorted)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig8_Ktree)
+    ->ArgsProduct({benchmark::CreateRange(bench::kMinTuples,
+                                          bench::kMaxTuples, 2),
+                   {4, 40, 400}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig8_Ktree_Sorted_K1)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Figure 9: main-memory comparison with NO long-lived tuples.
+//
+// Reports peak live nodes and bytes (at the paper's 16 bytes/node
+// accounting — "both aggregation tree algorithms used 16 bytes per node
+// ... the linked list algorithm used 16 bytes per node") through benchmark
+// counters: read the peak_bytes16 / peak_nodes columns, not the times.
+//
+// Expected shape:
+//   * the basic aggregation tree needs the most memory (two nodes per
+//     unique timestamp);
+//   * the linked list needs about half that (one node per constant
+//     interval), independent of k;
+//   * the k-ordered trees sit far below both, growing with k, with K=1 on
+//     a sorted relation barely above constant.
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/k_ordered_tree.h"
+#include "core/linked_list_agg.h"
+
+namespace tagg {
+namespace {
+
+constexpr double kLongLived = 0.0;
+constexpr double kKPct = 0.02;
+
+void BM_Fig9_Memory_LinkedList(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kRandom);
+  bench::RunCountBench(state, periods,
+                       [] { return LinkedListAggregator<CountOp>(); });
+}
+
+void BM_Fig9_Memory_AggregationTree(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kRandom);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+}
+
+void BM_Fig9_Memory_Ktree(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto k = state.range(1);
+  const auto periods = bench::MakePeriods(
+      n, kLongLived, TupleOrder::kKOrdered, k, kKPct);
+  bench::RunCountBench(
+      state, periods, [k] { return KOrderedTreeAggregator<CountOp>(k); });
+}
+
+void BM_Fig9_Memory_Ktree_Sorted_K1(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto periods = bench::MakePeriods(n, kLongLived, TupleOrder::kSorted);
+  bench::RunCountBench(
+      state, periods, [] { return KOrderedTreeAggregator<CountOp>(1); });
+}
+
+// Companion to Section 6.2's observation that long-lived tuples blow up
+// the k-ordered tree's memory but leave the other algorithms untouched.
+void BM_Fig9_Memory_Ktree_LongLived80(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto k = state.range(1);
+  const auto periods =
+      bench::MakePeriods(n, 0.8, TupleOrder::kKOrdered, k, kKPct);
+  bench::RunCountBench(
+      state, periods, [k] { return KOrderedTreeAggregator<CountOp>(k); });
+}
+
+BENCHMARK(BM_Fig9_Memory_LinkedList)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig9_Memory_AggregationTree)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig9_Memory_Ktree)
+    ->ArgsProduct({benchmark::CreateRange(bench::kMinTuples,
+                                          bench::kMaxTuples, 2),
+                   {1, 4, 400}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig9_Memory_Ktree_Sorted_K1)
+    ->RangeMultiplier(2)
+    ->Range(bench::kMinTuples, bench::kMaxTuples)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig9_Memory_Ktree_LongLived80)
+    ->ArgsProduct({benchmark::CreateRange(bench::kMinTuples,
+                                          bench::kMaxTuples, 2),
+                   {1, 4, 400}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

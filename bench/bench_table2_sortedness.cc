@@ -1,0 +1,119 @@
+// Table 2: k-ordered-percentage worked examples (n = 10000, k = 100),
+// plus the cost of measuring sortedness itself (the statistic a query
+// optimizer would gather).
+//
+// The percentage counters on each benchmark reproduce the Table 2 column:
+//   sorted -> 0, one 100-distance swap -> 0.0002, ten swaps -> 0.002,
+//   one tuple at each displacement 1..100 -> 0.00505,
+//   ten tuples at each displacement 1..100 -> 0.0505.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+#include "core/sortedness.h"
+#include "core/workload.h"
+
+namespace tagg {
+namespace {
+
+constexpr size_t kN = 10000;
+constexpr int64_t kK = 100;
+
+std::vector<Period> SortedPeriods(size_t n) {
+  std::vector<Period> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<Instant>(i * 10);
+    out.emplace_back(s, s + 5);
+  }
+  return out;
+}
+
+void MeasureRow(benchmark::State& state, const std::vector<Period>& periods) {
+  double pct = 0;
+  int64_t measured_k = 0;
+  for (auto _ : state) {
+    const auto report = MeasureSortedness(periods);
+    pct = KOrderedPercentage(report, kK);
+    measured_k = report.k;
+    bench::KeepAlive(pct);
+  }
+  state.counters["k_ordered_percentage"] = pct;
+  state.counters["measured_k"] = static_cast<double>(measured_k);
+}
+
+void BM_Table2_Row1_Sorted(benchmark::State& state) {
+  MeasureRow(state, SortedPeriods(kN));
+}
+
+void BM_Table2_Row2_OneSwap(benchmark::State& state) {
+  auto periods = SortedPeriods(kN);
+  std::swap(periods[500], periods[600]);
+  MeasureRow(state, periods);
+}
+
+void BM_Table2_Row3_TenSwaps(benchmark::State& state) {
+  auto periods = SortedPeriods(kN);
+  for (int i = 0; i < 10; ++i) {
+    const size_t base = static_cast<size_t>(i) * 900;
+    std::swap(periods[base], periods[base + 100]);
+  }
+  MeasureRow(state, periods);
+}
+
+// Rows 4 and 5 are histogram configurations in the paper; evaluate the
+// formula directly.
+void BM_Table2_Row4_Histogram(benchmark::State& state) {
+  std::vector<size_t> histogram(101, 0);
+  for (size_t i = 1; i <= 100; ++i) histogram[i] = 1;
+  double pct = 0;
+  for (auto _ : state) {
+    pct = KOrderedPercentageFromHistogram(histogram, kK, kN).value();
+    bench::KeepAlive(pct);
+  }
+  state.counters["k_ordered_percentage"] = pct;
+}
+
+void BM_Table2_Row5_Histogram(benchmark::State& state) {
+  std::vector<size_t> histogram(101, 0);
+  for (size_t i = 1; i <= 100; ++i) histogram[i] = 10;
+  double pct = 0;
+  for (auto _ : state) {
+    pct = KOrderedPercentageFromHistogram(histogram, kK, kN).value();
+    bench::KeepAlive(pct);
+  }
+  state.counters["k_ordered_percentage"] = pct;
+}
+
+// Cost of the measurement on generated Table 3 workloads.
+void BM_MeasureSortedness_Workload(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.num_tuples = static_cast<size_t>(state.range(0));
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 40;
+  spec.k_percentage = 0.08;
+  auto relation = GenerateEmployedRelation(spec).value();
+  double pct = 0;
+  for (auto _ : state) {
+    const auto report = MeasureSortedness(relation);
+    pct = KOrderedPercentage(report, report.k);
+    bench::KeepAlive(pct);
+  }
+  state.counters["k_ordered_percentage"] = pct;
+}
+
+BENCHMARK(BM_Table2_Row1_Sorted);
+BENCHMARK(BM_Table2_Row2_OneSwap);
+BENCHMARK(BM_Table2_Row3_TenSwaps);
+BENCHMARK(BM_Table2_Row4_Histogram);
+BENCHMARK(BM_Table2_Row5_Histogram);
+BENCHMARK(BM_MeasureSortedness_Workload)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Section 4.1 baseline: Tuma's two-scan evaluation (the only temporal
+// aggregation implemented before the paper) against the paper's
+// single-scan algorithms on randomly ordered relations.
+//
+// The scans counter makes the paper's critique visible: the two-scan
+// approach reads the relation twice, everything else once.
+
+#include "bench/bench_util.h"
+#include "core/aggregation_tree.h"
+#include "core/linked_list_agg.h"
+#include "core/two_scan_agg.h"
+
+namespace tagg {
+namespace {
+
+void WithScans(benchmark::State& state, size_t scans) {
+  state.counters["relation_scans"] = static_cast<double>(scans);
+}
+
+void BM_TwoScan(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const double ll = static_cast<double>(state.range(1)) / 100.0;
+  const auto periods = bench::MakePeriods(n, ll, TupleOrder::kRandom);
+  bench::RunCountBench(state, periods,
+                       [] { return TwoScanAggregator<CountOp>(); });
+  WithScans(state, 2);
+}
+
+void BM_SingleScan_AggregationTree(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const double ll = static_cast<double>(state.range(1)) / 100.0;
+  const auto periods = bench::MakePeriods(n, ll, TupleOrder::kRandom);
+  bench::RunCountBench(
+      state, periods, [] { return AggregationTreeAggregator<CountOp>(); });
+  WithScans(state, 1);
+}
+
+void BM_SingleScan_LinkedList(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const double ll = static_cast<double>(state.range(1)) / 100.0;
+  const auto periods = bench::MakePeriods(n, ll, TupleOrder::kRandom);
+  bench::RunCountBench(state, periods,
+                       [] { return LinkedListAggregator<CountOp>(); });
+  WithScans(state, 1);
+}
+
+BENCHMARK(BM_TwoScan)
+    ->ArgsProduct({benchmark::CreateRange(1 << 10, 1 << 14, 2), {0, 80}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleScan_AggregationTree)
+    ->ArgsProduct({benchmark::CreateRange(1 << 10, 1 << 14, 2), {0, 80}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleScan_LinkedList)
+    ->ArgsProduct({benchmark::CreateRange(1 << 10, 1 << 14, 2), {0, 80}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+BENCHMARK_MAIN();

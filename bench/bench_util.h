@@ -1,0 +1,103 @@
+// Shared helpers for the benchmark suite.
+//
+// Every bench reproduces a table or figure from the paper's Section 6
+// evaluation.  Workloads follow Table 3: 1M-instant lifespan, short-lived
+// durations U[1,1000], long-lived U[20%,80%] of the lifespan, relation
+// sizes 1K..64K tuples, long-lived fractions {0%, 40%, 80%}, and
+// k-ordered perturbations.  The COUNT aggregate is used throughout, as in
+// the paper ("we provide results only for the count aggregate").
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/aggregates.h"
+#include "core/workload.h"
+#include "temporal/period.h"
+
+namespace tagg {
+namespace bench {
+
+/// Compiler barrier used instead of benchmark::DoNotOptimize.
+///
+/// google-benchmark's GCC path uses a multi-alternative "+m,r" inline-asm
+/// constraint that GCC 12 miscompiles around values materialized through
+/// by-value std::variant returns (our Result<T>): the consumed value is
+/// garbage.  A single-alternative "+m" constraint is immune.  See
+/// bench/README note in EXPERIMENTS.md.
+template <typename T>
+inline void KeepAlive(T& value) {
+  asm volatile("" : "+m"(value) : : "memory");
+}
+
+/// Table 3 relation sizes (in tuples).
+inline constexpr int64_t kMinTuples = 1 << 10;   // 1K
+inline constexpr int64_t kMaxTuples = 1 << 16;   // 64K
+
+/// Generates a Table 3 workload and strips it down to the validity
+/// periods — benchmarks time the algorithms, not Value boxing.
+inline std::vector<Period> MakePeriods(size_t n, double long_lived_fraction,
+                                       TupleOrder order, int64_t k = 1,
+                                       double k_percentage = 0.02,
+                                       uint64_t seed = 42) {
+  WorkloadSpec spec;
+  spec.num_tuples = n;
+  spec.lifespan = 1'000'000;
+  spec.long_lived_fraction = long_lived_fraction;
+  spec.order = order;
+  spec.k = k;
+  spec.k_percentage = k_percentage;
+  spec.seed = seed;
+  auto relation = GenerateEmployedRelation(spec);
+  if (!relation.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 relation.status().ToString().c_str());
+    std::abort();
+  }
+  std::vector<Period> periods;
+  periods.reserve(relation->size());
+  for (const Tuple& t : relation.value()) periods.push_back(t.valid());
+  return periods;
+}
+
+/// Streams `periods` through a freshly constructed aggregator per
+/// iteration and reports items/sec plus the memory counters of the last
+/// run.  MakeAgg: () -> aggregator with Add(Period, double) and
+/// FinishTyped().
+template <typename MakeAgg>
+void RunCountBench(benchmark::State& state,
+                   const std::vector<Period>& periods, MakeAgg make_agg) {
+  size_t peak_nodes = 0;
+  size_t peak_paper_bytes = 0;
+  size_t intervals = 0;
+  for (auto _ : state) {
+    auto agg = make_agg();
+    for (const Period& p : periods) {
+      const Status st = agg.Add(p, 0.0);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    auto out = agg.FinishTyped();
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    KeepAlive(*out);
+    peak_nodes = agg.stats().peak_live_nodes;
+    peak_paper_bytes = agg.stats().peak_paper_bytes;
+    intervals = out->size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(periods.size()));
+  state.counters["tuples"] = static_cast<double>(periods.size());
+  state.counters["peak_nodes"] = static_cast<double>(peak_nodes);
+  state.counters["peak_bytes16"] = static_cast<double>(peak_paper_bytes);
+  state.counters["intervals"] = static_cast<double>(intervals);
+}
+
+}  // namespace bench
+}  // namespace tagg

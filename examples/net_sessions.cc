@@ -1,0 +1,112 @@
+// Network sessions: concurrent-connection analytics over a session log,
+// streamed from the disk-backed storage engine.
+//
+// Sessions are written as 128-byte records into a heap file (the paper's
+// record layout), externally sorted by time (the paper's recommended
+// preparation), and then streamed through the k-ordered aggregation tree
+// with k = 1 — the paper's headline strategy — in a single scan, computing
+// the number of concurrent sessions at every instant.
+//
+// Run:  ./build/examples/net_sessions
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/aggregates.h"
+#include "storage/buffer_pool.h"
+#include "storage/external_sort.h"
+#include "storage/record_codec.h"
+#include "storage/table_scan.h"
+#include "util/random.h"
+
+using namespace tagg;
+
+namespace {
+
+Status Run() {
+  const auto dir = std::filesystem::temp_directory_path() / "tagg_sessions";
+  std::filesystem::create_directories(dir);
+  const std::string raw_path = (dir / "sessions.heap").string();
+  const std::string sorted_path = (dir / "sessions.sorted.heap").string();
+
+  // --- 1. Write a day of session records (arrival order, not sorted) ----
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> raw,
+                        HeapFile::Create(raw_path));
+  Rng rng(7);
+  const int kSessions = 20000;
+  char buf[kRecordSize];
+  for (int i = 0; i < kSessions; ++i) {
+    const Instant open = rng.Uniform(0, 86399);
+    const Instant duration = rng.Uniform(1, 1800);  // up to 30 minutes
+    const Instant close = std::min<Instant>(open + duration - 1, 86399);
+    const Tuple session(
+        {Value::String("s" + std::to_string(i % 1000)),
+         Value::Int(rng.Uniform(1, 1000))},  // bytes/sec estimate
+        Period(open, close));
+    TAGG_RETURN_IF_ERROR(EncodeEmployedRecord(session, buf));
+    TAGG_RETURN_IF_ERROR(raw->AppendRecord(buf));
+  }
+  TAGG_RETURN_IF_ERROR(raw->Sync());
+  std::printf("wrote %llu session records (%u pages of %zu bytes)\n",
+              static_cast<unsigned long long>(raw->record_count()),
+              raw->data_page_count(), kPageSize);
+
+  // --- 2. External sort by time ("first sort the underlying relation") --
+  ExternalSortOptions sort_options;
+  sort_options.memory_budget_records = 4096;  // force a real multi-run merge
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> sorted,
+                        ExternalSortByTime(*raw, sorted_path, sort_options));
+  std::printf("externally sorted into %s\n", sorted_path.c_str());
+
+  // --- 3. Single scan through the k-ordered tree with k = 1 -------------
+  BufferPool pool(sorted.get(), 16);
+  TableScan scan(&pool);
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kCount;
+  options.algorithm = AlgorithmKind::kKOrderedTree;
+  options.k = 1;
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<TemporalAggregator> agg,
+                        MakeAggregator(options));
+  while (true) {
+    TAGG_ASSIGN_OR_RETURN(auto next, scan.Next());
+    if (!next.has_value()) break;
+    TAGG_RETURN_IF_ERROR(agg->Add(next->valid(), 0));
+  }
+  TAGG_ASSIGN_OR_RETURN(AggregateSeries series, agg->Finish());
+
+  // --- 4. Report ---------------------------------------------------------
+  int64_t peak = 0;
+  Period when(0, 0);
+  for (const ResultInterval& ri : series.intervals) {
+    if (ri.value.AsInt() > peak) {
+      peak = ri.value.AsInt();
+      when = ri.period;
+    }
+  }
+  std::printf("constant intervals: %zu\n", series.intervals.size());
+  std::printf("peak concurrency:   %lld sessions during %s\n",
+              static_cast<long long>(peak), when.ToString().c_str());
+  std::printf("buffer pool:        %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(pool.hits()),
+              static_cast<unsigned long long>(pool.misses()));
+  std::printf("aggregator memory:  peak %zu nodes (%zu bytes at 16 B/node)"
+              " for %zu tuples — the Section 5.3 win\n",
+              series.stats.peak_live_nodes, series.stats.peak_paper_bytes,
+              series.stats.tuples_processed);
+
+  TAGG_RETURN_IF_ERROR(raw->Close());
+  TAGG_RETURN_IF_ERROR(sorted->Close());
+  std::filesystem::remove_all(dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const Status st = Run();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the paper's running example, end to end.
+//
+// Builds the Employed relation of Figure 1, evaluates the Section 5.1
+// query `SELECT COUNT(Name) FROM Employed` with the aggregation tree, and
+// prints the Table 1 result; then shows the same query through the
+// TSQL2-flavored query layer.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/aggregates.h"
+#include "core/workload.h"
+#include "query/executor.h"
+
+using namespace tagg;
+
+int main() {
+  // --- 1. The Employed relation (paper, Figure 1) -----------------------
+  Relation employed = MakeFigure1EmployedRelation();
+  std::printf("%s\n", employed.ToString().c_str());
+
+  // --- 2. Direct library API: COUNT per constant interval ----------------
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kCount;
+  options.attribute = 0;  // COUNT(Name)
+  options.algorithm = AlgorithmKind::kAggregationTree;
+
+  auto series = ComputeTemporalAggregate(employed, options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "error: %s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SELECT COUNT(Name) FROM Employed  -- grouped by instant\n");
+  std::printf("%s\n", series->ToString().c_str());
+  std::printf("stats: %zu tuples, %zu scan(s), peak %zu nodes "
+              "(%zu bytes at the paper's 16 B/node)\n\n",
+              series->stats.tuples_processed, series->stats.relation_scans,
+              series->stats.peak_live_nodes,
+              series->stats.peak_paper_bytes);
+
+  // --- 3. The same query through the query layer -------------------------
+  Catalog catalog;
+  auto shared = std::make_shared<Relation>(employed);
+  if (Status st = catalog.Register(shared); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto result = RunQuery("SELECT COUNT(name) FROM employed", catalog);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("via query layer (Table 1, empty intervals dropped):\n%s\n",
+              result->ToString().c_str());
+  std::printf("plan: %s (%s)\n",
+              std::string(AlgorithmKindToString(result->plan.algorithm))
+                  .c_str(),
+              result->plan.rationale.c_str());
+  return 0;
+}

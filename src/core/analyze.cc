@@ -1,0 +1,62 @@
+#include "core/analyze.h"
+
+#include <algorithm>
+
+#include "core/constant_interval.h"
+
+namespace tagg {
+
+RelationProfile AnalyzeRelation(const Relation& relation) {
+  RelationProfile profile;
+  profile.num_tuples = relation.size();
+  if (relation.empty()) {
+    profile.sorted = true;
+    return profile;
+  }
+
+  const SortednessReport report = MeasureSortedness(relation);
+  profile.k = report.k;
+  profile.sorted = report.k == 0;
+  profile.k_percentage = KOrderedPercentage(report, std::max<int64_t>(
+                                                        report.k, 1));
+
+  auto lifespan = relation.Lifespan();
+  profile.lifespan = lifespan.value();
+  const Instant span = profile.lifespan.duration();
+  const Instant threshold =
+      span >= kForever
+          ? kForever
+          : static_cast<Instant>(kLongLivedLifespanFraction *
+                                 static_cast<double>(span));
+
+  size_t long_lived = 0;
+  std::vector<Period> periods;
+  periods.reserve(relation.size());
+  for (const Tuple& t : relation) {
+    periods.push_back(t.valid());
+    if (t.valid().duration() >= threshold && threshold > 0) ++long_lived;
+  }
+  profile.long_lived_fraction =
+      static_cast<double>(long_lived) /
+      static_cast<double>(relation.size());
+  // ConstantIntervalCuts always includes the origin cut.
+  profile.unique_boundaries = ConstantIntervalCuts(periods).size() - 1;
+  return profile;
+}
+
+PlannerInput ToPlannerInput(const RelationProfile& profile) {
+  PlannerInput input;
+  input.num_tuples = profile.num_tuples;
+  input.sorted = profile.sorted;
+  input.declared_k = profile.k;
+  return input;
+}
+
+RelationStats ToRelationStats(const RelationProfile& profile) {
+  RelationStats stats;
+  stats.known_sorted = profile.sorted;
+  stats.declared_k = profile.k;
+  return stats;
+}
+
+}  // namespace tagg

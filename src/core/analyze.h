@@ -1,0 +1,50 @@
+// Relation analysis for the optimizer (Section 6.3).
+//
+// The Section 6.3 strategy rules need to know whether a relation is
+// sorted, how k-ordered it is, and how many long-lived tuples it carries.
+// AnalyzeRelation gathers those statistics in one pass (plus the
+// sortedness measurement), and ToPlannerInput translates them into the
+// planner's vocabulary.
+
+#pragma once
+
+#include "core/planner.h"
+#include "core/sortedness.h"
+#include "temporal/catalog.h"
+#include "temporal/relation.h"
+
+namespace tagg {
+
+/// One-stop statistics about a relation's physical properties.
+struct RelationProfile {
+  size_t num_tuples = 0;
+  /// Totally ordered by time?
+  bool sorted = false;
+  /// Smallest k for which the relation is k-ordered (0 when sorted).
+  int64_t k = 0;
+  /// k-ordered-percentage at that k.
+  double k_percentage = 0.0;
+  /// Fraction of tuples whose duration is at least `long_lived_threshold`.
+  double long_lived_fraction = 0.0;
+  /// Number of distinct start/end+1 boundaries = constant intervals - 1;
+  /// predicts result size and tree memory.
+  size_t unique_boundaries = 0;
+  /// Smallest period covering the relation (undefined when empty).
+  Period lifespan;
+};
+
+/// Duration at or above which a tuple counts as long-lived, as a fraction
+/// of the relation's lifespan (the paper's long-lived tuples span 20-80%).
+inline constexpr double kLongLivedLifespanFraction = 0.2;
+
+/// Profiles a relation.
+RelationProfile AnalyzeRelation(const Relation& relation);
+
+/// Converts a profile into the planner's input (memory budget and
+/// expected-interval knowledge stay with the caller).
+PlannerInput ToPlannerInput(const RelationProfile& profile);
+
+/// Converts a profile into catalog-declarable stats.
+RelationStats ToRelationStats(const RelationProfile& profile);
+
+}  // namespace tagg

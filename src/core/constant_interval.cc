@@ -1,0 +1,62 @@
+#include "core/constant_interval.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace tagg {
+
+std::string ResultInterval::ToString() const {
+  return period.ToString() + " -> " + value.ToString();
+}
+
+std::vector<Instant> ConstantIntervalCuts(
+    const std::vector<Period>& periods) {
+  std::vector<Instant> cuts;
+  cuts.reserve(periods.size() * 2 + 1);
+  cuts.push_back(kOrigin);
+  for (const Period& p : periods) {
+    if (p.start() > kOrigin) cuts.push_back(p.start());
+    if (p.end() < kForever) cuts.push_back(p.end() + 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+std::vector<Period> CutsToPartition(const std::vector<Instant>& cuts) {
+  std::vector<Period> out;
+  out.reserve(cuts.size());
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    const Instant lo = cuts[i];
+    const Instant hi = (i + 1 < cuts.size()) ? cuts[i + 1] - 1 : kForever;
+    out.emplace_back(lo, hi);
+  }
+  return out;
+}
+
+Status ValidatePartition(const std::vector<ResultInterval>& intervals) {
+  if (intervals.empty()) {
+    return Status::Corruption("empty result cannot partition the time-line");
+  }
+  if (intervals.front().period.start() != kOrigin) {
+    return Status::Corruption("partition does not begin at the origin: " +
+                              intervals.front().period.ToString());
+  }
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    const Period& prev = intervals[i - 1].period;
+    const Period& cur = intervals[i].period;
+    if (!prev.MeetsBefore(cur)) {
+      return Status::Corruption(StringPrintf(
+          "intervals %zu and %zu do not meet: %s then %s", i - 1, i,
+          prev.ToString().c_str(), cur.ToString().c_str()));
+    }
+  }
+  if (intervals.back().period.end() != kForever) {
+    return Status::Corruption("partition does not extend to forever: " +
+                              intervals.back().period.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace tagg

@@ -1,0 +1,56 @@
+// Constant intervals: the unit of temporal grouping by instant.
+//
+// Section 2 of the paper: a constant interval is a maximal sequence of
+// instants over which the set of overlapping tuples — and therefore the
+// aggregate value — does not change.  The timestamps of the underlying
+// relation induce the partitioning: every unique start time s opens a
+// boundary at s, every unique end time e opens one at e+1 (Figure 2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "temporal/period.h"
+#include "temporal/value.h"
+
+namespace tagg {
+
+/// One row of a temporal-aggregate result: the aggregate's value over one
+/// constant interval.
+struct ResultInterval {
+  Period period;
+  Value value;
+
+  bool operator==(const ResultInterval& other) const = default;
+
+  /// "[s, e] -> value".
+  std::string ToString() const;
+};
+
+/// Internal typed counterpart carrying a raw operator state instead of a
+/// finalized Value; used between an algorithm and the finalization step.
+template <typename State>
+struct TypedInterval {
+  Instant start;
+  Instant end;
+  State state;
+
+  bool operator==(const TypedInterval&) const = default;
+};
+
+/// Computes the constant-interval boundaries induced by a set of periods:
+/// the sorted cut points {kOrigin} ∪ {s} ∪ {e+1 | e < kForever}.  Interval
+/// i of the induced partition is [cuts[i], cuts[i+1]-1], with a final
+/// interval [cuts.back(), kForever].
+std::vector<Instant> ConstantIntervalCuts(const std::vector<Period>& periods);
+
+/// Expands cut points into the full partition of [kOrigin, kForever].
+std::vector<Period> CutsToPartition(const std::vector<Instant>& cuts);
+
+/// Validates that `intervals` form a partition of [kOrigin, kForever]:
+/// consecutive, gap-free, in time order.  Returns an explanatory error
+/// otherwise.  Used by tests and debug assertions.
+Status ValidatePartition(const std::vector<ResultInterval>& intervals);
+
+}  // namespace tagg

@@ -1,0 +1,194 @@
+// The k-ordered aggregation tree (Section 5.3).
+//
+// For a k-ordered relation — every tuple at most k positions away from its
+// place in the totally time-ordered relation (Section 5.2) — the left part
+// of the aggregation tree becomes *final* as construction proceeds and can
+// be emitted and garbage collected early, shrinking the working set from
+// O(n) to O(k + live long-lived tuples).
+//
+// The paper's argument: after processing tuple number j, the tuple 2k+1
+// positions back could sit at most at position (j-2k-1)+k in the sorted
+// order, while tuple j and everything after it sit at position j-k or
+// later — strictly after it.  Hence every future tuple starts at or after
+// that old tuple's start time (the gc-threshold), and every constant
+// interval ending before the threshold can never change again.
+//
+// Garbage collection follows Figure 5:
+//   (a) while the root's entire left half precedes the threshold, emit it,
+//       delete it, and promote the root's right child (pushing the root's
+//       partial state down into it);
+//   (b) otherwise walk the left spine, applying the same collapse to any
+//       node whose left subtree is finished — when only the earlier of two
+//       leaves is collectible the parent is replaced by the surviving
+//       child.
+// Only the earliest consecutive prefix is ever removed, so no hole appears
+// and the early emissions concatenated with the final depth-first walk are
+// globally time ordered.
+//
+// With k = 1 over a sorted relation this is the paper's recommended
+// strategy: near-constant memory and the best running time it measured.
+
+#pragma once
+
+#include <vector>
+
+#include "core/aggregation_tree.h"
+
+namespace tagg {
+
+/// Section 5.3's k-ordered aggregation tree.  Add() returns an error if the
+/// input violates the declared k-ordering (a tuple starts inside an
+/// already-emitted constant interval), so an optimizer acting on a wrong
+/// sortedness declaration fails loudly instead of silently mis-aggregating.
+template <typename Op>
+class KOrderedTreeAggregator {
+ public:
+  using State = typename Op::State;
+  using Tree = internal::SplitTree<Op>;
+
+  /// @param k  the relation's (declared) k-orderedness; k = 0 means totally
+  ///           ordered.  The retained window holds 2k+1 start times.
+  explicit KOrderedTreeAggregator(int64_t k, Op op = Op())
+      : k_(k < 0 ? 0 : k),
+        window_capacity_(2 * static_cast<size_t>(k_) + 1),
+        tree_(std::move(op)) {
+    window_.reserve(window_capacity_);
+  }
+
+  Status Add(const Period& valid, typename Op::Input input) {
+    const Instant s = valid.start();
+    if (s < tree_.lo) {
+      return Status::InvalidArgument(
+          "tuple starting at " + InstantToString(s) +
+          " violates the declared k-ordering: constant intervals before " +
+          InstantToString(tree_.lo) + " were already emitted (k=" +
+          std::to_string(k_) + ")");
+    }
+    const Instant e = valid.end();
+    // Maintain the leftmost constant interval's end before the structure
+    // changes (O(1) instead of re-walking the left spine).
+    const Instant cs = s > tree_.lo ? s : tree_.lo;
+    if (cs <= leftmost_end_) {
+      if (cs > tree_.lo) {
+        leftmost_end_ = cs - 1;
+      } else if (e < leftmost_end_) {
+        leftmost_end_ = e;
+      }
+    }
+    tree_.Add(s, e, input);
+    ++tuples_;
+
+    // Slide the 2k+1 window; the start time falling out of it becomes the
+    // new gc-threshold.  Thresholds are made monotone with max(): a
+    // locally disordered (but still k-ordered) prefix never regresses the
+    // collected boundary.
+    if (window_.size() < window_capacity_) {
+      window_.push_back(s);
+    } else {
+      const Instant expired = window_[window_pos_];
+      window_[window_pos_] = s;
+      window_pos_ = (window_pos_ + 1) % window_capacity_;
+      if (expired > gc_threshold_) gc_threshold_ = expired;
+      if (leftmost_end_ < gc_threshold_) CollectGarbage();
+    }
+    return Status::OK();
+  }
+
+  /// Emits whatever remains in the tree after the early emissions.
+  Result<std::vector<TypedInterval<State>>> FinishTyped() {
+    tree_.EmitSubtree(tree_.root, tree_.lo, kForever, tree_.op.Identity(),
+                      [&](Instant lo, Instant hi, State st) {
+                        out_.push_back({lo, hi, st});
+                      });
+    stats_.tuples_processed = tuples_;
+    stats_.relation_scans = 1;
+    stats_.peak_live_nodes = tree_.arena.peak_live_nodes();
+    stats_.peak_live_bytes = tree_.arena.peak_live_bytes();
+    stats_.peak_paper_bytes = tree_.arena.peak_paper_bytes();
+    stats_.nodes_allocated = tree_.arena.total_allocated_nodes();
+    stats_.intervals_emitted = out_.size();
+    stats_.work_steps = tree_.work_steps;
+    return std::move(out_);
+  }
+
+  const ExecutionStats& stats() const { return stats_; }
+  int64_t k() const { return k_; }
+
+  /// Test hooks.
+  Tree& tree() { return tree_; }
+  size_t live_nodes() const { return tree_.arena.live_nodes(); }
+  size_t emitted_so_far() const { return out_.size(); }
+  const std::vector<TypedInterval<State>>& emitted() const { return out_; }
+  Instant collected_up_to() const { return tree_.lo; }
+
+ private:
+  using Node = typename Tree::Node;
+
+  /// Removes every finished constant interval (end < gc_threshold_) from
+  /// the front of the tree, emitting each with its path-combined state.
+  void CollectGarbage() {
+    const Instant threshold = gc_threshold_;
+    auto emit = [&](Instant lo, Instant hi, State st) {
+      out_.push_back({lo, hi, st});
+    };
+
+    // Figure 5.a: collapse the root while its whole left half is finished.
+    while (!tree_.root->IsLeaf() && tree_.root->split < threshold) {
+      Node* r = tree_.root;
+      tree_.EmitSubtree(r->left, tree_.lo, r->split, r->state, emit);
+      tree_.FreeSubtree(r->left);
+      Node* right = r->right;
+      right->state = tree_.op.Combine(right->state, r->state);
+      tree_.lo = r->split + 1;
+      tree_.arena.Deallocate(r);
+      tree_.root = right;
+    }
+
+    // Figure 5.b: walk the left spine collapsing children whose left
+    // subtree is finished.  Every node on the leftmost spine has a range
+    // beginning at the tree's lower bound, so each collapse here consumes
+    // a prefix of the remaining time-line and advances tree_.lo with it.
+    // `acc` combines the states of every ancestor of the child under
+    // inspection.
+    if (!tree_.root->IsLeaf()) {
+      Node* parent = tree_.root;
+      State acc = parent->state;
+      while (true) {
+        Node* child = parent->left;
+        if (child->IsLeaf()) break;  // leftmost interval not finished
+        while (!child->IsLeaf() && child->split < threshold) {
+          tree_.EmitSubtree(child->left, tree_.lo, child->split,
+                            tree_.op.Combine(acc, child->state), emit);
+          tree_.FreeSubtree(child->left);
+          Node* right = child->right;
+          right->state = tree_.op.Combine(right->state, child->state);
+          tree_.lo = child->split + 1;
+          tree_.arena.Deallocate(child);
+          parent->left = right;
+          child = right;
+        }
+        if (child->IsLeaf()) break;
+        acc = tree_.op.Combine(acc, child->state);
+        parent = child;
+      }
+      // The leftmost live leaf now spans [tree_.lo, parent->split].
+      leftmost_end_ = parent->split;
+    } else {
+      leftmost_end_ = kForever;
+    }
+  }
+
+  int64_t k_;
+  size_t window_capacity_;
+  std::vector<Instant> window_;  // ring buffer of the last 2k+1 start times
+  size_t window_pos_ = 0;
+  Instant gc_threshold_ = kOrigin;
+  Instant leftmost_end_ = kForever;
+
+  Tree tree_;
+  std::vector<TypedInterval<State>> out_;
+  size_t tuples_ = 0;
+  ExecutionStats stats_;
+};
+
+}  // namespace tagg

@@ -1,0 +1,127 @@
+// The linked-list ("naive") algorithm (Section 4.2).
+//
+// An ordered singly linked list of constant intervals covering
+// [kOrigin, kForever], each cell holding the *complete* aggregate state for
+// its interval.  For every tuple the list is walked from the head: the cell
+// containing the tuple's start is split there, every overlapped cell's
+// state is updated, and the cell containing the end is split after it.
+//
+// This is the paper's single-pass improvement over Tuma's two-scan
+// evaluation, and the straw-man the new tree algorithms are measured
+// against: the head-first walk makes it O(n) per tuple regardless of input
+// order, which is why the paper finds it "the worst performance over all
+// relation sizes" yet completely insensitive to sortedness and to
+// long-lived tuples.
+
+#pragma once
+
+#include <vector>
+
+#include "core/aggregates.h"
+#include "core/node_arena.h"
+#include "temporal/period.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Section 4.2's linked-list temporal aggregation.
+template <typename Op>
+class LinkedListAggregator {
+ public:
+  using State = typename Op::State;
+
+  explicit LinkedListAggregator(Op op = Op())
+      : op_(std::move(op)), arena_(sizeof(Cell)) {
+    head_ = NewCell(kOrigin, kForever);
+  }
+
+  /// Folds one tuple into the list.
+  Status Add(const Period& valid, typename Op::Input input) {
+    const Instant s = valid.start();
+    const Instant e = valid.end();
+    // Find the cell containing s.  Cells partition the time-line, so the
+    // first cell with end >= s contains s.
+    Cell* cur = head_;
+    ++work_steps_;
+    while (cur->end < s) {
+      cur = cur->next;
+      ++work_steps_;
+    }
+    if (cur->start < s) {
+      // Split so a cell boundary falls exactly at s.
+      cur = SplitAfter(cur, s - 1);
+    }
+    // Update every cell overlapped by [s, e], splitting the last one so a
+    // boundary falls at e + 1.
+    while (true) {
+      if (cur->end > e) SplitAfter(cur, e);
+      op_.Add(cur->state, input);
+      if (cur->end == e) break;
+      cur = cur->next;
+      ++work_steps_;
+    }
+    ++tuples_;
+    return Status::OK();
+  }
+
+  /// Walks the list front to back; it is already in time order.
+  Result<std::vector<TypedInterval<State>>> FinishTyped() {
+    std::vector<TypedInterval<State>> out;
+    out.reserve(arena_.live_nodes());
+    for (Cell* c = head_; c != nullptr; c = c->next) {
+      out.push_back({c->start, c->end, c->state});
+    }
+    stats_.tuples_processed = tuples_;
+    stats_.relation_scans = 1;
+    stats_.peak_live_nodes = arena_.peak_live_nodes();
+    stats_.peak_live_bytes = arena_.peak_live_bytes();
+    stats_.peak_paper_bytes = arena_.peak_paper_bytes();
+    stats_.nodes_allocated = arena_.total_allocated_nodes();
+    stats_.intervals_emitted = out.size();
+    stats_.work_steps = work_steps_;
+    return out;
+  }
+
+  const ExecutionStats& stats() const { return stats_; }
+
+  /// Number of constant intervals currently maintained (test hook).
+  size_t CellCount() const { return arena_.live_nodes(); }
+
+ private:
+  struct Cell {
+    Instant start;
+    Instant end;
+    State state;
+    Cell* next;
+  };
+
+  Cell* NewCell(Instant s, Instant e) {
+    Cell* c = static_cast<Cell*>(arena_.Allocate());
+    c->start = s;
+    c->end = e;
+    c->state = op_.Identity();
+    c->next = nullptr;
+    return c;
+  }
+
+  /// Splits `cell` into [start, at] and [at+1, end]; both halves keep the
+  /// full state (the tuple set overlapping each half is unchanged by the
+  /// cut).  Returns the second half.
+  Cell* SplitAfter(Cell* cell, Instant at) {
+    Cell* tail = NewCell(at + 1, cell->end);
+    tail->state = cell->state;
+    tail->next = cell->next;
+    cell->end = at;
+    cell->next = tail;
+    return tail;
+  }
+
+  Op op_;
+  NodeArena arena_;
+  Cell* head_;
+  size_t work_steps_ = 0;
+  size_t tuples_ = 0;
+  ExecutionStats stats_;
+};
+
+}  // namespace tagg

@@ -1,0 +1,212 @@
+#include "core/multi_agg.h"
+
+#include <algorithm>
+
+#include "core/aggregation_tree.h"
+#include "core/balanced_tree.h"
+#include "core/k_ordered_tree.h"
+#include "core/linked_list_agg.h"
+#include "core/reference_agg.h"
+#include "core/two_scan_agg.h"
+#include "util/str.h"
+
+namespace tagg {
+
+MultiOp::MultiOp(std::vector<AggregateKind> kinds)
+    : arity_(kinds.size()) {
+  for (size_t i = 0; i < kinds.size(); ++i) kinds_[i] = kinds[i];
+}
+
+Result<MultiOp> MultiOp::Make(std::vector<AggregateKind> kinds) {
+  if (kinds.empty()) {
+    return Status::InvalidArgument("MultiOp requires at least one aggregate");
+  }
+  if (kinds.size() > kMaxMultiAggregates) {
+    return Status::InvalidArgument(StringPrintf(
+        "MultiOp fuses at most %zu aggregates, got %zu",
+        kMaxMultiAggregates, kinds.size()));
+  }
+  return MultiOp(std::move(kinds));
+}
+
+MultiOp::State MultiOp::Combine(State x, const State& y) const {
+  for (size_t i = 0; i < arity_; ++i) {
+    SubState& a = x.sub[i];
+    const SubState& b = y.sub[i];
+    switch (kinds_[i]) {
+      case AggregateKind::kCount:
+        a.b += b.b;
+        break;
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg:
+        a.a += b.a;
+        a.b += b.b;
+        break;
+      case AggregateKind::kMin:
+        if (b.b != 0 && (a.b == 0 || b.a < a.a)) a.a = b.a;
+        a.b |= b.b;
+        break;
+      case AggregateKind::kMax:
+        if (b.b != 0 && (a.b == 0 || b.a > a.a)) a.a = b.a;
+        a.b |= b.b;
+        break;
+    }
+  }
+  return x;
+}
+
+void MultiOp::Add(State& s, const Input& input) const {
+  for (size_t i = 0; i < arity_; ++i) {
+    if ((input.valid_mask & (1u << i)) == 0) continue;
+    SubState& a = s.sub[i];
+    const double v = input.values[i];
+    switch (kinds_[i]) {
+      case AggregateKind::kCount:
+        a.b += 1;
+        break;
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg:
+        a.a += v;
+        a.b += 1;
+        break;
+      case AggregateKind::kMin:
+        if (a.b == 0 || v < a.a) a.a = v;
+        a.b = 1;
+        break;
+      case AggregateKind::kMax:
+        if (a.b == 0 || v > a.a) a.a = v;
+        a.b = 1;
+        break;
+    }
+  }
+}
+
+Value MultiOp::FinalizeAt(const State& s, size_t i) const {
+  const SubState& a = s.sub[i];
+  switch (kinds_[i]) {
+    case AggregateKind::kCount:
+      return Value::Int(a.b);
+    case AggregateKind::kSum:
+      return a.b > 0 ? Value::Double(a.a) : Value::Null();
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return a.b != 0 ? Value::Double(a.a) : Value::Null();
+    case AggregateKind::kAvg:
+      return a.b > 0
+                 ? Value::Double(a.a / static_cast<double>(a.b))
+                 : Value::Null();
+  }
+  return Value::Null();
+}
+
+namespace {
+
+Result<MultiOp::Input> ExtractInput(const Tuple& tuple,
+                                    const std::vector<MultiSpec>& specs) {
+  MultiOp::Input input;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const MultiSpec& spec = specs[i];
+    if (spec.attribute == AggregateOptions::kNoAttribute) {
+      // COUNT(*): always valid, no value to read.
+      input.valid_mask |= static_cast<uint8_t>(1u << i);
+      continue;
+    }
+    const Value& v = tuple.value(spec.attribute);
+    if (v.is_null()) continue;  // NULL: this sub-aggregate skips the tuple
+    if (spec.kind != AggregateKind::kCount) {
+      TAGG_ASSIGN_OR_RETURN(input.values[i], v.ToNumeric());
+    }
+    input.valid_mask |= static_cast<uint8_t>(1u << i);
+  }
+  return input;
+}
+
+template <typename Agg>
+Result<MultiSeries> Drive(Agg agg, const Relation& relation,
+                          const MultiOp& op,
+                          const MultiAggregateOptions& options) {
+  const Tuple* const* order = nullptr;
+  std::vector<const Tuple*> sorted;
+  if (options.presort) {
+    sorted.reserve(relation.size());
+    for (const Tuple& t : relation) sorted.push_back(&t);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Tuple* a, const Tuple* b) {
+                       return a->valid() < b->valid();
+                     });
+    order = sorted.data();
+  }
+  for (size_t i = 0; i < relation.size(); ++i) {
+    const Tuple& t = options.presort ? *order[i] : relation.tuple(i);
+    TAGG_ASSIGN_OR_RETURN(MultiOp::Input input,
+                          ExtractInput(t, options.specs));
+    if (input.valid_mask == 0) continue;  // NULL for every aggregate
+    TAGG_RETURN_IF_ERROR(agg.Add(t.valid(), input));
+  }
+  auto typed = agg.FinishTyped();
+  if (!typed.ok()) return typed.status();
+
+  MultiSeries series;
+  series.periods.reserve(typed->size());
+  series.values.reserve(typed->size());
+  for (const auto& ti : *typed) {
+    series.periods.emplace_back(ti.start, ti.end);
+    std::vector<Value> row;
+    row.reserve(op.arity());
+    for (size_t a = 0; a < op.arity(); ++a) {
+      row.push_back(op.FinalizeAt(ti.state, a));
+    }
+    series.values.push_back(std::move(row));
+  }
+  series.stats = agg.stats();
+  return series;
+}
+
+}  // namespace
+
+Result<MultiSeries> ComputeMultiAggregate(
+    const Relation& relation, const MultiAggregateOptions& options) {
+  std::vector<AggregateKind> kinds;
+  kinds.reserve(options.specs.size());
+  for (const MultiSpec& spec : options.specs) {
+    kinds.push_back(spec.kind);
+    const bool needs_attribute =
+        spec.kind != AggregateKind::kCount ||
+        spec.attribute != AggregateOptions::kNoAttribute;
+    if (spec.kind != AggregateKind::kCount &&
+        spec.attribute == AggregateOptions::kNoAttribute) {
+      return Status::InvalidArgument(
+          std::string(AggregateKindToString(spec.kind)) +
+          " requires an attribute");
+    }
+    if (needs_attribute && spec.attribute != AggregateOptions::kNoAttribute &&
+        spec.attribute >= relation.schema().size()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+  }
+  TAGG_ASSIGN_OR_RETURN(MultiOp op, MultiOp::Make(std::move(kinds)));
+
+  switch (options.algorithm) {
+    case AlgorithmKind::kLinkedList:
+      return Drive(LinkedListAggregator<MultiOp>(op), relation, op, options);
+    case AlgorithmKind::kAggregationTree:
+      return Drive(AggregationTreeAggregator<MultiOp>(op), relation, op,
+                   options);
+    case AlgorithmKind::kKOrderedTree:
+      if (options.k < 0) {
+        return Status::InvalidArgument("k must be >= 0");
+      }
+      return Drive(KOrderedTreeAggregator<MultiOp>(options.k, op), relation,
+                   op, options);
+    case AlgorithmKind::kBalancedTree:
+      return Drive(BalancedTreeAggregator<MultiOp>(op), relation, op,
+                   options);
+    case AlgorithmKind::kTwoScan:
+      return Drive(TwoScanAggregator<MultiOp>(op), relation, op, options);
+    case AlgorithmKind::kReference:
+      return Drive(ReferenceAggregator<MultiOp>(op), relation, op, options);
+  }
+  return Status::InvalidArgument("unknown algorithm kind");
+}
+
+}  // namespace tagg

@@ -1,0 +1,45 @@
+#include "core/node_arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tagg {
+
+NodeArena::NodeArena(size_t slot_size, size_t slots_per_block)
+    : slot_size_(std::max(slot_size, sizeof(void*))),
+      slots_per_block_(std::max<size_t>(slots_per_block, 1)) {
+  // Keep slots pointer-aligned so a freed slot can hold the free-list link.
+  const size_t align = alignof(std::max_align_t);
+  slot_size_ = (slot_size_ + align - 1) / align * align;
+}
+
+void* NodeArena::Allocate() {
+  void* slot;
+  if (free_list_ != nullptr) {
+    slot = free_list_;
+    free_list_ = *static_cast<void**>(free_list_);
+  } else {
+    if (blocks_.empty() || next_in_block_ == slots_per_block_) {
+      blocks_.push_back(
+          std::make_unique<char[]>(slot_size_ * slots_per_block_));
+      next_in_block_ = 0;
+    }
+    slot = blocks_.back().get() + next_in_block_ * slot_size_;
+    ++next_in_block_;
+  }
+  ++live_nodes_;
+  ++total_allocated_;
+  peak_live_nodes_ = std::max(peak_live_nodes_, live_nodes_);
+  return slot;
+}
+
+void NodeArena::Deallocate(void* slot) {
+  TAGG_DCHECK(slot != nullptr);
+  TAGG_DCHECK(live_nodes_ > 0);
+  *static_cast<void**>(slot) = free_list_;
+  free_list_ = slot;
+  --live_nodes_;
+}
+
+}  // namespace tagg

@@ -1,0 +1,37 @@
+#include "core/page_randomizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace tagg {
+
+std::vector<size_t> PageRandomizedOrder(
+    size_t n, const PageRandomizerOptions& options) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const size_t group =
+      std::max<size_t>(options.tuples_per_page, 1) *
+      std::max<size_t>(options.pages_per_group, 1);
+  Rng rng(options.seed);
+  for (size_t begin = 0; begin < n; begin += group) {
+    const size_t len = std::min(group, n - begin);
+    rng.Shuffle(len, [&](size_t a, size_t b) {
+      std::swap(order[begin + a], order[begin + b]);
+    });
+  }
+  return order;
+}
+
+Relation PageRandomize(const Relation& relation,
+                       const PageRandomizerOptions& options) {
+  const std::vector<size_t> order =
+      PageRandomizedOrder(relation.size(), options);
+  Relation out(relation.schema(), relation.name());
+  out.Reserve(relation.size());
+  for (size_t i : order) out.AppendUnchecked(relation.tuple(i));
+  return out;
+}
+
+}  // namespace tagg

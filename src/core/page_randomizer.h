@@ -1,0 +1,40 @@
+// Page randomization (Section 7, future work).
+//
+// The aggregation tree "works best if the relation is randomly ordered by
+// time, since the tree that results is more balanced".  For a sorted
+// relation, the paper suggests randomizing the relation's pages as they
+// are read: groups of pages come in sequentially (so the I/O pattern is
+// unchanged) but the tuples within each in-memory group are shuffled
+// before insertion, de-linearizing the right spine the sorted order would
+// otherwise build.  bench/bench_ablation_randomizer.cc measures how much
+// of the random-order performance this recovers.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "temporal/relation.h"
+
+namespace tagg {
+
+/// How tuples map onto pages and pages onto in-memory groups.
+struct PageRandomizerOptions {
+  /// Tuples per 8 KiB page at the paper's 128-byte tuple size.
+  size_t tuples_per_page = 63;
+  /// Pages read into memory (and shuffled over) at a time.
+  size_t pages_per_group = 16;
+  uint64_t seed = 42;
+};
+
+/// The read order produced by group-wise shuffling `n` tuples: a
+/// permutation of [0, n) that is the identity across group boundaries and
+/// shuffled within each group of tuples_per_page * pages_per_group tuples.
+std::vector<size_t> PageRandomizedOrder(size_t n,
+                                        const PageRandomizerOptions& options);
+
+/// A copy of `relation` in page-randomized order.
+Relation PageRandomize(const Relation& relation,
+                       const PageRandomizerOptions& options);
+
+}  // namespace tagg

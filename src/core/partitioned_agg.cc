@@ -1,0 +1,276 @@
+#include "core/partitioned_agg.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/aggregation_tree.h"
+
+namespace tagg {
+namespace {
+
+/// One clipped tuple routed to a region.
+struct Entry {
+  Instant start;
+  Instant end;
+  double input;
+};
+
+/// Holds a region's clipped tuples, in memory or in a temporary file.
+class RegionBuffer {
+ public:
+  explicit RegionBuffer(bool spill) : spill_(spill) {}
+
+  RegionBuffer(RegionBuffer&& other) noexcept
+      : spill_(other.spill_),
+        entries_(std::move(other.entries_)),
+        file_(other.file_),
+        count_(other.count_) {
+    other.file_ = nullptr;
+  }
+
+  ~RegionBuffer() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Add(const Entry& entry) {
+    if (!spill_) {
+      entries_.push_back(entry);
+      ++count_;
+      return Status::OK();
+    }
+    if (file_ == nullptr) {
+      file_ = std::tmpfile();
+      if (file_ == nullptr) {
+        return Status::IOError("cannot create spill file");
+      }
+    }
+    if (std::fwrite(&entry, sizeof(Entry), 1, file_) != 1) {
+      return Status::IOError("cannot write spill entry");
+    }
+    ++count_;
+    return Status::OK();
+  }
+
+  /// Replays every entry through `fn` (Status(const Entry&)).
+  template <typename Fn>
+  Status ForEach(Fn&& fn) {
+    if (!spill_) {
+      for (const Entry& e : entries_) TAGG_RETURN_IF_ERROR(fn(e));
+      return Status::OK();
+    }
+    if (file_ == nullptr) return Status::OK();  // empty region
+    if (std::fseek(file_, 0, SEEK_SET) != 0) {
+      return Status::IOError("cannot rewind spill file");
+    }
+    Entry e;
+    for (size_t i = 0; i < count_; ++i) {
+      if (std::fread(&e, sizeof(Entry), 1, file_) != 1) {
+        return Status::IOError("short read from spill file");
+      }
+      TAGG_RETURN_IF_ERROR(fn(e));
+    }
+    return Status::OK();
+  }
+
+  size_t count() const { return count_; }
+
+ private:
+  bool spill_;
+  std::vector<Entry> entries_;
+  std::FILE* file_ = nullptr;
+  size_t count_ = 0;
+};
+
+template <typename Op>
+Result<AggregateSeries> RunPartitioned(const Relation& relation,
+                                       const PartitionedOptions& options) {
+  using State = typename Op::State;
+
+  // Region boundaries: uniform over the bounded lifespan, then the
+  // open-ended tail.  boundaries[i] begins region i.
+  std::vector<Instant> boundaries{kOrigin};
+  if (!relation.empty() && options.partitions > 1) {
+    const Period lifespan = relation.Lifespan().value();
+    const Instant hi =
+        lifespan.end() >= kForever ? lifespan.start() : lifespan.end();
+    const Instant width = hi - kOrigin + 1;
+    const auto p = static_cast<Instant>(options.partitions);
+    for (Instant i = 1; i < p; ++i) {
+      const Instant b = kOrigin + (width * i) / p;
+      if (b > boundaries.back()) boundaries.push_back(b);
+    }
+  }
+  const size_t regions = boundaries.size();
+
+  auto region_end = [&](size_t r) {
+    return r + 1 < regions ? boundaries[r + 1] - 1 : kForever;
+  };
+  auto region_of = [&](Instant t) {
+    return static_cast<size_t>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), t) -
+        boundaries.begin() - 1);
+  };
+
+  // Pass 1: route clipped tuples; record which interior boundaries are
+  // *real* (some tuple starts at b or ends at b-1).
+  std::vector<RegionBuffer> buffers;
+  buffers.reserve(regions);
+  for (size_t r = 0; r < regions; ++r) {
+    buffers.emplace_back(options.spill_to_disk);
+  }
+  std::set<Instant> real_boundaries;
+
+  const bool needs_attribute =
+      options.aggregate != AggregateKind::kCount ||
+      options.attribute != AggregateOptions::kNoAttribute;
+  size_t tuples_processed = 0;
+  for (const Tuple& t : relation) {
+    double input = 0.0;
+    if (needs_attribute) {
+      const Value& v = t.value(options.attribute);
+      if (v.is_null()) continue;
+      if (options.aggregate != AggregateKind::kCount) {
+        TAGG_ASSIGN_OR_RETURN(input, v.ToNumeric());
+      }
+    }
+    ++tuples_processed;
+    const Instant s = t.start();
+    const Instant e = t.end();
+    real_boundaries.insert(s);
+    if (e < kForever) real_boundaries.insert(e + 1);
+    const size_t first = region_of(s);
+    const size_t last = region_of(e);
+    for (size_t r = first; r <= last; ++r) {
+      const Instant cs = std::max(s, boundaries[r]);
+      const Instant ce = std::min(e, region_end(r));
+      TAGG_RETURN_IF_ERROR(buffers[r].Add({cs, ce, input}));
+    }
+  }
+
+  // Pass 2: one small tree per region; regions are independent, so with
+  // parallel_workers > 1 they are evaluated concurrently and stitched in
+  // region order afterwards.
+  const size_t workers =
+      options.spill_to_disk ? 1 : std::max<size_t>(options.parallel_workers,
+                                                   1);
+  std::vector<std::vector<TypedInterval<typename Op::State>>> per_region(
+      regions);
+  std::vector<ExecutionStats> per_region_stats(regions);
+  std::vector<Status> per_region_status(regions);
+
+  auto evaluate_region = [&](size_t r) {
+    AggregationTreeAggregator<Op> tree;
+    per_region_status[r] =
+        buffers[r].ForEach([&](const Entry& entry) {
+          return tree.Add(Period(entry.start, entry.end), entry.input);
+        });
+    if (!per_region_status[r].ok()) return;
+    auto typed = tree.FinishTyped();
+    if (!typed.ok()) {
+      per_region_status[r] = typed.status();
+      return;
+    }
+    per_region[r] = std::move(typed).value();
+    per_region_stats[r] = tree.stats();
+  };
+
+  if (workers <= 1) {
+    for (size_t r = 0; r < regions; ++r) evaluate_region(r);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const size_t r = next.fetch_add(1);
+          if (r >= regions) return;
+          evaluate_region(r);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+  for (const Status& st : per_region_status) {
+    TAGG_RETURN_IF_ERROR(st);
+  }
+
+  AggregateSeries series;
+  ExecutionStats& stats = series.stats;
+  stats.tuples_processed = tuples_processed;
+  stats.relation_scans = 1;
+  for (size_t r = 0; r < regions; ++r) {
+    const auto& typed = per_region[r];
+
+    const bool artificial_join =
+        r > 0 && !real_boundaries.contains(boundaries[r]);
+    bool first_in_region = true;
+    for (const TypedInterval<State>& ti : typed) {
+      // The fresh tree covers [kOrigin, kForever]; only the region's
+      // range is meaningful.
+      const Instant lo = std::max(ti.start, boundaries[r]);
+      const Instant hi = std::min(ti.end, region_end(r));
+      if (lo > hi) continue;
+      const Value value = Op::Finalize(ti.state);
+      if (artificial_join && first_in_region &&
+          !series.intervals.empty()) {
+        // Same constant interval continues across the boundary.
+        series.intervals.back().period =
+            Period(series.intervals.back().period.start(), hi);
+        first_in_region = false;
+        continue;
+      }
+      first_in_region = false;
+      series.intervals.push_back({Period(lo, hi), value});
+    }
+    stats.peak_live_nodes =
+        std::max(stats.peak_live_nodes, per_region_stats[r].peak_live_nodes);
+    stats.peak_live_bytes =
+        std::max(stats.peak_live_bytes, per_region_stats[r].peak_live_bytes);
+    stats.peak_paper_bytes = std::max(stats.peak_paper_bytes,
+                                      per_region_stats[r].peak_paper_bytes);
+    stats.nodes_allocated += per_region_stats[r].nodes_allocated;
+    stats.work_steps += per_region_stats[r].work_steps;
+  }
+  stats.intervals_emitted = series.intervals.size();
+  return series;
+}
+
+}  // namespace
+
+Result<AggregateSeries> ComputePartitionedAggregate(
+    const Relation& relation, const PartitionedOptions& options) {
+  if (options.partitions == 0) {
+    return Status::InvalidArgument("partitions must be >= 1");
+  }
+  if (options.spill_to_disk && options.parallel_workers > 1) {
+    return Status::InvalidArgument(
+        "parallel evaluation is incompatible with spill_to_disk");
+  }
+  const bool needs_attribute =
+      options.aggregate != AggregateKind::kCount ||
+      options.attribute != AggregateOptions::kNoAttribute;
+  if (needs_attribute &&
+      options.attribute >= relation.schema().size()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  switch (options.aggregate) {
+    case AggregateKind::kCount:
+      return RunPartitioned<CountOp>(relation, options);
+    case AggregateKind::kSum:
+      return RunPartitioned<SumOp>(relation, options);
+    case AggregateKind::kMin:
+      return RunPartitioned<MinOp>(relation, options);
+    case AggregateKind::kMax:
+      return RunPartitioned<MaxOp>(relation, options);
+    case AggregateKind::kAvg:
+      return RunPartitioned<AvgOp>(relation, options);
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+}  // namespace tagg

@@ -1,0 +1,90 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "core/node_arena.h"
+
+namespace tagg {
+
+AggregateOptions Plan::ToOptions(AggregateKind aggregate,
+                                 size_t attribute) const {
+  AggregateOptions options;
+  options.aggregate = aggregate;
+  options.attribute = attribute;
+  options.algorithm = algorithm;
+  options.k = k;
+  options.presort = presort;
+  return options;
+}
+
+size_t EstimateAggregationTreeBytes(size_t num_tuples) {
+  // Each unique timestamp adds a split; n tuples contribute up to 2n
+  // unique timestamps, hence up to 2n+1 leaves and 2n internal nodes.
+  return (4 * num_tuples + 1) * kPaperNodeBytes;
+}
+
+size_t EstimateKOrderedTreeBytes(size_t num_tuples, int64_t k) {
+  const size_t window = 2 * static_cast<size_t>(std::max<int64_t>(k, 0)) + 1;
+  const size_t live_tuples = std::min(window, num_tuples);
+  // Each live tuple keeps up to two splits (4 nodes' worth of structure).
+  return (4 * live_tuples + 1) * kPaperNodeBytes;
+}
+
+Plan ChoosePlan(const PlannerInput& input) {
+  Plan plan;
+
+  // Rule 1: very few result intervals -> linked list is adequate and
+  // cheapest in state (Section 6.3's single-year/day-instants example).
+  if (input.expected_result_intervals <= kFewIntervalsThreshold) {
+    plan.algorithm = AlgorithmKind::kLinkedList;
+    plan.rationale =
+        "few result intervals expected; the linked list maintains one "
+        "bucket per interval and has adequate performance";
+    return plan;
+  }
+
+  // Rule 2: sorted input -> k-ordered tree with k = 1, no sort needed.
+  if (input.sorted || input.declared_k == 0) {
+    plan.algorithm = AlgorithmKind::kKOrderedTree;
+    plan.k = 1;
+    plan.rationale =
+        "relation is sorted by time; k-ordered aggregation tree with "
+        "k = 1 gives the best time with minimal memory";
+    return plan;
+  }
+
+  // Rule 3: retroactively bounded -> k-ordered tree with the declared k.
+  if (input.declared_k > 0) {
+    plan.algorithm = AlgorithmKind::kKOrderedTree;
+    plan.k = input.declared_k;
+    plan.rationale =
+        "relation is declared retroactively bounded (k-ordered); the "
+        "k-ordered aggregation tree applies without sorting";
+    return plan;
+  }
+
+  // Rule 4: unsorted.  The aggregation tree wins on time if its memory
+  // fits and memory is cheaper than the I/O a sort would cost.
+  const size_t tree_bytes = EstimateAggregationTreeBytes(input.num_tuples);
+  if (input.memory_cheaper_than_io &&
+      tree_bytes <= input.memory_budget_bytes) {
+    plan.algorithm = AlgorithmKind::kAggregationTree;
+    plan.rationale =
+        "relation is unsorted and the aggregation tree's memory fits the "
+        "budget; memory is cheaper than the disk I/O of sorting";
+    return plan;
+  }
+
+  // Rule 5: sort, then stream through the k-ordered tree with k = 1 — the
+  // paper's "simplest strategy" and overall recommendation.
+  plan.algorithm = AlgorithmKind::kKOrderedTree;
+  plan.k = 1;
+  plan.presort = true;
+  plan.rationale =
+      "relation is unsorted and the aggregation tree exceeds the memory "
+      "budget (or I/O is cheaper than memory); sort first, then k-ordered "
+      "aggregation tree with k = 1";
+  return plan;
+}
+
+}  // namespace tagg

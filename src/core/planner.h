@@ -1,0 +1,84 @@
+// Query-optimizer strategy selection (Section 6.3).
+//
+// The paper closes its evaluation with rules a query analyzer should apply
+// when picking a temporal-aggregation algorithm:
+//
+//   * very few result intervals (coarse grouping, e.g. by span over a short
+//     window) -> the linked list "would have quite adequate performance";
+//   * relation sorted (or sortable more cheaply than the tree's memory
+//     cost) -> k-ordered aggregation tree with k = 1;
+//   * relation declared retroactively bounded (k-ordered for a known k)
+//     -> k-ordered aggregation tree with that k, "as no sorting is
+//     required";
+//   * otherwise, unsorted -> the aggregation tree "is the best approach"
+//     when memory is cheaper than the disk I/O a sort would take; when it
+//     is not, sort and use the k-ordered tree.
+//
+// ChoosePlan encodes exactly those rules and returns the rationale so the
+// decision is auditable.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/aggregates.h"
+
+namespace tagg {
+
+/// What the optimizer knows about the input relation and the environment.
+struct PlannerInput {
+  size_t num_tuples = 0;
+
+  /// The relation is known to be totally ordered by time.
+  bool sorted = false;
+
+  /// Declared retroactive bound: the relation is k-ordered for this k.
+  /// Negative when unknown.  0 is equivalent to sorted.
+  int64_t declared_k = -1;
+
+  /// Bytes of main memory the evaluation may use.
+  size_t memory_budget_bytes = static_cast<size_t>(-1);
+
+  /// True when buying memory is preferred over the disk I/O of a sort
+  /// (the paper's "if memory is cheaper than disk I/O" condition).
+  bool memory_cheaper_than_io = true;
+
+  /// Expected number of result intervals when the query's grouping is
+  /// known to be coarse (e.g. instants are days and only one year is of
+  /// interest).  SIZE_MAX when unknown / grouping by instant.
+  size_t expected_result_intervals = static_cast<size_t>(-1);
+};
+
+/// The optimizer's decision.
+struct Plan {
+  AlgorithmKind algorithm = AlgorithmKind::kAggregationTree;
+  /// Window parameter when algorithm == kKOrderedTree.
+  int64_t k = 1;
+  /// Sort the relation before aggregating.
+  bool presort = false;
+  /// Human-readable justification, quoting the rule that fired.
+  std::string rationale;
+
+  /// Renders the plan as AggregateOptions (aggregate/attribute left to the
+  /// caller).
+  AggregateOptions ToOptions(AggregateKind aggregate,
+                             size_t attribute) const;
+};
+
+/// Estimated peak bytes of the aggregation tree over n tuples: up to 2n+1
+/// leaves plus 2n internal nodes at the paper's 16 bytes per node.
+size_t EstimateAggregationTreeBytes(size_t num_tuples);
+
+/// Estimated peak bytes of the k-ordered tree: the live window of ~2k+1
+/// tuples' worth of nodes at 16 bytes each (long-lived tuples raise this;
+/// callers with a long-lived estimate can scale accordingly).
+size_t EstimateKOrderedTreeBytes(size_t num_tuples, int64_t k);
+
+/// Applies the Section 6.3 rules.
+Plan ChoosePlan(const PlannerInput& input);
+
+/// Result-interval threshold below which the linked list is chosen.
+inline constexpr size_t kFewIntervalsThreshold = 64;
+
+}  // namespace tagg

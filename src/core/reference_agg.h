@@ -1,0 +1,69 @@
+// Reference oracle for temporal aggregation.
+//
+// Evaluates the aggregate from first principles: compute the constant
+// intervals, then for each interval fold in every tuple that overlaps it —
+// O(n * intervals), obviously correct, and deliberately free of any of the
+// cleverness the real algorithms use.  Every algorithm in the library is
+// property-tested against this oracle.
+
+#pragma once
+
+#include <vector>
+
+#include "core/aggregates.h"
+#include "core/node_arena.h"
+#include "temporal/period.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Brute-force per-constant-interval evaluation; the testing oracle.
+template <typename Op>
+class ReferenceAggregator {
+ public:
+  using State = typename Op::State;
+
+  explicit ReferenceAggregator(Op op = Op()) : op_(std::move(op)) {}
+
+  Status Add(const Period& valid, typename Op::Input input) {
+    buffered_.push_back({valid, input});
+    return Status::OK();
+  }
+
+  Result<std::vector<TypedInterval<State>>> FinishTyped() {
+    std::vector<Period> periods;
+    periods.reserve(buffered_.size());
+    for (const auto& [p, v] : buffered_) periods.push_back(p);
+    const std::vector<Period> partition =
+        CutsToPartition(ConstantIntervalCuts(periods));
+
+    std::vector<TypedInterval<State>> out;
+    out.reserve(partition.size());
+    for (const Period& interval : partition) {
+      State state = op_.Identity();
+      for (const auto& [p, v] : buffered_) {
+        if (p.Overlaps(interval)) op_.Add(state, v);
+      }
+      out.push_back({interval.start(), interval.end(), state});
+    }
+
+    stats_.tuples_processed = buffered_.size();
+    stats_.relation_scans = 1;
+    stats_.peak_live_nodes = partition.size();
+    stats_.peak_live_bytes =
+        partition.size() * (sizeof(Instant) + sizeof(State));
+    stats_.peak_paper_bytes = partition.size() * kPaperNodeBytes;
+    stats_.nodes_allocated = partition.size();
+    stats_.intervals_emitted = out.size();
+    return out;
+  }
+
+  const ExecutionStats& stats() const { return stats_; }
+
+ private:
+  Op op_;
+  std::vector<std::pair<Period, typename Op::Input>> buffered_;
+  ExecutionStats stats_;
+};
+
+}  // namespace tagg

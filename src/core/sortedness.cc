@@ -1,0 +1,92 @@
+#include "core/sortedness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace tagg {
+namespace {
+
+SortednessReport MeasureDisplacements(const std::vector<Period>& periods) {
+  SortednessReport report;
+  report.n = periods.size();
+  if (periods.empty()) {
+    report.histogram = {0};
+    return report;
+  }
+
+  // Stable sort of the positions by period: sorted_order[p] = original
+  // position of the tuple that belongs at sorted position p.
+  std::vector<size_t> sorted_order(periods.size());
+  std::iota(sorted_order.begin(), sorted_order.end(), 0);
+  std::stable_sort(sorted_order.begin(), sorted_order.end(),
+                   [&](size_t a, size_t b) {
+                     if (periods[a] == periods[b]) return a < b;
+                     return periods[a] < periods[b];
+                   });
+
+  std::vector<int64_t> displacement(periods.size());
+  int64_t max_disp = 0;
+  for (size_t p = 0; p < sorted_order.size(); ++p) {
+    const int64_t d = std::llabs(static_cast<int64_t>(p) -
+                                 static_cast<int64_t>(sorted_order[p]));
+    displacement[sorted_order[p]] = d;
+    max_disp = std::max(max_disp, d);
+  }
+
+  report.k = max_disp;
+  report.histogram.assign(static_cast<size_t>(max_disp) + 1, 0);
+  for (int64_t d : displacement) {
+    ++report.histogram[static_cast<size_t>(d)];
+  }
+  return report;
+}
+
+}  // namespace
+
+SortednessReport MeasureSortedness(const Relation& relation) {
+  std::vector<Period> periods;
+  periods.reserve(relation.size());
+  for (const Tuple& t : relation) periods.push_back(t.valid());
+  return MeasureDisplacements(periods);
+}
+
+SortednessReport MeasureSortedness(const std::vector<Period>& periods) {
+  return MeasureDisplacements(periods);
+}
+
+double KOrderedPercentage(const SortednessReport& report, int64_t k) {
+  if (k <= 0 || report.n == 0) return 0.0;
+  double weighted = 0.0;
+  for (size_t i = 1; i < report.histogram.size(); ++i) {
+    weighted += static_cast<double>(i) *
+                static_cast<double>(report.histogram[i]);
+  }
+  return weighted /
+         (static_cast<double>(k) * static_cast<double>(report.n));
+}
+
+Result<double> KOrderedPercentageFromHistogram(
+    const std::vector<size_t>& histogram, int64_t k, size_t n) {
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(k));
+  }
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (histogram.size() > static_cast<size_t>(k) + 1) {
+    return Status::InvalidArgument(
+        "histogram records displacements beyond k");
+  }
+  double weighted = 0.0;
+  size_t total = 0;
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    weighted += static_cast<double>(i) * static_cast<double>(histogram[i]);
+    total += histogram[i];
+  }
+  if (total > n) {
+    return Status::InvalidArgument("histogram counts more than n tuples");
+  }
+  return weighted / (static_cast<double>(k) * static_cast<double>(n));
+}
+
+}  // namespace tagg

@@ -1,0 +1,61 @@
+// Sortedness metrics for temporal relations (Section 5.2).
+//
+// The paper defines two ways to quantify how far a relation is from being
+// totally ordered by time (sorted by start time, ties broken by end time):
+//
+//   * k-orderedness: a relation is k-ordered when every tuple is at most k
+//     positions away from its position in the totally ordered version.  A
+//     totally ordered relation is 0-ordered.
+//
+//   * k-ordered-percentage: with n_i the number of tuples exactly i
+//     positions out of order,
+//
+//         k-ordered-percentage = (sum_i i * n_i) / (k * n)
+//
+//     ranging over [0, 1]; 0 for a sorted relation, larger for more
+//     disorder (Table 2 gives worked examples at n = 10000, k = 100).
+//
+// These metrics drive the k-ordered aggregation tree's window size and the
+// optimizer's algorithm choice.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Displacement measurement of a relation against its totally time-ordered
+/// version.
+struct SortednessReport {
+  /// Number of tuples measured.
+  size_t n = 0;
+  /// The smallest k for which the relation is k-ordered (maximum
+  /// displacement); 0 means totally ordered.
+  int64_t k = 0;
+  /// histogram[i] = number of tuples exactly i positions out of order,
+  /// for i in [0, k].
+  std::vector<size_t> histogram;
+};
+
+/// Measures displacements against the stable sort by (start, end).
+SortednessReport MeasureSortedness(const Relation& relation);
+
+/// Measures displacements of a sequence of periods (no relation needed).
+SortednessReport MeasureSortedness(const std::vector<Period>& periods);
+
+/// The paper's k-ordered-percentage for a measured report, evaluated at
+/// window parameter `k` (usually report.k).  Returns 0 when k == 0 or the
+/// relation is empty.
+double KOrderedPercentage(const SortednessReport& report, int64_t k);
+
+/// k-ordered-percentage straight from a displacement histogram
+/// (histogram[i] = n_i); the Table 2 configurations are expressed this way.
+/// Errors when k <= 0, n == 0, or the histogram is wider than k+1.
+Result<double> KOrderedPercentageFromHistogram(
+    const std::vector<size_t>& histogram, int64_t k, size_t n);
+
+}  // namespace tagg

@@ -1,0 +1,87 @@
+// The two-scan baseline (Section 4.1) — Tuma's algorithm, the only
+// temporal-aggregation implementation that predates the paper.
+//
+// Pass 1 over the relation determines the constant intervals ("the periods
+// of time during which the relation remained fixed").  Pass 2 computes the
+// aggregate over each interval from the tuples overlapping it.  The
+// defining inefficiency the paper calls out is that "the relation must be
+// read twice"; the stats honestly report relation_scans = 2.
+//
+// Because the library's aggregator interface is streaming, this
+// implementation buffers the (period, input) pairs it is fed and replays
+// them for the second pass — on 1995 hardware the second pass re-read the
+// relation from disk, which is the cost the paper's critique targets.
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/aggregates.h"
+#include "core/node_arena.h"
+#include "temporal/period.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Section 4.1's two-scan (constant-intervals-first) evaluation.
+template <typename Op>
+class TwoScanAggregator {
+ public:
+  using State = typename Op::State;
+
+  explicit TwoScanAggregator(Op op = Op()) : op_(std::move(op)) {}
+
+  Status Add(const Period& valid, typename Op::Input input) {
+    buffered_.push_back({valid, input});
+    return Status::OK();
+  }
+
+  Result<std::vector<TypedInterval<State>>> FinishTyped() {
+    // Scan 1: constant-interval boundaries.
+    std::vector<Period> periods;
+    periods.reserve(buffered_.size());
+    for (const auto& [p, v] : buffered_) periods.push_back(p);
+    const std::vector<Instant> cuts = ConstantIntervalCuts(periods);
+
+    std::vector<State> states(cuts.size(), op_.Identity());
+
+    // Scan 2: fold each tuple into every constant interval it overlaps.
+    // cuts[i] is the start of interval i; binary search finds the interval
+    // containing the tuple's start.
+    for (const auto& [p, v] : buffered_) {
+      size_t idx = static_cast<size_t>(
+          std::upper_bound(cuts.begin(), cuts.end(), p.start()) -
+          cuts.begin() - 1);
+      while (idx < cuts.size() && cuts[idx] <= p.end()) {
+        op_.Add(states[idx], v);
+        ++idx;
+      }
+    }
+
+    std::vector<TypedInterval<State>> out;
+    out.reserve(cuts.size());
+    for (size_t i = 0; i < cuts.size(); ++i) {
+      const Instant hi = (i + 1 < cuts.size()) ? cuts[i + 1] - 1 : kForever;
+      out.push_back({cuts[i], hi, states[i]});
+    }
+
+    stats_.tuples_processed = buffered_.size();
+    stats_.relation_scans = 2;  // the paper's critique of this approach
+    stats_.peak_live_nodes = cuts.size();
+    stats_.peak_live_bytes = cuts.size() * (sizeof(Instant) + sizeof(State));
+    stats_.peak_paper_bytes = cuts.size() * kPaperNodeBytes;
+    stats_.nodes_allocated = cuts.size();
+    stats_.intervals_emitted = out.size();
+    return out;
+  }
+
+  const ExecutionStats& stats() const { return stats_; }
+
+ private:
+  Op op_;
+  std::vector<std::pair<Period, typename Op::Input>> buffered_;
+  ExecutionStats stats_;
+};
+
+}  // namespace tagg

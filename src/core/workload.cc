@@ -1,0 +1,189 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/str.h"
+
+namespace tagg {
+namespace {
+
+Status ValidateSpec(const WorkloadSpec& spec) {
+  if (spec.lifespan <= 0) {
+    return Status::InvalidArgument("lifespan must be positive");
+  }
+  if (spec.long_lived_fraction < 0.0 || spec.long_lived_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "long_lived_fraction must lie in [0, 1]");
+  }
+  if (spec.short_min_duration < 1 ||
+      spec.short_max_duration < spec.short_min_duration) {
+    return Status::InvalidArgument("invalid short-lived duration bounds");
+  }
+  if (spec.long_min_fraction <= 0.0 ||
+      spec.long_max_fraction < spec.long_min_fraction ||
+      spec.long_max_fraction > 1.0) {
+    return Status::InvalidArgument("invalid long-lived duration fractions");
+  }
+  if (spec.short_max_duration > spec.lifespan) {
+    return Status::InvalidArgument(
+        "short-lived duration exceeds the lifespan");
+  }
+  if (spec.order == TupleOrder::kKOrdered) {
+    if (spec.k < 1) {
+      return Status::InvalidArgument("k-ordered generation requires k >= 1");
+    }
+    if (spec.k_percentage < 0.0 || spec.k_percentage > 1.0) {
+      return Status::InvalidArgument(
+          "k_percentage must lie in [0, 1]");
+    }
+    if (static_cast<size_t>(spec.k) >= spec.num_tuples &&
+        spec.num_tuples > 0 && spec.k_percentage > 0.0) {
+      return Status::InvalidArgument(
+          "k must be smaller than the relation size");
+    }
+  }
+  return Status::OK();
+}
+
+std::string RandomName(Rng& rng) {
+  std::string name(5, 'a');
+  for (char& c : name) {
+    c = static_cast<char>('a' + rng.Uniform(0, 25));
+  }
+  return name;
+}
+
+/// Draws one (start, end) pair inside [0, lifespan); regenerates candidates
+/// extending past the lifespan, as the paper discards them.
+Period DrawPeriod(Rng& rng, const WorkloadSpec& spec, bool long_lived) {
+  while (true) {
+    const Instant start = rng.Uniform(0, spec.lifespan - 1);
+    Instant duration;
+    if (long_lived) {
+      const auto lo = static_cast<Instant>(
+          spec.long_min_fraction * static_cast<double>(spec.lifespan));
+      const auto hi = static_cast<Instant>(
+          spec.long_max_fraction * static_cast<double>(spec.lifespan));
+      duration = rng.Uniform(std::max<Instant>(lo, 1), std::max(hi, lo));
+    } else {
+      duration = rng.Uniform(spec.short_min_duration,
+                             spec.short_max_duration);
+    }
+    const Instant end = start + duration - 1;
+    if (end < spec.lifespan) return Period(start, end);
+  }
+}
+
+/// Perturbs a sorted relation with disjoint distance-k swaps until the
+/// target swap count is reached: the result is exactly k-ordered with
+/// k-ordered-percentage 2 * swaps / n.
+void ApplyKOrderedPerturbation(std::vector<Tuple>& tuples, int64_t k,
+                               double percentage, Rng& rng) {
+  const size_t n = tuples.size();
+  const auto uk = static_cast<size_t>(k);
+  if (n == 0 || uk >= n) return;
+  const size_t target_swaps =
+      static_cast<size_t>(std::llround(percentage * static_cast<double>(n) /
+                                       2.0));
+  if (target_swaps == 0) return;
+
+  // Greedy over shuffled candidate positions: take i when neither i nor
+  // i+k has been touched, so every swap displaces exactly two tuples by
+  // exactly k and no displacement compounds.
+  std::vector<size_t> candidates(n - uk);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  rng.Shuffle(candidates.size(), [&](size_t a, size_t b) {
+    std::swap(candidates[a], candidates[b]);
+  });
+  std::vector<bool> used(n, false);
+  size_t placed = 0;
+  for (size_t i : candidates) {
+    if (placed == target_swaps) break;
+    if (used[i] || used[i + uk]) continue;
+    used[i] = used[i + uk] = true;
+    std::swap(tuples[i], tuples[i + uk]);
+    ++placed;
+  }
+  if (placed < target_swaps) {
+    TAGG_LOG(Warn) << "k-ordered perturbation placed " << placed << " of "
+                   << target_swaps << " swaps (n=" << n << ", k=" << k
+                   << ")";
+  }
+}
+
+}  // namespace
+
+Schema EmployedSchema() {
+  auto schema = Schema::Make({{"name", ValueType::kString},
+                              {"salary", ValueType::kInt}});
+  TAGG_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<Relation> GenerateEmployedRelation(const WorkloadSpec& spec) {
+  TAGG_RETURN_IF_ERROR(ValidateSpec(spec));
+  Rng rng(spec.seed);
+
+  const size_t long_count = static_cast<size_t>(
+      std::llround(spec.long_lived_fraction *
+                   static_cast<double>(spec.num_tuples)));
+
+  std::vector<Tuple> tuples;
+  tuples.reserve(spec.num_tuples);
+  for (size_t i = 0; i < spec.num_tuples; ++i) {
+    const bool long_lived = i < long_count;
+    const Period valid = DrawPeriod(rng, spec, long_lived);
+    std::vector<Value> values;
+    values.reserve(2);
+    values.push_back(Value::String(RandomName(rng)));
+    values.push_back(Value::Int(rng.Uniform(30000, 100000)));
+    tuples.emplace_back(std::move(values), valid);
+  }
+
+  switch (spec.order) {
+    case TupleOrder::kRandom:
+      rng.Shuffle(tuples.size(), [&](size_t a, size_t b) {
+        std::swap(tuples[a], tuples[b]);
+      });
+      break;
+    case TupleOrder::kSorted:
+      std::stable_sort(tuples.begin(), tuples.end(),
+                       [](const Tuple& a, const Tuple& b) {
+                         return a.valid() < b.valid();
+                       });
+      break;
+    case TupleOrder::kKOrdered:
+      std::stable_sort(tuples.begin(), tuples.end(),
+                       [](const Tuple& a, const Tuple& b) {
+                         return a.valid() < b.valid();
+                       });
+      ApplyKOrderedPerturbation(tuples, spec.k, spec.k_percentage, rng);
+      break;
+  }
+
+  Relation relation(EmployedSchema(), "employed");
+  relation.Reserve(tuples.size());
+  for (Tuple& t : tuples) relation.AppendUnchecked(std::move(t));
+  return relation;
+}
+
+Relation MakeFigure1EmployedRelation() {
+  Relation relation(EmployedSchema(), "employed");
+  auto add = [&](const char* name, int64_t salary, Instant s, Instant e) {
+    TAGG_CHECK(relation
+                   .Append(Tuple({Value::String(name), Value::Int(salary)},
+                                 Period(s, e)))
+                   .ok());
+  };
+  add("Richard", 40000, 18, kForever);
+  add("Karen", 45000, 8, 20);
+  add("Nathan", 35000, 7, 12);
+  add("Nathan", 37000, 18, 21);
+  return relation;
+}
+
+}  // namespace tagg

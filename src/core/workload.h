@@ -1,0 +1,75 @@
+// Synthetic workload generator reproducing the paper's test relations
+// (Section 6, Table 3).
+//
+// The paper evaluates over an Employed-style relation with 128-byte tuples
+// (name, salary, start, stop plus attributes the aggregate never reads), a
+// lifespan of one million instants, independently generated start times
+// (hence many unique timestamps — deliberately adversarial for the tree
+// algorithms), and two tuple lifespans:
+//
+//   * short-lived: duration uniform in [1, 1000] instants;
+//   * long-lived: duration uniform in [20%, 80%] of the relation lifespan.
+//
+// Candidate tuples extending past the lifespan are discarded (we
+// regenerate, keeping the tuple count exact).  Relations are produced in
+// random order, totally time-ordered, or k-ordered with a target
+// k-ordered-percentage obtained by disjoint distance-k swaps of the sorted
+// relation — each swap displaces two tuples by exactly k, so m swaps give
+// a percentage of 2m/n at maximum displacement exactly k.
+
+#pragma once
+
+#include <cstdint>
+
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Ordering of the generated relation (Table 3 / Sections 6.1-6.2).
+enum class TupleOrder : uint8_t {
+  kRandom,    ///< shuffled — the aggregation tree's best case
+  kSorted,    ///< totally ordered by time — the tree's O(n^2) worst case
+  kKOrdered,  ///< sorted then perturbed to (k, k-ordered-percentage)
+};
+
+/// Parameters of one generated relation; defaults follow Table 3.
+struct WorkloadSpec {
+  size_t num_tuples = 1024;
+  Instant lifespan = 1'000'000;
+
+  /// Fraction of long-lived tuples: the paper tests 0%, 40% and 80%.
+  double long_lived_fraction = 0.0;
+
+  /// Short-lived duration bounds (instants).
+  Instant short_min_duration = 1;
+  Instant short_max_duration = 1000;
+
+  /// Long-lived duration bounds as fractions of the lifespan.
+  double long_min_fraction = 0.2;
+  double long_max_fraction = 0.8;
+
+  TupleOrder order = TupleOrder::kRandom;
+
+  /// For kKOrdered: the exact maximum displacement to produce (>= 1).
+  int64_t k = 1;
+  /// For kKOrdered: target k-ordered-percentage (paper tests 0.02, 0.08,
+  /// 0.14); achieved value is 2*swaps/n, reported via MeasureSortedness.
+  double k_percentage = 0.02;
+
+  uint64_t seed = 42;
+};
+
+/// The Employed schema of the paper's Figure 1: name (string) and salary
+/// (int); validity periods carry the temporal dimension.
+Schema EmployedSchema();
+
+/// Generates a relation per `spec`.  Errors on inconsistent parameters
+/// (fractions outside [0,1], zero lifespan, k < 1 for kKOrdered, ...).
+Result<Relation> GenerateEmployedRelation(const WorkloadSpec& spec);
+
+/// The paper's running example (Figure 1): Richard@[18,forever],
+/// Karen@[8,20], Nathan@[7,12], Nathan@[18,21].
+Relation MakeFigure1EmployedRelation();
+
+}  // namespace tagg

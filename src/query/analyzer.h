@@ -1,0 +1,62 @@
+// Semantic analysis: binds a parsed SELECT to the catalog.
+//
+// Resolves the relation, maps column names to attribute indices, type-checks
+// aggregate arguments and predicate comparisons, enforces the GROUP BY
+// discipline (every non-aggregate select item must be grouped on), and
+// validates the temporal-grouping clause.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "temporal/catalog.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// A predicate with column references resolved to attribute indices.
+struct BoundPredicate {
+  Predicate::Kind kind = Predicate::Kind::kComparison;
+  size_t attribute = 0;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+  Period period;  // kValidOverlaps
+  std::unique_ptr<BoundPredicate> lhs;
+  std::unique_ptr<BoundPredicate> rhs;
+};
+
+/// One aggregate to evaluate.
+struct BoundAggregate {
+  AggregateKind kind = AggregateKind::kCount;
+  /// Attribute index; AggregateOptions::kNoAttribute for COUNT(*).
+  size_t attribute = AggregateOptions::kNoAttribute;
+  std::string display_name;  // e.g. "AVG(salary)"
+};
+
+/// One output column: either a grouping attribute or an aggregate result.
+struct BoundOutputColumn {
+  bool is_aggregate = false;
+  size_t index = 0;  // into BoundQuery::aggregates or ::group_attributes
+  std::string name;
+};
+
+/// A fully resolved query, ready for execution.
+struct BoundQuery {
+  /// Plan only; do not execute (EXPLAIN).
+  bool explain = false;
+  std::shared_ptr<Relation> relation;
+  RelationStats stats;
+  std::vector<BoundAggregate> aggregates;
+  std::vector<size_t> group_attributes;
+  std::vector<BoundOutputColumn> columns;
+  std::unique_ptr<BoundPredicate> where;  // null when absent
+  TemporalGrouping temporal;
+};
+
+/// Binds and validates `stmt` against `catalog`.
+Result<BoundQuery> Analyze(const SelectStmt& stmt, const Catalog& catalog);
+
+}  // namespace tagg

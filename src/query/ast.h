@@ -1,0 +1,98 @@
+// Abstract syntax of the TSQL2-flavored query language.
+//
+// The language covers the paper's Section 2 query shapes: temporal
+// aggregates grouped by instant (the TSQL2 default) or by span, optionally
+// partitioned by attribute values (the GROUP BY clause), over a single
+// relation with an optional row predicate:
+//
+//   SELECT COUNT(name) FROM employed
+//   SELECT dept, AVG(salary) FROM employed GROUP BY dept
+//   SELECT MAX(salary) FROM employed WHERE salary >= 40000
+//   SELECT COUNT(*) FROM employed GROUP BY SPAN 100 FROM 0 TO 999
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregates.h"
+#include "temporal/instant.h"
+#include "temporal/period.h"
+#include "temporal/value.h"
+
+namespace tagg {
+
+/// Comparison operators in WHERE predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// A boolean predicate tree over `column op literal` comparisons and
+/// `VALID OVERLAPS a TO b` temporal selections (the query's valid clause,
+/// Section 4.1).
+struct Predicate {
+  enum class Kind : uint8_t {
+    kComparison,
+    kValidOverlaps,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Kind kind = Kind::kComparison;
+
+  // kComparison:
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  // kValidOverlaps:
+  Period period;
+
+  // kAnd / kOr use both children; kNot uses lhs only.
+  std::unique_ptr<Predicate> lhs;
+  std::unique_ptr<Predicate> rhs;
+
+  std::string ToString() const;
+};
+
+/// One item of the select list: a plain column (which must also appear in
+/// GROUP BY) or an aggregate call.
+struct SelectItem {
+  bool is_aggregate = false;
+  AggregateKind aggregate = AggregateKind::kCount;
+  /// The referenced column; empty for COUNT(*).
+  std::string column;
+
+  std::string ToString() const;
+};
+
+/// The temporal-grouping clause.  TSQL2's default groups by instant.
+struct TemporalGrouping {
+  enum class Kind : uint8_t { kInstant, kSpan };
+  Kind kind = Kind::kInstant;
+
+  // kSpan:
+  Instant span_width = 0;
+  /// Explicit window bounds (SPAN w FROM a TO b); when absent the
+  /// analyzer derives the window from the relation's lifespan.
+  bool has_window = false;
+  Instant window_start = 0;
+  Instant window_end = 0;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  /// EXPLAIN prefix: plan the query but do not execute it.
+  bool explain = false;
+  std::vector<SelectItem> items;
+  std::string relation;
+  std::unique_ptr<Predicate> where;  // null when absent
+  std::vector<std::string> group_by;
+  TemporalGrouping temporal;
+
+  std::string ToString() const;
+};
+
+}  // namespace tagg

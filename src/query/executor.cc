@@ -1,0 +1,310 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/multi_agg.h"
+#include "core/span_agg.h"
+#include "query/parser.h"
+#include "util/str.h"
+
+namespace tagg {
+namespace {
+
+Result<bool> EvalPredicate(const BoundPredicate& pred, const Tuple& tuple) {
+  switch (pred.kind) {
+    case Predicate::Kind::kComparison: {
+      const Value& v = tuple.value(pred.attribute);
+      // SQL three-valued logic collapsed to two: comparisons against NULL
+      // are false.
+      if (v.is_null()) return false;
+      TAGG_ASSIGN_OR_RETURN(int cmp, v.Compare(pred.literal));
+      switch (pred.op) {
+        case CompareOp::kEq:
+          return cmp == 0;
+        case CompareOp::kNe:
+          return cmp != 0;
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        case CompareOp::kGe:
+          return cmp >= 0;
+      }
+      return Status::Internal("unknown comparison op");
+    }
+    case Predicate::Kind::kValidOverlaps:
+      return tuple.valid().Overlaps(pred.period);
+    case Predicate::Kind::kAnd: {
+      TAGG_ASSIGN_OR_RETURN(bool l, EvalPredicate(*pred.lhs, tuple));
+      if (!l) return false;
+      return EvalPredicate(*pred.rhs, tuple);
+    }
+    case Predicate::Kind::kOr: {
+      TAGG_ASSIGN_OR_RETURN(bool l, EvalPredicate(*pred.lhs, tuple));
+      if (l) return true;
+      return EvalPredicate(*pred.rhs, tuple);
+    }
+    case Predicate::Kind::kNot: {
+      TAGG_ASSIGN_OR_RETURN(bool l, EvalPredicate(*pred.lhs, tuple));
+      return !l;
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+/// Deterministic ordering of group keys for stable result order.
+struct GroupKeyLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      auto cmp = a[i].Compare(b[i]);
+      const int c = cmp.ok() ? cmp.value() : 0;
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// The "no tuples here" value of an aggregate, used when dropping empty
+/// rows: COUNT() of an empty set is 0, the others are NULL.
+Value EmptyValueOf(AggregateKind kind) {
+  return kind == AggregateKind::kCount ? Value::Int(0) : Value::Null();
+}
+
+}  // namespace
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::vector<std::string> headers = column_names;
+  headers.push_back("VALID");
+  std::vector<std::vector<std::string>> cells;
+  const size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (const Value& v : rows[r].values) row.push_back(v.ToString());
+    row.push_back(rows[r].valid.ToString());
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+    for (const auto& row : cells) widths[c] = std::max(widths[c],
+                                                       row[c].size());
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += "\n";
+  };
+  append_row(headers);
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out.append(widths[c], '-');
+    out.append(2, ' ');
+  }
+  out += "\n";
+  for (const auto& row : cells) append_row(row);
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+Result<QueryResult> ExecuteSelect(const BoundQuery& query,
+                                  const ExecutorOptions& options) {
+  const Relation& relation = *query.relation;
+
+  // 1. Filter.
+  Relation filtered(relation.schema(), relation.name());
+  if (query.where == nullptr) {
+    filtered = relation;
+  } else {
+    for (const Tuple& t : relation) {
+      TAGG_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*query.where, t));
+      if (keep) filtered.AppendUnchecked(t);
+    }
+  }
+
+  // 2. Plan (Section 6.3 rules, unless overridden).
+  PlannerInput planner_input;
+  planner_input.num_tuples = filtered.size();
+  planner_input.sorted =
+      query.stats.known_sorted || filtered.IsSortedByTime();
+  planner_input.declared_k = query.stats.declared_k;
+  planner_input.memory_budget_bytes = options.memory_budget_bytes;
+  if (query.temporal.kind == TemporalGrouping::Kind::kSpan &&
+      query.temporal.has_window) {
+    const Instant width =
+        query.temporal.window_end - query.temporal.window_start + 1;
+    planner_input.expected_result_intervals = static_cast<size_t>(
+        (width + query.temporal.span_width - 1) / query.temporal.span_width);
+  }
+  Plan plan = ChoosePlan(planner_input);
+  if (options.force_algorithm.has_value()) {
+    plan.algorithm = *options.force_algorithm;
+    plan.rationale = "forced by executor options";
+  }
+
+  // EXPLAIN: report the chosen plan without executing.
+  if (query.explain) {
+    QueryResult explained;
+    explained.plan = plan;
+    for (const BoundOutputColumn& col : query.columns) {
+      explained.column_names.push_back(col.name);
+    }
+    return explained;
+  }
+
+  // 3. Group by value (Section 4.1's aggregation sets), preserving tuple
+  // order within each group so sortedness properties survive.
+  std::map<std::vector<Value>, std::vector<size_t>, GroupKeyLess> groups;
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    std::vector<Value> key;
+    key.reserve(query.group_attributes.size());
+    for (size_t attr : query.group_attributes) {
+      key.push_back(filtered.tuple(i).value(attr));
+    }
+    groups[std::move(key)].push_back(i);
+  }
+
+  // Span grouping shares one window across groups: explicit bounds, or the
+  // filtered relation's lifespan.
+  Period span_window;
+  if (query.temporal.kind == TemporalGrouping::Kind::kSpan) {
+    if (query.temporal.has_window) {
+      TAGG_ASSIGN_OR_RETURN(span_window,
+                            Period::Make(query.temporal.window_start,
+                                         query.temporal.window_end));
+    } else {
+      if (filtered.empty()) {
+        return Status::InvalidArgument(
+            "span grouping without FROM/TO requires a non-empty relation "
+            "to derive the window");
+      }
+      TAGG_ASSIGN_OR_RETURN(span_window, filtered.Lifespan());
+    }
+  }
+
+  QueryResult result;
+  result.plan = plan;
+  for (const BoundOutputColumn& col : query.columns) {
+    result.column_names.push_back(col.name);
+  }
+
+  // 4. Aggregate each group and zip the per-aggregate series.
+  for (const auto& [key, indices] : groups) {
+    Relation group_relation(filtered.schema(), filtered.name());
+    group_relation.Reserve(indices.size());
+    for (size_t i : indices) {
+      group_relation.AppendUnchecked(filtered.tuple(i));
+    }
+
+    MultiSeries zipped;
+    if (query.temporal.kind == TemporalGrouping::Kind::kSpan) {
+      // Span grouping: fixed buckets, one series per aggregate, zipped
+      // (boundaries are the spans, identical by construction).
+      std::vector<AggregateSeries> per_aggregate;
+      per_aggregate.reserve(query.aggregates.size());
+      for (const BoundAggregate& agg : query.aggregates) {
+        SpanAggregateOptions span_options;
+        span_options.aggregate = agg.kind;
+        span_options.attribute = agg.attribute;
+        span_options.window = span_window;
+        span_options.span_width = query.temporal.span_width;
+        TAGG_ASSIGN_OR_RETURN(
+            AggregateSeries series,
+            ComputeSpanAggregate(group_relation, span_options));
+        per_aggregate.push_back(std::move(series));
+      }
+      for (size_t i = 0; i < per_aggregate[0].intervals.size(); ++i) {
+        zipped.periods.push_back(per_aggregate[0].intervals[i].period);
+        std::vector<Value> row;
+        row.reserve(per_aggregate.size());
+        for (const AggregateSeries& s : per_aggregate) {
+          row.push_back(s.intervals[i].value);
+        }
+        zipped.values.push_back(std::move(row));
+      }
+    } else {
+      // Instant grouping: all aggregates fused into one algorithm pass
+      // (MultiOp), so the constant intervals are computed once per group
+      // rather than once per aggregate.
+      MultiAggregateOptions multi;
+      multi.specs.reserve(query.aggregates.size());
+      for (const BoundAggregate& agg : query.aggregates) {
+        multi.specs.push_back({agg.kind, agg.attribute});
+      }
+      multi.algorithm = plan.algorithm;
+      multi.k = plan.k;
+      multi.presort = plan.presort;
+      auto series = ComputeMultiAggregate(group_relation, multi);
+      if (!series.ok() && series.status().IsInvalidArgument() &&
+          plan.algorithm == AlgorithmKind::kKOrderedTree && !plan.presort) {
+        // The declared k-ordering was wrong for this partition; fall back
+        // to the paper's safe strategy: sort, then k = 1.
+        multi.presort = true;
+        multi.k = 1;
+        series = ComputeMultiAggregate(group_relation, multi);
+      }
+      if (!series.ok()) return series.status();
+      zipped = std::move(series).value();
+    }
+
+    for (size_t i = 0; i < zipped.periods.size(); ++i) {
+      if (options.drop_empty) {
+        bool all_empty = true;
+        for (size_t a = 0; a < zipped.values[i].size(); ++a) {
+          if (zipped.values[i][a] !=
+              EmptyValueOf(query.aggregates[a].kind)) {
+            all_empty = false;
+            break;
+          }
+        }
+        if (all_empty) continue;
+      }
+      QueryResultRow row;
+      row.valid = zipped.periods[i];
+      row.values.reserve(query.columns.size());
+      for (const BoundOutputColumn& col : query.columns) {
+        if (col.is_aggregate) {
+          row.values.push_back(zipped.values[i][col.index]);
+        } else {
+          row.values.push_back(key[col.index]);
+        }
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+
+  // 5. Optional TSQL2 coalescing of adjacent identical rows.  Rows of one
+  // group are consecutive and different groups differ in their grouping
+  // values, so a single pass cannot merge across groups.
+  if (options.coalesce && !result.rows.empty()) {
+    std::vector<QueryResultRow> coalesced;
+    for (QueryResultRow& row : result.rows) {
+      if (!coalesced.empty() && coalesced.back().values == row.values &&
+          coalesced.back().valid.MeetsBefore(row.valid)) {
+        coalesced.back().valid =
+            Period(coalesced.back().valid.start(), row.valid.end());
+      } else {
+        coalesced.push_back(std::move(row));
+      }
+    }
+    result.rows = std::move(coalesced);
+  }
+
+  return result;
+}
+
+Result<QueryResult> RunQuery(std::string_view sql, const Catalog& catalog,
+                             const ExecutorOptions& options) {
+  TAGG_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  TAGG_ASSIGN_OR_RETURN(BoundQuery bound, Analyze(stmt, catalog));
+  return ExecuteSelect(bound, options);
+}
+
+}  // namespace tagg

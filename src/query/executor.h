@@ -1,0 +1,60 @@
+// Query execution: predicate filtering, value grouping, temporal
+// aggregation through the Section 6.3 planner, and result assembly.
+//
+// Per the paper's aggregation-set model (Section 4.1), the executor
+// partitions qualifying tuples by the GROUP BY values, evaluates every
+// aggregate of the select list over each partition with the algorithm the
+// planner picks, and zips the per-aggregate series together — the
+// constant-interval boundaries of a partition are identical across
+// aggregates because they depend only on the tuples' timestamps.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "query/analyzer.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Execution knobs.
+struct ExecutorOptions {
+  /// Remove result rows over intervals where the group has no tuples.
+  bool drop_empty = true;
+  /// Merge adjacent rows with identical values (TSQL2 coalescing).
+  bool coalesce = false;
+  /// Bypass the planner and force an algorithm.
+  std::optional<AlgorithmKind> force_algorithm;
+  /// Memory budget handed to the planner.
+  size_t memory_budget_bytes = static_cast<size_t>(-1);
+};
+
+/// One result row: the select-list values plus the implicit valid period.
+struct QueryResultRow {
+  std::vector<Value> values;
+  Period valid;
+};
+
+/// A complete query result.
+struct QueryResult {
+  std::vector<std::string> column_names;  // the implicit VALID prints last
+  std::vector<QueryResultRow> rows;
+  /// The plan the optimizer chose (or the forced override).
+  Plan plan;
+
+  /// Aligned tabular rendering.
+  std::string ToString(size_t max_rows = 64) const;
+};
+
+/// Executes a bound query.
+Result<QueryResult> ExecuteSelect(const BoundQuery& query,
+                                  const ExecutorOptions& options = {});
+
+/// Convenience: parse + analyze + execute one statement.
+Result<QueryResult> RunQuery(std::string_view sql, const Catalog& catalog,
+                             const ExecutorOptions& options = {});
+
+}  // namespace tagg

@@ -1,0 +1,17 @@
+// Lexer for the TSQL2-flavored query language.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "query/token.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Tokenizes `query`; the returned vector always ends with a kEnd token.
+/// Errors on unterminated strings and unexpected characters.
+Result<std::vector<Token>> Lex(std::string_view query);
+
+}  // namespace tagg

@@ -1,0 +1,58 @@
+#include "query/token.h"
+
+#include "util/str.h"
+
+namespace tagg {
+
+std::string_view TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kIntLiteral:
+      return "integer";
+    case TokenType::kFloatLiteral:
+      return "float";
+    case TokenType::kStringLiteral:
+      return "string";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+bool Token::IsWord(std::string_view word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+std::string Token::ToString() const {
+  if (type == TokenType::kIdentifier || type == TokenType::kIntLiteral ||
+      type == TokenType::kFloatLiteral) {
+    return text;
+  }
+  if (type == TokenType::kStringLiteral) return "'" + text + "'";
+  return std::string(TokenTypeToString(type));
+}
+
+}  // namespace tagg

@@ -1,0 +1,45 @@
+// Tokens of the TSQL2-flavored query language.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tagg {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // keywords are identifiers; the parser matches them
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  // single-quoted
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,   // =
+  kNe,   // <> or !=
+  kLt,   // <
+  kLe,   // <=
+  kGt,   // >
+  kGe,   // >=
+  kSemicolon,
+  kEnd,  // end of input
+};
+
+std::string_view TokenTypeToString(TokenType type);
+
+/// One lexed token; `text` is the raw spelling (unquoted for strings).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  // byte offset in the query, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword/identifier match.
+  bool IsWord(std::string_view word) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace tagg

@@ -1,0 +1,85 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tagg {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(id_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+}
+
+BufferPool::BufferPool(HeapFile* file, size_t capacity_pages)
+    : file_(file), capacity_(std::max<size_t>(capacity_pages, 1)) {}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pins;
+    return PageGuard(this, id, &frame.page);
+  }
+
+  if (frames_.size() >= capacity_ && !EvictOne()) {
+    return Status::ResourceExhausted(
+        "buffer pool full: all " + std::to_string(capacity_) +
+        " frames are pinned");
+  }
+  Frame& frame = frames_[id];
+  const Status read = file_->ReadPage(id, &frame.page);
+  if (!read.ok()) {
+    // Failed fetches (e.g. the end-of-file probe of a scan) occupy no
+    // frame and count toward neither hits nor misses.
+    frames_.erase(id);
+    return read;
+  }
+  ++misses_;
+  frame.pins = 1;
+  frame.in_lru = false;
+  return PageGuard(this, id, &frame.page);
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  TAGG_CHECK(it != frames_.end()) << "unpin of uncached page " << id;
+  Frame& frame = it->second;
+  TAGG_CHECK(frame.pins > 0) << "unpin of unpinned page " << id;
+  if (--frame.pins == 0) {
+    lru_.push_back(id);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+bool BufferPool::EvictOne() {
+  if (lru_.empty()) return false;
+  const PageId victim = lru_.front();
+  lru_.pop_front();
+  frames_.erase(victim);
+  ++evictions_;
+  return true;
+}
+
+}  // namespace tagg

@@ -1,0 +1,89 @@
+// BufferPool: a fixed-capacity LRU cache of heap-file pages with pin
+// counting.
+//
+// Scans fetch pages through the pool; hits avoid re-reading from disk.
+// Pinned pages are never evicted; fetching when every frame is pinned
+// fails with ResourceExhausted rather than blocking.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace tagg {
+
+class BufferPool;
+
+/// RAII pin on a fetched page; unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, const Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  const Page* page() const { return page_; }
+  const Page* operator->() const { return page_; }
+  bool valid() const { return page_ != nullptr; }
+
+  /// Unpins early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = 0;
+  const Page* page_ = nullptr;
+};
+
+/// LRU page cache over one heap file.
+class BufferPool {
+ public:
+  /// @param capacity_pages  frames in the pool; must be >= 1.
+  BufferPool(HeapFile* file, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches (and pins) a data page.
+  Result<PageGuard> Fetch(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    int pins = 0;
+    std::list<PageId>::iterator lru_pos;  // valid only when pins == 0
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  /// Frees one unpinned frame; false when all frames are pinned.
+  bool EvictOne();
+
+  HeapFile* file_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = least recently used, unpinned only
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tagg

@@ -1,0 +1,38 @@
+// External merge sort of a heap file by time.
+//
+// The paper's headline recommendation is "first sort the underlying
+// relation, then apply the k-ordered aggregation tree algorithm with
+// k = 1"; at disk scale that sort is external.  This module implements the
+// classic two-phase approach: bounded-memory run generation (load up to
+// memory_budget_records records, sort by (start, end), write a run file)
+// followed by a single k-way merge over all runs into the output heap
+// file.  Run files are heap files themselves and are deleted after the
+// merge.
+
+#pragma once
+
+#include <string>
+
+#include "storage/heap_file.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Knobs for the external sort.
+struct ExternalSortOptions {
+  /// Records sorted in memory per run.  Small values force many runs and
+  /// exercise the merge; defaults to 64K records (8 MiB).
+  size_t memory_budget_records = 64 * 1024;
+
+  /// Directory for run files; defaults to the output file's directory
+  /// (empty string).
+  std::string temp_dir;
+};
+
+/// Sorts `input` by (start, end) into a new heap file at `output_path`.
+/// The input file is not modified.
+Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
+    const HeapFile& input, const std::string& output_path,
+    const ExternalSortOptions& options = {});
+
+}  // namespace tagg

@@ -1,0 +1,179 @@
+#include "storage/heap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/str.h"
+
+namespace tagg {
+namespace {
+
+constexpr uint32_t kHeaderMagic = 0x54414748;  // "TAGH"
+constexpr uint32_t kFormatVersion = 1;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+HeapFile::HeapFile(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {
+  tail_.Format(1);
+}
+
+HeapFile::~HeapFile() {
+  if (!closed_) Close();  // best effort; Close() reports via Status
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return Errno("cannot create heap file", path);
+  auto file = std::unique_ptr<HeapFile>(new HeapFile(path, f));
+  TAGG_RETURN_IF_ERROR(file->WriteHeader());
+  return file;
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return Errno("cannot open heap file", path);
+  auto file = std::unique_ptr<HeapFile>(new HeapFile(path, f));
+
+  char header[kPageSize];
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fread(header, 1, kPageSize, f) != kPageSize) {
+    return Status::Corruption("heap file '" + path +
+                              "' is shorter than its header page");
+  }
+  uint32_t magic, version;
+  uint64_t record_count;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 4);
+  std::memcpy(&record_count, header + 8, 8);
+  if (magic != kHeaderMagic) {
+    return Status::Corruption("heap file '" + path + "' has bad magic");
+  }
+  if (version != kFormatVersion) {
+    return Status::NotSupported(StringPrintf(
+        "heap file format version %u (supported: %u)", version,
+        kFormatVersion));
+  }
+  file->record_count_ = record_count;
+  file->full_pages_ =
+      static_cast<uint32_t>(record_count / kRecordsPerPage);
+  file->tail_records_ =
+      static_cast<uint32_t>(record_count % kRecordsPerPage);
+  if (file->tail_records_ > 0) {
+    // Reload the partial tail page so appends can continue.
+    const PageId tail_id = file->full_pages_ + 1;
+    if (std::fseek(f, static_cast<long>(kPageSize) * tail_id, SEEK_SET) !=
+            0 ||
+        std::fread(file->tail_.bytes, 1, kPageSize, f) != kPageSize) {
+      return Status::Corruption("heap file '" + path +
+                                "' is missing its tail page");
+    }
+    if (file->tail_.magic() != kPageMagic ||
+        file->tail_.page_id() != tail_id) {
+      return Status::Corruption("heap file '" + path +
+                                "' has a corrupt tail page");
+    }
+  } else {
+    file->tail_.Format(file->full_pages_ + 1);
+  }
+  return file;
+}
+
+Status HeapFile::AppendRecord(const char* record) {
+  if (closed_) return Status::IOError("heap file is closed");
+  std::memcpy(tail_.RecordAt(tail_records_), record, kRecordSize);
+  ++tail_records_;
+  ++record_count_;
+  if (tail_records_ == kRecordsPerPage) {
+    tail_.set_record_count(tail_records_);
+    TAGG_RETURN_IF_ERROR(WritePageAt(
+        static_cast<uint64_t>(kPageSize) * (full_pages_ + 1), tail_));
+    ++full_pages_;
+    tail_.Format(full_pages_ + 1);
+    tail_records_ = 0;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Sync() {
+  if (closed_) return Status::IOError("heap file is closed");
+  if (tail_records_ > 0) {
+    tail_.set_record_count(tail_records_);
+    TAGG_RETURN_IF_ERROR(WritePageAt(
+        static_cast<uint64_t>(kPageSize) * (full_pages_ + 1), tail_));
+  }
+  TAGG_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+  return Status::OK();
+}
+
+Status HeapFile::Close() {
+  if (closed_) return Status::OK();
+  const Status sync = Sync();
+  closed_ = true;
+  if (std::fclose(file_) != 0) return Errno("cannot close", path_);
+  file_ = nullptr;
+  return sync;
+}
+
+Status HeapFile::ReadPage(PageId id, Page* out) const {
+  if (closed_) return Status::IOError("heap file is closed");
+  if (id == 0 || id > data_page_count()) {
+    return Status::OutOfRange(StringPrintf(
+        "page %u out of range (file has %u data pages)", id,
+        data_page_count()));
+  }
+  if (id == full_pages_ + 1) {
+    // The (possibly unflushed) tail page is served from memory.
+    std::memcpy(out->bytes, tail_.bytes, kPageSize);
+    out->set_record_count(tail_records_);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(kPageSize) * id, SEEK_SET) != 0) {
+    return Errno("cannot seek", path_);
+  }
+  if (std::fread(out->bytes, 1, kPageSize, file_) != kPageSize) {
+    return Status::Corruption(
+        StringPrintf("short read of page %u in '%s'", id, path_.c_str()));
+  }
+  if (out->magic() != kPageMagic || out->page_id() != id) {
+    return Status::Corruption(
+        StringPrintf("page %u of '%s' failed validation", id,
+                     path_.c_str()));
+  }
+  return Status::OK();
+}
+
+uint32_t HeapFile::data_page_count() const {
+  return full_pages_ + (tail_records_ > 0 ? 1 : 0);
+}
+
+Status HeapFile::WritePageAt(uint64_t offset, const Page& page) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Errno("cannot seek", path_);
+  }
+  if (std::fwrite(page.bytes, 1, kPageSize, file_) != kPageSize) {
+    return Errno("cannot write page", path_);
+  }
+  return Status::OK();
+}
+
+Status HeapFile::WriteHeader() {
+  char header[kPageSize];
+  std::memset(header, 0, kPageSize);
+  std::memcpy(header, &kHeaderMagic, 4);
+  std::memcpy(header + 4, &kFormatVersion, 4);
+  std::memcpy(header + 8, &record_count_, 8);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("cannot seek", path_);
+  if (std::fwrite(header, 1, kPageSize, file_) != kPageSize) {
+    return Errno("cannot write header", path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace tagg

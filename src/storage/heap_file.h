@@ -1,0 +1,67 @@
+// Append-only heap file of fixed-size records.
+//
+// Layout: page 0 is a header page (magic, version, record count); data
+// pages follow, each formatted per storage/page.h.  Records append into a
+// tail page buffered in memory that is written out when full and on
+// Sync()/Close().  Reads go through ReadPage(), normally behind a
+// BufferPool.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// A single heap file on disk.
+class HeapFile {
+ public:
+  /// Creates (truncating) a heap file at `path`.
+  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path);
+
+  /// Opens an existing heap file, validating its header.
+  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path);
+
+  ~HeapFile();
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends one kRecordSize-byte record.
+  Status AppendRecord(const char* record);
+
+  /// Flushes the tail page and header to disk.
+  Status Sync();
+
+  /// Syncs and closes; further operations fail.
+  Status Close();
+
+  /// Reads data page `id` (1-based; page 0 is the header) into `out`,
+  /// validating its magic and id.
+  Status ReadPage(PageId id, Page* out) const;
+
+  /// Number of data pages (full and partial).
+  uint32_t data_page_count() const;
+
+  uint64_t record_count() const { return record_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  HeapFile(std::string path, std::FILE* file);
+
+  Status WritePageAt(uint64_t offset, const Page& page);
+  Status WriteHeader();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t record_count_ = 0;
+  uint32_t full_pages_ = 0;  // data pages flushed to disk
+  Page tail_;                // partially filled tail page
+  uint32_t tail_records_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tagg

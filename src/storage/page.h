@@ -1,0 +1,73 @@
+// Fixed-size pages for the heap-file storage engine.
+//
+// The paper's experiments stream 128-byte tuples off disk in a single
+// segmented scan; this substrate reproduces that storage shape: 8 KiB
+// pages each holding up to 63 fixed-size 128-byte records, with a small
+// checked header for corruption detection.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace tagg {
+
+/// Size of one disk page.
+inline constexpr size_t kPageSize = 8192;
+
+/// Size of one record — the paper's 128-byte Employed tuple.
+inline constexpr size_t kRecordSize = 128;
+
+/// Identifies a page within a heap file; page 0 is the file header.
+using PageId = uint32_t;
+
+/// Magic value stamped on every data page.
+inline constexpr uint32_t kPageMagic = 0x54414750;  // "TAGP"
+
+/// Bytes of header at the start of each data page.
+inline constexpr size_t kPageHeaderSize = 16;
+
+/// Records per data page.
+inline constexpr size_t kRecordsPerPage =
+    (kPageSize - kPageHeaderSize) / kRecordSize;
+
+/// One in-memory page image.  Plain bytes; helpers interpret the header
+/// and record slots.
+struct Page {
+  char bytes[kPageSize];
+
+  uint32_t magic() const { return ReadU32(0); }
+  PageId page_id() const { return ReadU32(4); }
+  uint32_t record_count() const { return ReadU32(8); }
+
+  void Format(PageId id) {
+    std::memset(bytes, 0, kPageSize);
+    WriteU32(0, kPageMagic);
+    WriteU32(4, id);
+    WriteU32(8, 0);
+  }
+
+  void set_record_count(uint32_t n) { WriteU32(8, n); }
+
+  /// Start of record slot i (0 <= i < kRecordsPerPage).
+  char* RecordAt(size_t i) {
+    return bytes + kPageHeaderSize + i * kRecordSize;
+  }
+  const char* RecordAt(size_t i) const {
+    return bytes + kPageHeaderSize + i * kRecordSize;
+  }
+
+ private:
+  uint32_t ReadU32(size_t offset) const {
+    uint32_t v;
+    std::memcpy(&v, bytes + offset, sizeof(v));
+    return v;
+  }
+  void WriteU32(size_t offset, uint32_t v) {
+    std::memcpy(bytes + offset, &v, sizeof(v));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace tagg

@@ -1,0 +1,75 @@
+#include "storage/record_codec.h"
+
+#include <cstring>
+
+namespace tagg {
+namespace {
+
+void WriteI64(char* base, size_t offset, int64_t v) {
+  std::memcpy(base + offset, &v, sizeof(v));
+}
+
+int64_t ReadI64(const char* base, size_t offset) {
+  int64_t v;
+  std::memcpy(&v, base + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status EncodeEmployedRecord(const Tuple& tuple, char* out) {
+  if (tuple.arity() != 2) {
+    return Status::InvalidArgument(
+        "employed record expects 2 attributes (name, salary), got " +
+        std::to_string(tuple.arity()));
+  }
+  const Value& name = tuple.value(0);
+  const Value& salary = tuple.value(1);
+  if (name.type() != ValueType::kString ||
+      salary.type() != ValueType::kInt) {
+    return Status::InvalidArgument(
+        "employed record expects (string name, int salary), got (" +
+        std::string(ValueTypeToString(name.type())) + ", " +
+        std::string(ValueTypeToString(salary.type())) + ")");
+  }
+  const std::string& s = name.AsString();
+  if (s.size() > kMaxNameLength) {
+    return Status::InvalidArgument("name '" + s + "' exceeds " +
+                                   std::to_string(kMaxNameLength) +
+                                   " bytes");
+  }
+  std::memset(out, 0, kRecordSize);
+  out[0] = static_cast<char>(s.size());
+  std::memcpy(out + 1, s.data(), s.size());
+  WriteI64(out, kRecordSalaryOffset, salary.AsInt());
+  WriteI64(out, kRecordStartOffset, tuple.start());
+  WriteI64(out, kRecordEndOffset, tuple.end());
+  return Status::OK();
+}
+
+Result<Tuple> DecodeEmployedRecord(const char* record) {
+  const auto name_len = static_cast<size_t>(
+      static_cast<unsigned char>(record[0]));
+  if (name_len > kMaxNameLength) {
+    return Status::Corruption("record name length " +
+                              std::to_string(name_len) + " out of range");
+  }
+  std::string name(record + 1, name_len);
+  const int64_t salary = ReadI64(record, kRecordSalaryOffset);
+  const Instant start = ReadI64(record, kRecordStartOffset);
+  const Instant end = ReadI64(record, kRecordEndOffset);
+  if (start > end || start < kOrigin || end > kForever) {
+    return Status::Corruption("record carries invalid period [" +
+                              std::to_string(start) + ", " +
+                              std::to_string(end) + "]");
+  }
+  return Tuple({Value::String(std::move(name)), Value::Int(salary)},
+               Period(start, end));
+}
+
+Period DecodeRecordPeriod(const char* record) {
+  return Period(ReadI64(record, kRecordStartOffset),
+                ReadI64(record, kRecordEndOffset));
+}
+
+}  // namespace tagg

@@ -1,0 +1,48 @@
+// Serialization of Employed tuples into the paper's 128-byte record layout.
+//
+// The paper's test relation: "a tuple size of 128 bytes, which contained
+// four germane attributes: name, salary, start-time, stop-time, as well as
+// attributes not examined by the aggregate".  Our on-disk layout:
+//
+//   offset  0: name length (1 byte) + name bytes (up to 15)
+//   offset 16: salary, int64 little-endian
+//   offset 24: start instant, int64 little-endian
+//   offset 32: end instant, int64 little-endian (kForever for "forever")
+//   offset 40: 88 filler bytes (the unexamined attributes)
+//
+// Deviations from the paper, preserved behaviourally: the paper used 4-byte
+// timestamps and a 6-byte name; we widen both (64-bit instants, 15-byte
+// names) while keeping the total record at exactly 128 bytes, so the
+// records-per-page and scan volume match.
+
+#pragma once
+
+#include "storage/page.h"
+#include "temporal/schema.h"
+#include "temporal/tuple.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Longest encodable name.
+inline constexpr size_t kMaxNameLength = 15;
+
+/// Offsets within a record (exposed so the external sort can read keys
+/// without a full decode).
+inline constexpr size_t kRecordSalaryOffset = 16;
+inline constexpr size_t kRecordStartOffset = 24;
+inline constexpr size_t kRecordEndOffset = 32;
+
+/// Encodes an Employed tuple (name string, salary int) into `out`
+/// (kRecordSize bytes).  Errors when the name exceeds kMaxNameLength or
+/// the values have unexpected types.
+Status EncodeEmployedRecord(const Tuple& tuple, char* out);
+
+/// Decodes a record produced by EncodeEmployedRecord.
+Result<Tuple> DecodeEmployedRecord(const char* record);
+
+/// Reads just the validity period of an encoded record (used by the
+/// external sort's key comparisons).
+Period DecodeRecordPeriod(const char* record);
+
+}  // namespace tagg

@@ -1,0 +1,49 @@
+#include "storage/relation_io.h"
+
+#include "storage/buffer_pool.h"
+#include "storage/record_codec.h"
+#include "storage/table_scan.h"
+#include "util/logging.h"
+
+namespace tagg {
+namespace {
+
+// The schema of the 128-byte record layout (mirrors core/workload.h's
+// EmployedSchema; storage cannot depend on core).
+Schema RecordSchema() {
+  auto schema = Schema::Make(
+      {{"name", ValueType::kString}, {"salary", ValueType::kInt}});
+  TAGG_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HeapFile>> WriteRelationToHeapFile(
+    const Relation& relation, const std::string& path) {
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> file,
+                        HeapFile::Create(path));
+  char buf[kRecordSize];
+  for (const Tuple& t : relation) {
+    TAGG_RETURN_IF_ERROR(EncodeEmployedRecord(t, buf));
+    TAGG_RETURN_IF_ERROR(file->AppendRecord(buf));
+  }
+  TAGG_RETURN_IF_ERROR(file->Sync());
+  return file;
+}
+
+Result<Relation> LoadRelationFromHeapFile(HeapFile& file,
+                                          std::string relation_name) {
+  Relation relation(RecordSchema(), std::move(relation_name));
+  relation.Reserve(file.record_count());
+  BufferPool pool(&file, 8);
+  TableScan scan(&pool);
+  while (true) {
+    TAGG_ASSIGN_OR_RETURN(auto next, scan.Next());
+    if (!next.has_value()) break;
+    relation.AppendUnchecked(std::move(*next));
+  }
+  return relation;
+}
+
+}  // namespace tagg

@@ -1,0 +1,29 @@
+// Bridging in-memory relations and heap files.
+//
+// Employed-schema relations (the paper's test relation: name, salary,
+// valid time) can be spilled to a heap file in the 128-byte record layout
+// and loaded back, so workloads survive across runs and the disk-backed
+// execution path (TableScan -> TemporalAggregator) can start from data
+// generated in memory.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/heap_file.h"
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Writes an Employed-schema relation into a new heap file at `path`.
+Result<std::unique_ptr<HeapFile>> WriteRelationToHeapFile(
+    const Relation& relation, const std::string& path);
+
+/// Loads a heap file written by WriteRelationToHeapFile (or any file of
+/// Employed-layout records) into memory.
+Result<Relation> LoadRelationFromHeapFile(HeapFile& file,
+                                          std::string relation_name);
+
+}  // namespace tagg

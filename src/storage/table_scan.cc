@@ -1,0 +1,40 @@
+#include "storage/table_scan.h"
+
+namespace tagg {
+
+TableScan::TableScan(BufferPool* pool) : pool_(pool), current_page_(1) {}
+
+void TableScan::Reset() {
+  guard_.Release();
+  current_page_ = 1;
+  next_record_ = 0;
+  tuples_returned_ = 0;
+}
+
+Result<std::optional<Tuple>> TableScan::Next() {
+  while (true) {
+    if (!guard_.valid()) {
+      auto fetch = pool_->Fetch(current_page_);
+      if (!fetch.ok()) {
+        if (fetch.status().IsOutOfRange()) {
+          return std::optional<Tuple>();  // past the last page: EOF
+        }
+        return fetch.status();
+      }
+      guard_ = std::move(fetch).value();
+      next_record_ = 0;
+    }
+    if (next_record_ < guard_->record_count()) {
+      TAGG_ASSIGN_OR_RETURN(
+          Tuple tuple, DecodeEmployedRecord(guard_->RecordAt(next_record_)));
+      ++next_record_;
+      ++tuples_returned_;
+      return std::optional<Tuple>(std::move(tuple));
+    }
+    // Page exhausted; release and advance.
+    guard_.Release();
+    ++current_page_;
+  }
+}
+
+}  // namespace tagg

@@ -1,0 +1,40 @@
+// TableScan: streams the tuples of a heap file in storage order.
+//
+// This is the "single segmented scan of the input relation" every
+// algorithm in the paper performs: pages are fetched sequentially through
+// the buffer pool and each record decoded into a Tuple.  The scan is the
+// bridge between the storage engine and the streaming TemporalAggregator
+// interface.
+
+#pragma once
+
+#include <optional>
+
+#include "storage/buffer_pool.h"
+#include "storage/record_codec.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Forward-only scan over an Employed heap file.
+class TableScan {
+ public:
+  explicit TableScan(BufferPool* pool);
+
+  /// The next tuple, std::nullopt at end of file.
+  Result<std::optional<Tuple>> Next();
+
+  /// Restarts from the first record.
+  void Reset();
+
+  uint64_t tuples_returned() const { return tuples_returned_; }
+
+ private:
+  BufferPool* pool_;
+  PageId current_page_;
+  size_t next_record_ = 0;
+  PageGuard guard_;
+  uint64_t tuples_returned_ = 0;
+};
+
+}  // namespace tagg

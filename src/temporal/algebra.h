@@ -1,0 +1,57 @@
+// Temporal relational algebra utilities.
+//
+// The operations a temporal DBMS applies around aggregation:
+//
+//   * duplicate elimination — Section 7 of the paper: "Probably the best
+//     single approach for this problem involves removing the duplicates
+//     before the relation is processed, perhaps by sorting."  Implemented
+//     exactly that way: sort by (values, period), drop exact repeats.
+//
+//   * valid-time coalescing — TSQL2's normal form: value-equivalent
+//     tuples whose periods overlap or meet merge into maximal periods.
+//
+//   * timeslice — the snapshot of a valid-time relation at one instant
+//     (or over a window), the "selection by time" used when a query's
+//     valid clause restricts the time-line before aggregation.
+
+#pragma once
+
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Removes exact duplicates (same attribute values AND same period),
+/// keeping the first occurrence of each, by sorting a copy.  The result is
+/// totally ordered by time.
+Relation RemoveDuplicateTuples(const Relation& relation);
+
+/// TSQL2 coalescing: merges value-equivalent tuples whose validity periods
+/// overlap or meet into tuples with maximal periods.  The result is
+/// totally ordered by time and duplicate-free.
+Relation CoalesceRelation(const Relation& relation);
+
+/// The tuples valid at instant `t`, with their full periods retained.
+Relation TimesliceAt(const Relation& relation, Instant t);
+
+/// The tuples overlapping `window`, with validity clipped to the window.
+/// (Aggregating the result reproduces the original aggregate restricted
+/// to the window.)
+Relation ClipToWindow(const Relation& relation, const Period& window);
+
+/// Valid-time (overlap) equijoin: for every pair of tuples from `left`
+/// and `right` that agree on the join attributes AND whose validity
+/// periods overlap, emits the concatenated attributes stamped with the
+/// intersection of the two periods — the standard temporal join whose
+/// output feeds temporal aggregation (e.g. joining employment spells with
+/// department assignments before AVG(salary) GROUP BY dept).
+///
+/// Implemented as sort-merge on (join values, start time): both inputs
+/// are sorted copies, so the cost is O(n log n + m log m + output).
+/// Attribute-name collisions in the output schema are resolved with a
+/// "right_" prefix.
+Result<Relation> TemporalJoin(const Relation& left, const Relation& right,
+                              const std::vector<size_t>& left_keys,
+                              const std::vector<size_t>& right_keys);
+
+}  // namespace tagg

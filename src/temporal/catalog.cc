@@ -1,0 +1,67 @@
+#include "temporal/catalog.h"
+
+#include "util/str.h"
+
+namespace tagg {
+
+Status Catalog::Register(std::shared_ptr<Relation> relation,
+                         RelationStats stats) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("cannot register null relation");
+  }
+  if (relation->name().empty()) {
+    return Status::InvalidArgument("relation must be named to be registered");
+  }
+  const std::string key = ToLower(relation->name());
+  if (entries_.contains(key)) {
+    return Status::AlreadyExists("relation '" + relation->name() +
+                                 "' already registered");
+  }
+  entries_.emplace(key, Entry{std::move(relation), stats});
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Relation>> Catalog::Get(std::string_view name) const {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  return it->second.relation;
+}
+
+Result<RelationStats> Catalog::GetStats(std::string_view name) const {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  return it->second.stats;
+}
+
+Status Catalog::SetStats(std::string_view name, RelationStats stats) {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  it->second.stats = stats;
+  return Status::OK();
+}
+
+Status Catalog::Drop(std::string_view name) {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(entry.relation->name());
+  }
+  return out;
+}
+
+}  // namespace tagg

@@ -1,0 +1,57 @@
+// Catalog: a name -> relation registry used by the query layer.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Optimizer-relevant statistics a catalog may carry per relation
+/// (Section 6.3: the optimizer "can exploit information on the sortedness
+/// of the underlying relation").
+struct RelationStats {
+  bool known_sorted = false;
+  /// Declared retroactive bound: tuples arrive at most `k` positions out of
+  /// time order (a k-ordered relation / retroactively bounded relation).
+  /// Negative means unknown.
+  int64_t declared_k = -1;
+};
+
+/// Owns named relations and their declared statistics.
+class Catalog {
+ public:
+  /// Registers a relation under its name; fails on duplicates.
+  Status Register(std::shared_ptr<Relation> relation,
+                  RelationStats stats = {});
+
+  /// Looks up a relation by (case-insensitive) name.
+  Result<std::shared_ptr<Relation>> Get(std::string_view name) const;
+
+  /// Stats declared for a relation; defaults when never declared.
+  Result<RelationStats> GetStats(std::string_view name) const;
+
+  /// Replaces the stats for an existing relation.
+  Status SetStats(std::string_view name, RelationStats stats);
+
+  /// Removes a relation; fails when absent.
+  Status Drop(std::string_view name);
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Relation> relation;
+    RelationStats stats;
+  };
+  // Keyed by lowercased name.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tagg

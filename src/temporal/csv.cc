@@ -1,0 +1,355 @@
+#include "temporal/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "util/str.h"
+
+namespace tagg {
+namespace {
+
+/// Splits CSV text into rows of fields with RFC-4180 quoting.
+Result<std::vector<std::vector<std::string>>> SplitCsv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started && !field.empty()) {
+          return Status::InvalidArgument(StringPrintf(
+              "unexpected quote inside unquoted field at offset %zu", i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // tolerate CRLF
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  // Final row without trailing newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(s);
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+Result<Instant> ParseInstantField(std::string_view s, size_t row) {
+  if (EqualsIgnoreCase(Trim(s), "forever")) return kForever;
+  int64_t v = 0;
+  if (!ParseInt(Trim(s), &v)) {
+    return Status::InvalidArgument(
+        StringPrintf("row %zu: invalid timestamp '%.*s'", row,
+                     static_cast<int>(s.size()), s.data()));
+  }
+  return v;
+}
+
+struct Layout {
+  std::vector<size_t> attribute_columns;  // CSV column -> attribute order
+  size_t start_column = 0;
+  size_t end_column = 0;
+  std::vector<std::string> attribute_names;
+};
+
+Result<Layout> ParseHeader(const std::vector<std::string>& header) {
+  Layout layout;
+  bool saw_start = false;
+  bool saw_end = false;
+  for (size_t c = 0; c < header.size(); ++c) {
+    const std::string_view name = Trim(header[c]);
+    if (EqualsIgnoreCase(name, kValidStartColumn)) {
+      if (saw_start) {
+        return Status::InvalidArgument("duplicate valid_start column");
+      }
+      layout.start_column = c;
+      saw_start = true;
+    } else if (EqualsIgnoreCase(name, kValidEndColumn)) {
+      if (saw_end) {
+        return Status::InvalidArgument("duplicate valid_end column");
+      }
+      layout.end_column = c;
+      saw_end = true;
+    } else {
+      layout.attribute_columns.push_back(c);
+      layout.attribute_names.emplace_back(name);
+    }
+  }
+  if (!saw_start || !saw_end) {
+    return Status::InvalidArgument(
+        "CSV header must contain valid_start and valid_end columns");
+  }
+  return layout;
+}
+
+/// Infers the narrowest type covering every non-empty value in a column.
+ValueType InferType(const std::vector<std::vector<std::string>>& rows,
+                    size_t column) {
+  bool all_int = true;
+  bool all_numeric = true;
+  bool any = false;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (column >= rows[r].size()) continue;
+    const std::string_view s = Trim(rows[r][column]);
+    if (s.empty()) continue;  // NULL
+    any = true;
+    int64_t i64;
+    double d;
+    if (!ParseInt(s, &i64)) all_int = false;
+    if (!ParseDouble(s, &d)) all_numeric = false;
+  }
+  if (!any) return ValueType::kString;
+  if (all_int) return ValueType::kInt;
+  if (all_numeric) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+Result<Value> ParseValueField(std::string_view raw, ValueType type,
+                              size_t row) {
+  const std::string_view s = Trim(raw);
+  if (s.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt: {
+      int64_t v;
+      if (!ParseInt(s, &v)) {
+        return Status::InvalidArgument(
+            StringPrintf("row %zu: '%.*s' is not an integer", row,
+                         static_cast<int>(s.size()), s.data()));
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!ParseDouble(s, &v)) {
+        return Status::InvalidArgument(
+            StringPrintf("row %zu: '%.*s' is not numeric", row,
+                         static_cast<int>(s.size()), s.data()));
+      }
+      return Value::Double(v);
+    }
+    default:
+      return Value::String(std::string(raw));
+  }
+}
+
+Result<Relation> BuildRelation(
+    const std::vector<std::vector<std::string>>& rows, const Layout& layout,
+    const Schema& schema, std::string relation_name) {
+  Relation relation(schema, std::move(relation_name));
+  relation.Reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& fields = rows[r];
+    if (fields.size() != rows[0].size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "row %zu has %zu fields, header has %zu", r, fields.size(),
+          rows[0].size()));
+    }
+    std::vector<Value> values;
+    values.reserve(layout.attribute_columns.size());
+    for (size_t a = 0; a < layout.attribute_columns.size(); ++a) {
+      TAGG_ASSIGN_OR_RETURN(
+          Value v, ParseValueField(fields[layout.attribute_columns[a]],
+                                   schema.attribute(a).type, r));
+      values.push_back(std::move(v));
+    }
+    TAGG_ASSIGN_OR_RETURN(Instant start,
+                          ParseInstantField(fields[layout.start_column], r));
+    TAGG_ASSIGN_OR_RETURN(Instant end,
+                          ParseInstantField(fields[layout.end_column], r));
+    TAGG_ASSIGN_OR_RETURN(Period valid, Period::Make(start, end));
+    TAGG_RETURN_IF_ERROR(relation.Append(Tuple(std::move(values), valid)));
+  }
+  return relation;
+}
+
+std::string EscapeField(const std::string& s) {
+  bool needs_quotes = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ValueToCsvField(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kDouble:
+      return StringPrintf("%.17g", v.AsDouble());
+    case ValueType::kString:
+      return EscapeField(v.AsString());
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<Relation> ParseCsvRelation(std::string_view text,
+                                  std::string relation_name) {
+  TAGG_ASSIGN_OR_RETURN(auto rows, SplitCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV input has no header row");
+  }
+  TAGG_ASSIGN_OR_RETURN(Layout layout, ParseHeader(rows[0]));
+  std::vector<Attribute> attributes;
+  for (size_t a = 0; a < layout.attribute_columns.size(); ++a) {
+    attributes.push_back({layout.attribute_names[a],
+                          InferType(rows, layout.attribute_columns[a])});
+  }
+  TAGG_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attributes)));
+  return BuildRelation(rows, layout, schema, std::move(relation_name));
+}
+
+Result<Relation> ParseCsvRelationWithSchema(std::string_view text,
+                                            const Schema& schema,
+                                            std::string relation_name) {
+  TAGG_ASSIGN_OR_RETURN(auto rows, SplitCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV input has no header row");
+  }
+  TAGG_ASSIGN_OR_RETURN(Layout layout, ParseHeader(rows[0]));
+  if (layout.attribute_names.size() != schema.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "CSV has %zu attribute columns, schema declares %zu",
+        layout.attribute_names.size(), schema.size()));
+  }
+  for (size_t a = 0; a < schema.size(); ++a) {
+    if (!EqualsIgnoreCase(layout.attribute_names[a],
+                          schema.attribute(a).name)) {
+      return Status::InvalidArgument(
+          "CSV column '" + layout.attribute_names[a] +
+          "' does not match schema attribute '" + schema.attribute(a).name +
+          "'");
+    }
+  }
+  return BuildRelation(rows, layout, schema, std::move(relation_name));
+}
+
+std::string RelationToCsv(const Relation& relation) {
+  std::string out;
+  const Schema& schema = relation.schema();
+  for (size_t a = 0; a < schema.size(); ++a) {
+    out += EscapeField(schema.attribute(a).name);
+    out += ",";
+  }
+  out += std::string(kValidStartColumn) + "," +
+         std::string(kValidEndColumn) + "\n";
+  for (const Tuple& t : relation) {
+    for (size_t a = 0; a < schema.size(); ++a) {
+      out += ValueToCsvField(t.value(a));
+      out += ",";
+    }
+    out += InstantToString(t.start()) + "," + InstantToString(t.end()) +
+           "\n";
+  }
+  return out;
+}
+
+Result<Relation> LoadCsvRelation(const std::string& path,
+                                 std::string relation_name) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("error reading '" + path + "'");
+  return ParseCsvRelation(text, std::move(relation_name));
+}
+
+Status SaveCsvRelation(const Relation& relation, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  const std::string text = RelationToCsv(relation);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) return Status::IOError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace tagg

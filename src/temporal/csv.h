@@ -1,0 +1,49 @@
+// CSV import/export for valid-time relations.
+//
+// Format: a header row of attribute names, then one row per tuple.  Two
+// reserved trailing columns, `valid_start` and `valid_end`, carry the
+// tuple's validity period; `valid_end` accepts the literal "forever".
+// Fields follow RFC-4180 quoting: commas/quotes/newlines inside a field
+// require double quotes, with "" as the escaped quote.
+//
+// Attribute types are declared by the caller (schema-first import) or
+// inferred from the data (int if every value parses as an integer, else
+// double if numeric, else string).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// Column names reserved for the validity period.
+inline constexpr std::string_view kValidStartColumn = "valid_start";
+inline constexpr std::string_view kValidEndColumn = "valid_end";
+
+/// Parses CSV text into a relation, inferring attribute types.
+/// The header must contain `valid_start` and `valid_end` (any position);
+/// all other columns become attributes in header order.
+Result<Relation> ParseCsvRelation(std::string_view text,
+                                  std::string relation_name);
+
+/// Parses CSV text against a declared schema (the header's non-period
+/// columns must match the schema's names, case-insensitively, in order).
+Result<Relation> ParseCsvRelationWithSchema(std::string_view text,
+                                            const Schema& schema,
+                                            std::string relation_name);
+
+/// Renders a relation as CSV (attributes, then valid_start, valid_end).
+std::string RelationToCsv(const Relation& relation);
+
+/// Reads and parses a CSV file from disk.
+Result<Relation> LoadCsvRelation(const std::string& path,
+                                 std::string relation_name);
+
+/// Writes a relation to a CSV file.
+Status SaveCsvRelation(const Relation& relation, const std::string& path);
+
+}  // namespace tagg

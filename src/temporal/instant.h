@@ -1,0 +1,34 @@
+// Instants: points on the discrete time-line of a temporal database.
+//
+// The paper (Section 2) models time as a sequence of instants, "the smallest
+// measurable period of time in a temporal database", with 0 as the origin
+// and infinity as the greatest timestamp.  We represent an instant as a
+// 64-bit integer; kForever plays the role of the paper's "oo" timestamp.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tagg {
+
+/// A point on the discrete time-line.
+using Instant = int64_t;
+
+/// The origin of the time-line (the paper's "0").
+inline constexpr Instant kOrigin = 0;
+
+/// The greatest representable timestamp (the paper's "oo" / "forever").
+/// One less than the int64 maximum so that `t + 1` never overflows while
+/// splitting intervals.
+inline constexpr Instant kForever =
+    std::numeric_limits<Instant>::max() - 1;
+
+/// Renders an instant, printing kForever as "forever".
+inline std::string InstantToString(Instant t) {
+  if (t >= kForever) return "forever";
+  return std::to_string(t);
+}
+
+}  // namespace tagg

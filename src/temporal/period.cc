@@ -1,0 +1,54 @@
+#include "temporal/period.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace tagg {
+
+Period::Period(Instant start, Instant end) : start_(start), end_(end) {
+  TAGG_DCHECK(start <= end) << "invalid period [" << start << ", " << end
+                            << "]";
+}
+
+Result<Period> Period::Make(Instant start, Instant end) {
+  if (start > end) {
+    return Status::InvalidArgument(
+        StringPrintf("period start %lld after end %lld",
+                     static_cast<long long>(start),
+                     static_cast<long long>(end)));
+  }
+  if (start < kOrigin || end > kForever) {
+    return Status::OutOfRange("period outside [origin, forever]");
+  }
+  return Period(start, end);
+}
+
+Instant Period::duration() const {
+  if (end_ >= kForever) return kForever;
+  return end_ - start_ + 1;
+}
+
+Result<Period> Period::Intersect(const Period& other) const {
+  if (!Overlaps(other)) {
+    return Status::InvalidArgument("periods " + ToString() + " and " +
+                                   other.ToString() + " are disjoint");
+  }
+  return Period(std::max(start_, other.start_), std::min(end_, other.end_));
+}
+
+Result<Period> Period::Union(const Period& other) const {
+  if (!Overlaps(other) && !MeetsBefore(other) && !other.MeetsBefore(*this)) {
+    return Status::InvalidArgument("periods " + ToString() + " and " +
+                                   other.ToString() +
+                                   " neither overlap nor meet");
+  }
+  return Period(std::min(start_, other.start_), std::max(end_, other.end_));
+}
+
+std::string Period::ToString() const {
+  return "[" + InstantToString(start_) + ", " + InstantToString(end_) + "]";
+}
+
+}  // namespace tagg

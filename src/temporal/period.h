@@ -1,0 +1,82 @@
+// Period: a closed interval [start, end] of instants.
+//
+// The paper assumes closed intervals (Section 5): a tuple valid over
+// [18, forever] overlaps every instant t with 18 <= t.  All interval
+// arithmetic in the library (constant intervals, tree node ranges, tuple
+// validity) uses this type.
+
+#pragma once
+
+#include <string>
+
+#include "temporal/instant.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// A closed, non-empty interval of instants [start, end], start <= end.
+class Period {
+ public:
+  /// Constructs [kOrigin, kForever], the whole time-line.
+  Period() : start_(kOrigin), end_(kForever) {}
+
+  /// Constructs [start, end] without validation; prefer Make() for
+  /// untrusted input.  Requires start <= end.
+  Period(Instant start, Instant end);
+
+  /// Validating factory: rejects start > end and out-of-line bounds.
+  static Result<Period> Make(Instant start, Instant end);
+
+  /// The whole time-line [kOrigin, kForever].
+  static Period All() { return Period(); }
+
+  /// A single instant [t, t].
+  static Period At(Instant t) { return Period(t, t); }
+
+  Instant start() const { return start_; }
+  Instant end() const { return end_; }
+
+  /// Number of instants in the period; kForever-sized periods saturate.
+  Instant duration() const;
+
+  bool Contains(Instant t) const { return start_ <= t && t <= end_; }
+  bool Contains(const Period& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+  /// Closed-interval overlap: the two periods share at least one instant.
+  bool Overlaps(const Period& other) const {
+    return start_ <= other.end_ && other.start_ <= end_;
+  }
+  /// True when `other` begins exactly one instant after this period ends.
+  bool MeetsBefore(const Period& other) const {
+    return end_ < kForever && end_ + 1 == other.start_;
+  }
+
+  /// The overlap of two periods; error if they are disjoint.
+  Result<Period> Intersect(const Period& other) const;
+
+  /// The smallest period covering both inputs; error if they neither
+  /// overlap nor meet (a period cannot have holes).
+  Result<Period> Union(const Period& other) const;
+
+  bool operator==(const Period& other) const {
+    return start_ == other.start_ && end_ == other.end_;
+  }
+  bool operator!=(const Period& other) const { return !(*this == other); }
+
+  /// Orders by start, ties broken by end — the paper's "totally ordered by
+  /// time" order (Section 5.2).
+  bool operator<(const Period& other) const {
+    if (start_ != other.start_) return start_ < other.start_;
+    return end_ < other.end_;
+  }
+
+  /// "[start, end]", with kForever printed as "forever".
+  std::string ToString() const;
+
+ private:
+  Instant start_;
+  Instant end_;
+};
+
+}  // namespace tagg

@@ -1,0 +1,71 @@
+// Relation: an in-memory valid-time relation (schema + tuples).
+//
+// Algorithms in src/core consume relations through a single forward scan,
+// matching the paper's "all algorithms read the relation only one time"
+// property (Section 6).
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "temporal/schema.h"
+#include "temporal/tuple.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// A named, schema-checked collection of valid-time tuples in insertion
+/// order (the order the aggregation algorithms see them in).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema, std::string name = "")
+      : schema_(std::move(schema)), name_(std::move(name)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  /// Appends after validating against the schema.
+  Status Append(Tuple tuple);
+
+  /// Appends without validation (trusted internal callers, e.g. the
+  /// workload generator).
+  void AppendUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  void Reserve(size_t n) { tuples_.reserve(n); }
+  void Clear() { tuples_.clear(); }
+
+  /// Sorts tuples "totally ordered by time": by start time, ties broken by
+  /// end time (Section 5.2).  Stable, so value order among exact period
+  /// ties is preserved.
+  void SortByTime();
+
+  /// True when the relation is totally ordered by time.
+  bool IsSortedByTime() const;
+
+  /// The smallest period covering every tuple's validity; error when empty.
+  Result<Period> Lifespan() const;
+
+  /// A copy containing only tuples satisfying `pred`.
+  Relation Filter(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Multi-line rendering for debugging and examples.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::string name_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace tagg

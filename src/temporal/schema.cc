@@ -1,0 +1,63 @@
+#include "temporal/schema.h"
+
+#include "util/str.h"
+
+namespace tagg {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (attributes[i].type == ValueType::kNull) {
+      return Status::InvalidArgument("attribute '" + attributes[i].name +
+                                     "' must have a concrete type");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(attributes[i].name, attributes[j].name)) {
+        return Status::InvalidArgument("duplicate attribute name '" +
+                                       attributes[i].name + "'");
+      }
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::Validate(const std::vector<Value>& values) const {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "tuple has %zu values, schema has %zu attributes", values.size(),
+        attributes_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    if (values[i].type() != attributes_[i].type) {
+      return Status::InvalidArgument(
+          "attribute '" + attributes_[i].name + "' expects " +
+          std::string(ValueTypeToString(attributes_[i].type)) + ", got " +
+          std::string(ValueTypeToString(values[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += " ";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tagg

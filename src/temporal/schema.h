@@ -1,0 +1,57 @@
+// Schema: the ordered list of named, typed attributes of a relation.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "temporal/value.h"
+#include "util/result.h"
+
+namespace tagg {
+
+/// One attribute of a schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Attribute& other) const = default;
+};
+
+/// An immutable, ordered collection of attributes.  Attribute names are
+/// case-insensitive and must be unique.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validating factory: rejects duplicate (case-insensitive) names and
+  /// empty names.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given (case-insensitive) name.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// Checks that `values` matches this schema positionally: correct arity,
+  /// and each value null or of the declared type.
+  Status Validate(const std::vector<Value>& values) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  /// "(name int, salary double)" style rendering.
+  std::string ToString() const;
+
+ private:
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace tagg

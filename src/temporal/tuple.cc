@@ -1,0 +1,15 @@
+#include "temporal/tuple.h"
+
+namespace tagg {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ") @ " + valid_.ToString();
+  return out;
+}
+
+}  // namespace tagg

@@ -1,0 +1,44 @@
+// Tuple: a row of attribute values stamped with a valid-time period.
+//
+// This models the paper's interval relations (Section 2): every tuple
+// carries the closed interval of instants over which its facts hold.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "temporal/period.h"
+#include "temporal/value.h"
+
+namespace tagg {
+
+/// A valid-time tuple: explicit attribute values plus a validity period.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::vector<Value> values, Period valid)
+      : values_(std::move(values)), valid_(valid) {}
+
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(size_t i) const { return values_[i]; }
+  size_t arity() const { return values_.size(); }
+
+  const Period& valid() const { return valid_; }
+  Instant start() const { return valid_.start(); }
+  Instant end() const { return valid_.end(); }
+
+  /// Strict equality of values and period.
+  bool operator==(const Tuple& other) const {
+    return valid_ == other.valid_ && values_ == other.values_;
+  }
+
+  /// "(v1, v2, ...) @ [s, e]".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+  Period valid_;
+};
+
+}  // namespace tagg

@@ -1,0 +1,70 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+//
+// Library code reports recoverable failures through Status; CHECKs are
+// reserved for conditions that indicate a bug in this library itself.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tagg {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ protected:
+  /// Writes the accumulated line to stderr (once).  Called by the
+  /// destructor, and by FatalLogMessage before aborting — a derived
+  /// destructor runs before the base one, so the fatal path must flush
+  /// explicitly or the message would be lost.
+  void Emit();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+  bool emitted_ = false;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kError, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+
+#define TAGG_LOG(level)                                             \
+  ::tagg::internal::LogMessage(::tagg::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#define TAGG_CHECK(cond)                                   \
+  if (!(cond))                                             \
+  ::tagg::internal::FatalLogMessage(__FILE__, __LINE__)    \
+      << "Check failed: " #cond " "
+
+#define TAGG_DCHECK(cond) TAGG_CHECK(cond)
+
+}  // namespace tagg

@@ -1,0 +1,82 @@
+// Result<T>: a value or an error Status, in the style of arrow::Result /
+// absl::StatusOr.  Used as the return type of fallible functions that
+// produce a value.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace tagg {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (the error path).  Constructing a Result
+  /// from an OK status is a programming error and is remapped to kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value.  Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Moves the value out of an rvalue Result.  Returns by value rather
+  /// than T&&: a reference into the dying temporary is a dangling-use
+  /// hazard (and provokes a GCC 12 miscompile when the surrounding code
+  /// uses "+m,r"-constrained inline asm, as google-benchmark's
+  /// DoNotOptimize does).
+  T value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define TAGG_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto TAGG_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!TAGG_CONCAT_(_res_, __LINE__).ok())           \
+    return TAGG_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(TAGG_CONCAT_(_res_, __LINE__)).value()
+
+#define TAGG_CONCAT_INNER_(a, b) a##b
+#define TAGG_CONCAT_(a, b) TAGG_CONCAT_INNER_(a, b)
+
+}  // namespace tagg

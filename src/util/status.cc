@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace tagg {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+}  // namespace tagg

@@ -1,0 +1,330 @@
+#include "core/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+// --- monoid laws -----------------------------------------------------------
+
+template <typename Op>
+void ExpectMonoidLaws(const std::vector<double>& inputs) {
+  using State = typename Op::State;
+  // Identity.
+  State s = Op::Identity();
+  for (double v : inputs) Op::Add(s, v);
+  EXPECT_EQ(Op::Combine(s, Op::Identity()), s);
+  EXPECT_EQ(Op::Combine(Op::Identity(), s), s);
+  // Commutativity + associativity over single-element states.
+  std::vector<State> singles;
+  for (double v : inputs) {
+    State one = Op::Identity();
+    Op::Add(one, v);
+    singles.push_back(one);
+  }
+  if (singles.size() >= 3) {
+    const State ab = Op::Combine(singles[0], singles[1]);
+    const State ba = Op::Combine(singles[1], singles[0]);
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(Op::Combine(ab, singles[2]),
+              Op::Combine(singles[0], Op::Combine(singles[1], singles[2])));
+  }
+}
+
+TEST(AggregateOpsTest, CountIsAMonoid) {
+  ExpectMonoidLaws<CountOp>({1, 2, 3, 4});
+}
+TEST(AggregateOpsTest, SumIsAMonoid) {
+  ExpectMonoidLaws<SumOp>({1, 2, 3, 4});
+}
+TEST(AggregateOpsTest, MinIsAMonoid) {
+  ExpectMonoidLaws<MinOp>({5, -2, 9, 0});
+}
+TEST(AggregateOpsTest, MaxIsAMonoid) {
+  ExpectMonoidLaws<MaxOp>({5, -2, 9, 0});
+}
+TEST(AggregateOpsTest, AvgIsAMonoid) {
+  ExpectMonoidLaws<AvgOp>({2, 4, 6});
+}
+
+// --- finalization ----------------------------------------------------------
+
+TEST(AggregateOpsTest, CountFinalize) {
+  CountOp::State s = CountOp::Identity();
+  EXPECT_EQ(CountOp::Finalize(s), Value::Int(0));
+  CountOp::Add(s, 99.0);  // input ignored
+  CountOp::Add(s, 1.0);
+  EXPECT_EQ(CountOp::Finalize(s), Value::Int(2));
+}
+
+TEST(AggregateOpsTest, EmptyStatesFinalizeToNull) {
+  EXPECT_EQ(SumOp::Finalize(SumOp::Identity()), Value::Null());
+  EXPECT_EQ(MinOp::Finalize(MinOp::Identity()), Value::Null());
+  EXPECT_EQ(MaxOp::Finalize(MaxOp::Identity()), Value::Null());
+  EXPECT_EQ(AvgOp::Finalize(AvgOp::Identity()), Value::Null());
+}
+
+TEST(AggregateOpsTest, SumMinMaxAvgValues) {
+  SumOp::State sum = SumOp::Identity();
+  MinOp::State mn = MinOp::Identity();
+  MaxOp::State mx = MaxOp::Identity();
+  AvgOp::State avg = AvgOp::Identity();
+  for (double v : {4.0, -1.0, 9.0}) {
+    SumOp::Add(sum, v);
+    MinOp::Add(mn, v);
+    MaxOp::Add(mx, v);
+    AvgOp::Add(avg, v);
+  }
+  EXPECT_EQ(SumOp::Finalize(sum), Value::Double(12.0));
+  EXPECT_EQ(MinOp::Finalize(mn), Value::Double(-1.0));
+  EXPECT_EQ(MaxOp::Finalize(mx), Value::Double(9.0));
+  EXPECT_EQ(AvgOp::Finalize(avg), Value::Double(4.0));
+}
+
+TEST(AggregateOpsTest, IsEmptyTracksContent) {
+  EXPECT_TRUE(CountOp::IsEmpty(CountOp::Identity()));
+  EXPECT_TRUE(MinOp::IsEmpty(MinOp::Identity()));
+  MinOp::State s = MinOp::Identity();
+  MinOp::Add(s, 0.0);  // adding value 0 must still mark non-empty
+  EXPECT_FALSE(MinOp::IsEmpty(s));
+}
+
+// --- names and parsing -------------------------------------------------
+
+TEST(AggregateKindTest, Names) {
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kCount), "COUNT");
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kAvg), "AVG");
+  EXPECT_EQ(AlgorithmKindToString(AlgorithmKind::kKOrderedTree),
+            "k-ordered-tree");
+}
+
+TEST(AggregateKindTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(ParseAggregateKind("Count").value(), AggregateKind::kCount);
+  EXPECT_EQ(ParseAggregateKind("SUM").value(), AggregateKind::kSum);
+  EXPECT_EQ(ParseAggregateKind("avg").value(), AggregateKind::kAvg);
+  EXPECT_FALSE(ParseAggregateKind("median").ok());
+}
+
+// --- MakeAggregator / ComputeTemporalAggregate validation -------------------
+
+TEST(MakeAggregatorTest, RejectsNegativeK) {
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kKOrderedTree;
+  options.k = -2;
+  EXPECT_FALSE(MakeAggregator(options).ok());
+}
+
+TEST(MakeAggregatorTest, CreatesEveryCombination) {
+  for (AggregateKind agg :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg}) {
+    for (AlgorithmKind algo :
+         {AlgorithmKind::kLinkedList, AlgorithmKind::kAggregationTree,
+          AlgorithmKind::kKOrderedTree, AlgorithmKind::kBalancedTree,
+          AlgorithmKind::kTwoScan, AlgorithmKind::kReference}) {
+      AggregateOptions options;
+      options.aggregate = agg;
+      options.algorithm = algo;
+      EXPECT_TRUE(MakeAggregator(options).ok())
+          << AggregateKindToString(agg) << "/"
+          << AlgorithmKindToString(algo);
+    }
+  }
+}
+
+TEST(ComputeTemporalAggregateTest, SumRequiresAttribute) {
+  Relation r = testutil::MakeRelation({{0, 5, 10}});
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kSum;
+  EXPECT_TRUE(
+      ComputeTemporalAggregate(r, options).status().IsInvalidArgument());
+}
+
+TEST(ComputeTemporalAggregateTest, AttributeIndexChecked) {
+  Relation r = testutil::MakeRelation({{0, 5, 10}});
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kSum;
+  options.attribute = 99;
+  EXPECT_TRUE(
+      ComputeTemporalAggregate(r, options).status().IsInvalidArgument());
+}
+
+TEST(ComputeTemporalAggregateTest, NonNumericAttributeRejected) {
+  Relation r = testutil::MakeRelation({{0, 5, 10}});
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kMin;
+  options.attribute = 0;  // name: string
+  EXPECT_TRUE(
+      ComputeTemporalAggregate(r, options).status().IsNotSupported());
+}
+
+TEST(ComputeTemporalAggregateTest, CountStarOverEmptyRelation) {
+  Relation r(EmployedSchema(), "empty");
+  AggregateOptions options;
+  auto series = ComputeTemporalAggregate(r, options);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->intervals.size(), 1u);
+  EXPECT_EQ(series->intervals[0].period, Period::All());
+  EXPECT_EQ(series->intervals[0].value, Value::Int(0));
+}
+
+TEST(ComputeTemporalAggregateTest, NullInputsAreSkipped) {
+  Relation r(EmployedSchema(), "employed");
+  r.AppendUnchecked(
+      Tuple({Value::String("a"), Value::Null()}, Period(0, 10)));
+  r.AppendUnchecked(
+      Tuple({Value::String("b"), Value::Int(5)}, Period(0, 10)));
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kSum;
+  options.attribute = 1;
+  auto series = ComputeTemporalAggregate(r, options);
+  ASSERT_TRUE(series.ok());
+  // SUM over [0,10] sees only the non-null 5.
+  EXPECT_EQ(series->intervals[0].value, Value::Double(5.0));
+  // COUNT(salary) counts only non-null inputs.
+  options.aggregate = AggregateKind::kCount;
+  auto count = ComputeTemporalAggregate(r, options);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->intervals[0].value, Value::Int(1));
+}
+
+// --- post-processing ---------------------------------------------------
+
+TEST(PostProcessTest, CoalesceEqualValues) {
+  std::vector<ResultInterval> in = {
+      {Period(0, 4), Value::Int(1)},
+      {Period(5, 9), Value::Int(1)},
+      {Period(10, 14), Value::Int(2)},
+      {Period(15, kForever), Value::Int(1)},
+  };
+  const auto out = CoalesceEqualValues(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (ResultInterval{Period(0, 9), Value::Int(1)}));
+  EXPECT_EQ(out[1], (ResultInterval{Period(10, 14), Value::Int(2)}));
+  EXPECT_EQ(out[2], (ResultInterval{Period(15, kForever), Value::Int(1)}));
+}
+
+TEST(PostProcessTest, CoalesceRequiresAdjacency) {
+  std::vector<ResultInterval> in = {
+      {Period(0, 4), Value::Int(1)},
+      {Period(6, 9), Value::Int(1)},  // gap at 5
+  };
+  EXPECT_EQ(CoalesceEqualValues(in).size(), 2u);
+}
+
+TEST(PostProcessTest, DropEmptyIntervalsByAggregateKind) {
+  std::vector<ResultInterval> counts = {
+      {Period(0, 4), Value::Int(0)},
+      {Period(5, 9), Value::Int(3)},
+  };
+  EXPECT_EQ(DropEmptyIntervals(counts, AggregateKind::kCount).size(), 1u);
+
+  std::vector<ResultInterval> sums = {
+      {Period(0, 4), Value::Null()},
+      {Period(5, 9), Value::Double(0.0)},  // a real zero sum is kept
+  };
+  const auto kept = DropEmptyIntervals(sums, AggregateKind::kSum);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].value, Value::Double(0.0));
+}
+
+TEST(PostProcessTest, OptionsApplyDropAndCoalesce) {
+  // Two identical back-to-back tuples: [0,9] twice.
+  Relation r = testutil::MakeRelation({{0, 9, 1}, {0, 9, 1}});
+  AggregateOptions options;
+  options.drop_empty = true;
+  auto series = ComputeTemporalAggregate(r, options);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->intervals.size(), 1u);
+  EXPECT_EQ(series->intervals[0].period, Period(0, 9));
+  EXPECT_EQ(series->intervals[0].value, Value::Int(2));
+}
+
+TEST(AggregateSeriesTest, ToStringTruncates) {
+  AggregateSeries series;
+  for (int i = 0; i < 40; ++i) {
+    series.intervals.push_back(
+        {Period(i * 10, i * 10 + 9), Value::Int(i)});
+  }
+  const std::string s = series.ToString(5);
+  EXPECT_NE(s.find("[0, 9] -> 0"), std::string::npos);
+  EXPECT_NE(s.find("(35 more)"), std::string::npos);
+  EXPECT_EQ(s.find("[60, 69]"), std::string::npos);
+}
+
+// --- scalar reductions over a series ------------------------------------
+
+AggregateSeries MakeSeries(std::vector<ResultInterval> intervals) {
+  AggregateSeries s;
+  s.intervals = std::move(intervals);
+  return s;
+}
+
+TEST(SeriesReductionTest, TimeWeightedAverage) {
+  // value 2 for 10 instants, value 4 for 30 instants -> (20+120)/40 = 3.5.
+  const auto series = MakeSeries({
+      {Period(0, 9), Value::Int(2)},
+      {Period(10, 39), Value::Int(4)},
+      {Period(40, kForever), Value::Int(0)},  // unbounded: excluded
+  });
+  auto avg = TimeWeightedAverage(series);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(*avg, 3.5);
+}
+
+TEST(SeriesReductionTest, TimeWeightedAverageSkipsNulls) {
+  const auto series = MakeSeries({
+      {Period(0, 9), Value::Null()},
+      {Period(10, 19), Value::Double(7.0)},
+  });
+  auto avg = TimeWeightedAverage(series);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(*avg, 7.0);
+}
+
+TEST(SeriesReductionTest, TimeWeightedAverageErrorsWhenNothingBounded) {
+  const auto all_unbounded =
+      MakeSeries({{Period(0, kForever), Value::Int(1)}});
+  EXPECT_FALSE(TimeWeightedAverage(all_unbounded).ok());
+  const auto all_null = MakeSeries({{Period(0, 9), Value::Null()},
+                                    {Period(10, kForever), Value::Null()}});
+  EXPECT_FALSE(TimeWeightedAverage(all_null).ok());
+}
+
+TEST(SeriesReductionTest, SeriesMaxAndMin) {
+  const auto series = MakeSeries({
+      {Period(0, 9), Value::Int(1)},
+      {Period(10, 19), Value::Int(5)},
+      {Period(20, 29), Value::Int(5)},  // tie: first wins
+      {Period(30, kForever), Value::Int(0)},
+  });
+  auto mx = SeriesMax(series);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx->period, Period(10, 19));
+  EXPECT_EQ(mx->value, Value::Int(5));
+  auto mn = SeriesMin(series);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(mn->period, Period(30, kForever));
+}
+
+TEST(SeriesReductionTest, ExtremaRequireNonNullValues) {
+  const auto empty = MakeSeries({{Period::All(), Value::Null()}});
+  EXPECT_FALSE(SeriesMax(empty).ok());
+  EXPECT_FALSE(SeriesMin(empty).ok());
+}
+
+TEST(SeriesReductionTest, EndToEndOverEmployed) {
+  Relation employed = MakeFigure1EmployedRelation();
+  AggregateOptions options;  // COUNT(*)
+  auto series = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(series.ok());
+  auto peak = SeriesMax(*series);
+  ASSERT_TRUE(peak.ok());
+  EXPECT_EQ(peak->period, Period(18, 20));
+  EXPECT_EQ(peak->value, Value::Int(3));
+}
+
+}  // namespace
+}  // namespace tagg

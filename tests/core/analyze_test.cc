@@ -1,0 +1,93 @@
+#include "core/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(AnalyzeTest, EmptyRelation) {
+  Relation r(EmployedSchema(), "empty");
+  const RelationProfile profile = AnalyzeRelation(r);
+  EXPECT_EQ(profile.num_tuples, 0u);
+  EXPECT_TRUE(profile.sorted);
+  EXPECT_EQ(profile.k, 0);
+}
+
+TEST(AnalyzeTest, SortedRelationProfile) {
+  WorkloadSpec spec;
+  spec.num_tuples = 300;
+  spec.order = TupleOrder::kSorted;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  const RelationProfile profile = AnalyzeRelation(*relation);
+  EXPECT_TRUE(profile.sorted);
+  EXPECT_EQ(profile.k, 0);
+  EXPECT_EQ(profile.num_tuples, 300u);
+  EXPECT_GT(profile.unique_boundaries, 0u);
+}
+
+TEST(AnalyzeTest, KOrderedProfileMeasuresK) {
+  WorkloadSpec spec;
+  spec.num_tuples = 500;
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 12;
+  spec.k_percentage = 0.1;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  const RelationProfile profile = AnalyzeRelation(*relation);
+  EXPECT_FALSE(profile.sorted);
+  EXPECT_EQ(profile.k, 12);
+  EXPECT_NEAR(profile.k_percentage, 0.1, 1e-9);
+}
+
+TEST(AnalyzeTest, LongLivedFractionDetected) {
+  WorkloadSpec spec;
+  spec.num_tuples = 400;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 4;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  const RelationProfile profile = AnalyzeRelation(*relation);
+  // Generated long-lived tuples span >= 20% of the 1M lifespan, exactly
+  // the analyzer's threshold.
+  EXPECT_NEAR(profile.long_lived_fraction, 0.4, 0.02);
+}
+
+TEST(AnalyzeTest, UniqueBoundariesBoundsResultSize) {
+  Relation r = testutil::MakeRelation(
+      {{0, 9, 1}, {0, 9, 2}, {0, 9, 3}, {20, 29, 4}});
+  const RelationProfile profile = AnalyzeRelation(r);
+  // Boundaries: 10, 20, 30 (start 0 adds none beyond the origin cut).
+  EXPECT_EQ(profile.unique_boundaries, 3u);
+}
+
+TEST(AnalyzeTest, ProfilesFeedThePlanner) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.order = TupleOrder::kSorted;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  const RelationProfile profile = AnalyzeRelation(*relation);
+  const Plan plan = ChoosePlan(ToPlannerInput(profile));
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(plan.k, 1);
+}
+
+TEST(AnalyzeTest, ProfilesDeclareCatalogStats) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 5;
+  spec.k_percentage = 0.05;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  const RelationStats stats = ToRelationStats(AnalyzeRelation(*relation));
+  EXPECT_FALSE(stats.known_sorted);
+  EXPECT_EQ(stats.declared_k, 5);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,114 @@
+#include "core/constant_interval.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+// The paper's Figure 2: the Employed relation's four tuples induce seven
+// constant intervals from six unique timestamps.
+TEST(ConstantIntervalTest, Figure2EmployedInducesSevenIntervals) {
+  const std::vector<Period> periods = {
+      Period(18, kForever),  // Richard
+      Period(8, 20),         // Karen
+      Period(7, 12),         // Nathan
+      Period(18, 21),        // Nathan
+  };
+  const std::vector<Instant> cuts = ConstantIntervalCuts(periods);
+  // Boundaries at 0 plus start times {7, 8, 18} and end+1 times
+  // {13, 21, 22} (forever adds no boundary).
+  EXPECT_EQ(cuts, (std::vector<Instant>{0, 7, 8, 13, 18, 21, 22}));
+
+  const std::vector<Period> partition = CutsToPartition(cuts);
+  ASSERT_EQ(partition.size(), 7u);
+  EXPECT_EQ(partition[0], Period(0, 6));
+  EXPECT_EQ(partition[1], Period(7, 7));
+  EXPECT_EQ(partition[2], Period(8, 12));
+  EXPECT_EQ(partition[3], Period(13, 17));
+  EXPECT_EQ(partition[4], Period(18, 20));
+  EXPECT_EQ(partition[5], Period(21, 21));
+  EXPECT_EQ(partition[6], Period(22, kForever));
+}
+
+// Figure 2.b: a tuple whose end is forever contributes only its start as a
+// new boundary — "since only the 18 is a unique timestamp we only add one
+// constant interval".
+TEST(ConstantIntervalTest, ForeverEndAddsSingleBoundary) {
+  const auto cuts = ConstantIntervalCuts({Period(18, kForever)});
+  EXPECT_EQ(cuts, (std::vector<Instant>{0, 18}));
+  EXPECT_EQ(CutsToPartition(cuts).size(), 2u);
+}
+
+TEST(ConstantIntervalTest, EmptyInputGivesSingleInterval) {
+  const auto cuts = ConstantIntervalCuts({});
+  EXPECT_EQ(cuts, (std::vector<Instant>{0}));
+  const auto partition = CutsToPartition(cuts);
+  ASSERT_EQ(partition.size(), 1u);
+  EXPECT_EQ(partition[0], Period::All());
+}
+
+TEST(ConstantIntervalTest, DuplicateTimestampsCollapse) {
+  const auto cuts =
+      ConstantIntervalCuts({Period(5, 10), Period(5, 10), Period(5, 10)});
+  EXPECT_EQ(cuts, (std::vector<Instant>{0, 5, 11}));
+}
+
+TEST(ConstantIntervalTest, TupleStartingAtOriginAddsNoStartBoundary) {
+  const auto cuts = ConstantIntervalCuts({Period(0, 9)});
+  EXPECT_EQ(cuts, (std::vector<Instant>{0, 10}));
+}
+
+TEST(ConstantIntervalTest, PartitionAlwaysCoversTimeline) {
+  const auto partition = CutsToPartition(
+      ConstantIntervalCuts({Period(3, 9), Period(100, 200)}));
+  EXPECT_EQ(partition.front().start(), kOrigin);
+  EXPECT_EQ(partition.back().end(), kForever);
+  for (size_t i = 1; i < partition.size(); ++i) {
+    EXPECT_TRUE(partition[i - 1].MeetsBefore(partition[i]));
+  }
+}
+
+TEST(ValidatePartitionTest, AcceptsValid) {
+  std::vector<ResultInterval> good = {
+      {Period(0, 9), Value::Int(0)},
+      {Period(10, 20), Value::Int(1)},
+      {Period(21, kForever), Value::Int(0)},
+  };
+  EXPECT_TRUE(ValidatePartition(good).ok());
+}
+
+TEST(ValidatePartitionTest, RejectsEmpty) {
+  EXPECT_TRUE(ValidatePartition({}).IsCorruption());
+}
+
+TEST(ValidatePartitionTest, RejectsGap) {
+  std::vector<ResultInterval> gap = {
+      {Period(0, 9), Value::Int(0)},
+      {Period(11, kForever), Value::Int(0)},
+  };
+  EXPECT_TRUE(ValidatePartition(gap).IsCorruption());
+}
+
+TEST(ValidatePartitionTest, RejectsOverlap) {
+  std::vector<ResultInterval> overlap = {
+      {Period(0, 10), Value::Int(0)},
+      {Period(10, kForever), Value::Int(0)},
+  };
+  EXPECT_TRUE(ValidatePartition(overlap).IsCorruption());
+}
+
+TEST(ValidatePartitionTest, RejectsWrongEndpoints) {
+  std::vector<ResultInterval> late_start = {
+      {Period(1, kForever), Value::Int(0)}};
+  EXPECT_TRUE(ValidatePartition(late_start).IsCorruption());
+  std::vector<ResultInterval> early_end = {{Period(0, 99), Value::Int(0)}};
+  EXPECT_TRUE(ValidatePartition(early_end).IsCorruption());
+}
+
+TEST(ResultIntervalTest, ToString) {
+  ResultInterval ri{Period(3, 9), Value::Int(2)};
+  EXPECT_EQ(ri.ToString(), "[3, 9] -> 2");
+}
+
+}  // namespace
+}  // namespace tagg

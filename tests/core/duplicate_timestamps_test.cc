@@ -1,0 +1,116 @@
+// Coarse-granularity / duplicate-timestamp behaviour (Section 6.3).
+//
+// "If there were many fewer unique timestamps, which might be the case if
+// the granularity was very coarse, or if most records were written in a
+// short period of time (e.g., a student-records database with grades all
+// written on the last day of the semester), then less memory would be
+// required to store the 'state' for each of the algorithms."
+//
+// These tests squeeze Table 3 workloads into tiny lifespans so timestamps
+// collide heavily, and check (a) correctness is unaffected for every
+// algorithm, and (b) state really shrinks with the number of unique
+// timestamps, not the number of tuples.
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/sortedness.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+Relation CoarseWorkload(size_t n, Instant lifespan, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.num_tuples = n;
+  spec.lifespan = lifespan;
+  spec.short_min_duration = 1;
+  spec.short_max_duration = std::max<Instant>(lifespan / 10, 1);
+  spec.seed = seed;
+  return GenerateEmployedRelation(spec).value();
+}
+
+TEST(DuplicateTimestampsTest, AllAlgorithmsAgreeUnderHeavyTies) {
+  const Relation relation = CoarseWorkload(500, 40, 7);
+  for (AlgorithmKind algo :
+       {AlgorithmKind::kLinkedList, AlgorithmKind::kAggregationTree,
+        AlgorithmKind::kBalancedTree, AlgorithmKind::kTwoScan}) {
+    for (AggregateKind agg :
+         {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+          AggregateKind::kMax, AggregateKind::kAvg}) {
+      testutil::ExpectMatchesReference(relation, agg, algo);
+    }
+  }
+  // k-ordered via presort.
+  testutil::ExpectMatchesReference(relation, AggregateKind::kCount,
+                                   AlgorithmKind::kKOrderedTree, 1,
+                                   /*presort=*/true);
+}
+
+TEST(DuplicateTimestampsTest, StateScalesWithUniqueTimestampsNotTuples) {
+  // 2000 tuples in a 50-instant lifespan: at most 100 unique boundaries.
+  const Relation coarse = CoarseWorkload(2000, 50, 9);
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kAggregationTree;
+  auto series = ComputeTemporalAggregate(coarse, options);
+  ASSERT_TRUE(series.ok());
+  // <= 2 * unique boundaries + 1 intervals, far fewer than 2n+1 = 4001.
+  EXPECT_LE(series->intervals.size(), 101u);
+  // Tree nodes: one split per unique timestamp.
+  EXPECT_LE(series->stats.peak_live_nodes, 2 * 101u + 1);
+
+  options.algorithm = AlgorithmKind::kLinkedList;
+  auto list = ComputeTemporalAggregate(coarse, options);
+  ASSERT_TRUE(list.ok());
+  EXPECT_LE(list->stats.peak_live_nodes, 101u);
+}
+
+TEST(DuplicateTimestampsTest, SingleInstantBurst) {
+  // The student-records extreme: every tuple written at the same instant.
+  Relation burst(EmployedSchema(), "grades");
+  for (int i = 0; i < 1000; ++i) {
+    burst.AppendUnchecked(Tuple(
+        {Value::String("s" + std::to_string(i)), Value::Int(i)},
+        Period(100, 100)));
+  }
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kAggregationTree;
+  auto series = ComputeTemporalAggregate(burst, options);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->intervals.size(), 3u);
+  EXPECT_EQ(series->intervals[1],
+            (ResultInterval{Period(100, 100), Value::Int(1000)}));
+  // Exactly 2 splits' worth of nodes, regardless of 1000 tuples.
+  EXPECT_EQ(series->stats.peak_live_nodes, 5u);
+}
+
+TEST(DuplicateTimestampsTest, KOrderedTreeThrivesOnTies) {
+  // Sorted coarse input: ties everywhere, GC must still stream.
+  Relation coarse = CoarseWorkload(2000, 200, 11);
+  coarse.SortByTime();
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kKOrderedTree;
+  options.k = 1;
+  auto series = ComputeTemporalAggregate(coarse, options);
+  ASSERT_TRUE(series.ok());
+  testutil::ExpectValidPartition(*series);
+  EXPECT_LE(series->stats.peak_live_nodes, 64u);
+
+  AggregateOptions ref;
+  ref.algorithm = AlgorithmKind::kReference;
+  auto want = ComputeTemporalAggregate(coarse, ref);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(series->intervals, want->intervals);
+}
+
+TEST(DuplicateTimestampsTest, SortednessMetricsHandleTies) {
+  const Relation coarse = CoarseWorkload(300, 20, 13);
+  Relation sorted = coarse;
+  sorted.SortByTime();
+  const auto report = MeasureSortedness(sorted);
+  EXPECT_EQ(report.k, 0) << "stable tie handling must see sorted as sorted";
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,131 @@
+// End-to-end reproduction of the paper's running example: the Employed
+// relation of Figure 1, the constant intervals of Figure 2, and the
+// Table 1 result of
+//
+//     SELECT COUNT(Name) FROM Employed E
+//
+// grouped (by TSQL2 default) by instant.
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+// The counts derived in Section 5.1 / Figure 3.d.
+const std::vector<ResultInterval> kTable1WithEmpties = {
+    {Period(0, 6), Value::Int(0)},
+    {Period(7, 7), Value::Int(1)},
+    {Period(8, 12), Value::Int(2)},
+    {Period(13, 17), Value::Int(1)},
+    {Period(18, 20), Value::Int(3)},
+    {Period(21, 21), Value::Int(2)},
+    {Period(22, kForever), Value::Int(1)},
+};
+
+TEST(EmployedExampleTest, Figure1RelationShape) {
+  Relation employed = MakeFigure1EmployedRelation();
+  ASSERT_EQ(employed.size(), 4u);
+  EXPECT_EQ(employed.tuple(0).value(0), Value::String("Richard"));
+  EXPECT_EQ(employed.tuple(0).valid(), Period(18, kForever));
+  EXPECT_EQ(employed.tuple(2).valid(), Period(7, 12));
+  // "the relation is in no particular order"
+  EXPECT_FALSE(employed.IsSortedByTime());
+}
+
+TEST(EmployedExampleTest, Table1CountsFromEveryAlgorithm) {
+  Relation employed = MakeFigure1EmployedRelation();
+  for (AlgorithmKind algo :
+       {AlgorithmKind::kLinkedList, AlgorithmKind::kAggregationTree,
+        AlgorithmKind::kBalancedTree, AlgorithmKind::kTwoScan,
+        AlgorithmKind::kReference}) {
+    AggregateOptions options;
+    options.aggregate = AggregateKind::kCount;
+    options.attribute = 0;  // COUNT(Name)
+    options.algorithm = algo;
+    auto series = ComputeTemporalAggregate(employed, options);
+    ASSERT_TRUE(series.ok()) << AlgorithmKindToString(algo);
+    EXPECT_EQ(series->intervals, kTable1WithEmpties)
+        << AlgorithmKindToString(algo);
+  }
+  // The k-ordered tree needs either sorted input or a sufficient k; the
+  // Figure 1 order is 2-ordered once sorted by start: use presort.
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kCount;
+  options.attribute = 0;
+  options.algorithm = AlgorithmKind::kKOrderedTree;
+  options.presort = true;
+  auto series = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->intervals, kTable1WithEmpties);
+}
+
+TEST(EmployedExampleTest, Table1DropEmptyVariant) {
+  // "each interval in the result is a constant interval with at least one
+  // instant" — dropping the empty [0,6] group gives the published rows.
+  Relation employed = MakeFigure1EmployedRelation();
+  AggregateOptions options;
+  options.aggregate = AggregateKind::kCount;
+  options.attribute = 0;
+  options.drop_empty = true;
+  auto series = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->intervals.size(), 6u);
+  EXPECT_EQ(series->intervals.front(),
+            (ResultInterval{Period(7, 7), Value::Int(1)}));
+  EXPECT_EQ(series->intervals.back(),
+            (ResultInterval{Period(22, kForever), Value::Int(1)}));
+}
+
+TEST(EmployedExampleTest, SalaryAggregatesByHand) {
+  Relation employed = MakeFigure1EmployedRelation();
+  // Over [18,20]: Richard 40000, Karen 45000, Nathan 37000.
+  AggregateOptions options;
+  options.attribute = 1;
+
+  options.aggregate = AggregateKind::kMax;
+  auto mx = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx->intervals[4].value, Value::Double(45000));
+
+  options.aggregate = AggregateKind::kMin;
+  auto mn = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(mn->intervals[4].value, Value::Double(37000));
+
+  options.aggregate = AggregateKind::kSum;
+  auto sum = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->intervals[4].value, Value::Double(122000));
+
+  options.aggregate = AggregateKind::kAvg;
+  auto avg = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(avg->intervals[4].value,
+            Value::Double(122000.0 / 3.0));
+
+  // Before anyone is employed, the value aggregates are NULL.
+  EXPECT_EQ(mx->intervals[0].value, Value::Null());
+}
+
+TEST(EmployedExampleTest, CoalescingMergesEqualNeighbours) {
+  // MIN(salary) over Employed: [13,17] (Karen only, 45000) and the
+  // adjacent [8,12] (Karen 45000 + Nathan 35000 -> 35000) differ; but
+  // COUNT over [7,7] and [13,17] are both 1 yet not adjacent.  Construct
+  // the classic mergeable case instead: two equal-count neighbours.
+  Relation r = testutil::MakeRelation({{0, 9, 1}, {10, 19, 1}});
+  AggregateOptions options;
+  options.coalesce_equal_values = true;
+  auto series = ComputeTemporalAggregate(r, options);
+  ASSERT_TRUE(series.ok());
+  // [0,9]=1 and [10,19]=1 merge; [20,forever]=0 stays.
+  ASSERT_EQ(series->intervals.size(), 2u);
+  EXPECT_EQ(series->intervals[0],
+            (ResultInterval{Period(0, 19), Value::Int(1)}));
+}
+
+}  // namespace
+}  // namespace tagg

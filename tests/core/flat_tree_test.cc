@@ -1,0 +1,139 @@
+#include "core/flat_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregation_tree.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(FlatTreeTest, EmptyInput) {
+  FlatTreeAggregator<CountOp> agg;
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], (TypedInterval<int64_t>{kOrigin, kForever, 0}));
+}
+
+TEST(FlatTreeTest, MatchesPointerTreeExactly) {
+  WorkloadSpec spec;
+  spec.num_tuples = 400;
+  spec.lifespan = 20000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 55;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  FlatTreeAggregator<CountOp> flat;
+  AggregationTreeAggregator<CountOp> pointer;
+  for (const Tuple& t : *relation) {
+    ASSERT_TRUE(flat.Add(t.valid(), 0).ok());
+    ASSERT_TRUE(pointer.Add(t.valid(), 0).ok());
+  }
+  auto a = flat.FinishTyped();
+  auto b = pointer.FinishTyped();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // Same logical node count.
+  EXPECT_EQ(flat.stats().peak_live_nodes, pointer.stats().peak_live_nodes);
+}
+
+TEST(FlatTreeTest, NodesAreSmallerThanPointerNodes) {
+  // The Section 5.1 rationale: index links halve the per-link cost.
+  EXPECT_LT(FlatTreeAggregator<CountOp>::node_bytes(),
+            sizeof(internal::SplitTree<CountOp>::Node));
+  EXPECT_EQ(FlatTreeAggregator<CountOp>::node_bytes(), 24u);
+}
+
+TEST(FlatTreeTest, ReallocationDuringSplitIsSafe) {
+  // Force many vector growths with interleaved splits referencing parents.
+  FlatTreeAggregator<CountOp> agg;
+  for (int i = 0; i < 5000; ++i) {
+    const Instant s = (i * 7919) % 100000;  // scattered
+    ASSERT_TRUE(agg.Add(Period(s, s + 3), 0).ok());
+  }
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  AggregateSeries series;
+  for (const auto& ti : *out) {
+    series.intervals.push_back(
+        {Period(ti.start, ti.end), Value::Int(ti.state)});
+  }
+  testutil::ExpectValidPartition(series);
+}
+
+TEST(FlatTreeTest, MatchesReferenceAcrossAggregates) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.lifespan = 10000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 66;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg}) {
+    AggregateOptions ref_options;
+    ref_options.aggregate = kind;
+    ref_options.algorithm = AlgorithmKind::kReference;
+    ref_options.attribute =
+        kind == AggregateKind::kCount ? AggregateOptions::kNoAttribute : 1;
+    auto want = ComputeTemporalAggregate(*relation, ref_options);
+    ASSERT_TRUE(want.ok());
+
+    auto run = [&](auto op) {
+      using Op = decltype(op);
+      FlatTreeAggregator<Op> agg;
+      for (const Tuple& t : *relation) {
+        double input = 0;
+        if (kind != AggregateKind::kCount) {
+          input = static_cast<double>(t.value(1).AsInt());
+        }
+        EXPECT_TRUE(agg.Add(t.valid(), input).ok());
+      }
+      auto typed = agg.FinishTyped();
+      EXPECT_TRUE(typed.ok());
+      std::vector<ResultInterval> got;
+      for (const auto& ti : *typed) {
+        got.push_back({Period(ti.start, ti.end), Op::Finalize(ti.state)});
+      }
+      EXPECT_EQ(got, want->intervals)
+          << AggregateKindToString(kind);
+    };
+    switch (kind) {
+      case AggregateKind::kCount:
+        run(CountOp{});
+        break;
+      case AggregateKind::kSum:
+        run(SumOp{});
+        break;
+      case AggregateKind::kMin:
+        run(MinOp{});
+        break;
+      case AggregateKind::kMax:
+        run(MaxOp{});
+        break;
+      case AggregateKind::kAvg:
+        run(AvgOp{});
+        break;
+    }
+  }
+}
+
+TEST(FlatTreeTest, ReserveDoesNotChangeResults) {
+  FlatTreeAggregator<CountOp> a;
+  FlatTreeAggregator<CountOp> b;
+  b.ReserveForTuples(100);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.Add(Period(i * 10, i * 10 + 5), 0).ok());
+    ASSERT_TRUE(b.Add(Period(i * 10, i * 10 + 5), 0).ok());
+  }
+  EXPECT_EQ(*a.FinishTyped(), *b.FinishTyped());
+}
+
+}  // namespace
+}  // namespace tagg

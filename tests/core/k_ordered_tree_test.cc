@@ -1,0 +1,191 @@
+#include "core/k_ordered_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregation_tree.h"
+#include "core/sortedness.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(KOrderedTreeTest, EmptyInput) {
+  KOrderedTreeAggregator<CountOp> agg(1);
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], (TypedInterval<int64_t>{kOrigin, kForever, 0}));
+}
+
+TEST(KOrderedTreeTest, EmployedSortedMatchesKnownCounts) {
+  Relation employed = MakeFigure1EmployedRelation();
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kKOrderedTree;
+  options.k = 1;
+  options.presort = true;
+  auto series = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->intervals.size(), 7u);
+  EXPECT_EQ(series->intervals[4],
+            (ResultInterval{Period(18, 20), Value::Int(3)}));
+  testutil::ExpectValidPartition(*series);
+}
+
+TEST(KOrderedTreeTest, GarbageCollectionActuallyFrees) {
+  // A long sorted stream of short tuples: with k = 1 the live tree must
+  // stay tiny while early intervals stream out.
+  KOrderedTreeAggregator<CountOp> agg(1);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(agg.Add(Period(i * 10, i * 10 + 5), 0).ok());
+  }
+  EXPECT_GT(agg.emitted_so_far(), 3000u);  // ~2 intervals per tuple
+  EXPECT_LT(agg.live_nodes(), 64u);
+  EXPECT_GT(agg.collected_up_to(), 0);
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  // Tuple i covers [10i, 10i+5]: the first starts at the origin, so the
+  // cut points are {0, 6, 10, 16, ...} — exactly 2n constant intervals.
+  EXPECT_EQ(out->size(), static_cast<size_t>(2 * n));
+}
+
+TEST(KOrderedTreeTest, PeakMemoryFarBelowAggregationTree) {
+  WorkloadSpec spec;
+  spec.num_tuples = 2000;
+  spec.lifespan = 1000000;
+  spec.order = TupleOrder::kSorted;
+  spec.seed = 3;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  KOrderedTreeAggregator<CountOp> ktree(1);
+  AggregationTreeAggregator<CountOp> tree;
+  for (const Tuple& t : *relation) {
+    ASSERT_TRUE(ktree.Add(t.valid(), 0).ok());
+    ASSERT_TRUE(tree.Add(t.valid(), 0).ok());
+  }
+  ASSERT_TRUE(ktree.FinishTyped().ok());
+  ASSERT_TRUE(tree.FinishTyped().ok());
+  // Figure 9's separation: orders of magnitude on sorted input.
+  EXPECT_LT(ktree.stats().peak_live_nodes * 10,
+            tree.stats().peak_live_nodes);
+}
+
+TEST(KOrderedTreeTest, EmissionOrderIsGloballySorted) {
+  KOrderedTreeAggregator<CountOp> agg(2);
+  // Slightly out-of-order (2-ordered) stream.
+  const std::vector<std::pair<Instant, Instant>> tuples = {
+      {10, 15}, {5, 8}, {20, 25}, {18, 22}, {30, 35},
+      {28, 33}, {40, 45}, {38, 60}, {50, 55}, {48, 52},
+  };
+  for (const auto& [s, e] : tuples) {
+    ASSERT_TRUE(agg.Add(Period(s, e), 0).ok());
+  }
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 1; i < out->size(); ++i) {
+    EXPECT_EQ((*out)[i - 1].end + 1, (*out)[i].start) << "at " << i;
+  }
+  EXPECT_EQ(out->front().start, kOrigin);
+  EXPECT_EQ(out->back().end, kForever);
+}
+
+TEST(KOrderedTreeTest, DetectsKOrderViolation) {
+  KOrderedTreeAggregator<CountOp> agg(0);  // claims totally ordered
+  ASSERT_TRUE(agg.Add(Period(100, 110), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(200, 210), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(300, 310), 0).ok());
+  // A tuple before the collected boundary must fail loudly.
+  const Status st = agg.Add(Period(50, 60), 0);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(KOrderedTreeTest, LargerKTolerisesMoreDisorder) {
+  // The same stream rejected at k=0 is fine at a sufficient k.
+  const std::vector<std::pair<Instant, Instant>> tuples = {
+      {100, 110}, {200, 210}, {300, 310}, {50, 60}, {400, 410}};
+  KOrderedTreeAggregator<CountOp> tolerant(3);
+  for (const auto& [s, e] : tuples) {
+    ASSERT_TRUE(tolerant.Add(Period(s, e), 0).ok());
+  }
+  auto out = tolerant.FinishTyped();
+  ASSERT_TRUE(out.ok());
+}
+
+TEST(KOrderedTreeTest, MatchesReferenceOnKOrderedWorkload) {
+  for (int64_t k : {1, 4, 16}) {
+    WorkloadSpec spec;
+    spec.num_tuples = 400;
+    spec.lifespan = 100000;
+    spec.order = TupleOrder::kKOrdered;
+    spec.k = k;
+    spec.k_percentage = 0.1;
+    spec.seed = 100 + static_cast<uint64_t>(k);
+    auto relation = GenerateEmployedRelation(spec);
+    ASSERT_TRUE(relation.ok());
+    for (AggregateKind agg :
+         {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+          AggregateKind::kMax, AggregateKind::kAvg}) {
+      testutil::ExpectMatchesReference(*relation, agg,
+                                       AlgorithmKind::kKOrderedTree, k);
+    }
+  }
+}
+
+TEST(KOrderedTreeTest, LongLivedTuplesDelayCollection) {
+  // Section 6.1: "the more longer lived tuples, the greater the number of
+  // nodes ... that will be garbage collected later".
+  WorkloadSpec spec;
+  spec.num_tuples = 1000;
+  spec.lifespan = 1000000;
+  spec.order = TupleOrder::kSorted;
+  spec.seed = 8;
+  spec.long_lived_fraction = 0.0;
+  auto short_lived = GenerateEmployedRelation(spec);
+  spec.long_lived_fraction = 0.8;
+  auto long_lived = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(short_lived.ok());
+  ASSERT_TRUE(long_lived.ok());
+
+  auto peak_of = [](const Relation& r) {
+    KOrderedTreeAggregator<CountOp> agg(1);
+    for (const Tuple& t : r) EXPECT_TRUE(agg.Add(t.valid(), 0).ok());
+    EXPECT_TRUE(agg.FinishTyped().ok());
+    return agg.stats().peak_live_nodes;
+  };
+  EXPECT_GT(peak_of(*long_lived), 2 * peak_of(*short_lived));
+}
+
+TEST(KOrderedTreeTest, WindowIsTwoKPlusOne) {
+  // With k = 1 (window 3), nothing may be collected until the 4th tuple.
+  KOrderedTreeAggregator<CountOp> agg(1);
+  ASSERT_TRUE(agg.Add(Period(10, 11), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(20, 21), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(30, 31), 0).ok());
+  EXPECT_EQ(agg.emitted_so_far(), 0u);
+  ASSERT_TRUE(agg.Add(Period(40, 41), 0).ok());
+  // Now the threshold is tuple 1's start (10); the [0,9] interval is final.
+  EXPECT_GT(agg.emitted_so_far(), 0u);
+}
+
+TEST(KOrderedTreeTest, NegativeKClampsToZero) {
+  KOrderedTreeAggregator<CountOp> agg(-5);
+  EXPECT_EQ(agg.k(), 0);
+}
+
+TEST(KOrderedTreeTest, KZeroOnSortedMatchesReference) {
+  WorkloadSpec spec;
+  spec.num_tuples = 300;
+  spec.lifespan = 50000;
+  spec.order = TupleOrder::kSorted;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 21;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  testutil::ExpectMatchesReference(*relation, AggregateKind::kCount,
+                                   AlgorithmKind::kKOrderedTree, 0);
+}
+
+}  // namespace
+}  // namespace tagg

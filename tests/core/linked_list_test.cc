@@ -1,0 +1,109 @@
+#include "core/linked_list_agg.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(LinkedListTest, EmptyInputIsOneCell) {
+  LinkedListAggregator<CountOp> agg;
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], (TypedInterval<int64_t>{kOrigin, kForever, 0}));
+}
+
+TEST(LinkedListTest, SingleTupleSplitsTwice) {
+  LinkedListAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period(10, 20), 0).ok());
+  EXPECT_EQ(agg.CellCount(), 3u);
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], (TypedInterval<int64_t>{0, 9, 0}));
+  EXPECT_EQ((*out)[1], (TypedInterval<int64_t>{10, 20, 1}));
+  EXPECT_EQ((*out)[2], (TypedInterval<int64_t>{21, kForever, 0}));
+}
+
+TEST(LinkedListTest, TupleAtOriginSplitsOnce) {
+  LinkedListAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period(0, 5), 0).ok());
+  EXPECT_EQ(agg.CellCount(), 2u);
+}
+
+TEST(LinkedListTest, TupleToForeverSplitsOnce) {
+  LinkedListAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period(18, kForever), 0).ok());
+  EXPECT_EQ(agg.CellCount(), 2u);
+}
+
+TEST(LinkedListTest, WholeTimelineTupleSplitsNothing) {
+  LinkedListAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period::All(), 0).ok());
+  EXPECT_EQ(agg.CellCount(), 1u);
+  auto out = agg.FinishTyped();
+  EXPECT_EQ((*out)[0].state, 1);
+}
+
+TEST(LinkedListTest, DuplicatePeriodsReuseCells) {
+  LinkedListAggregator<CountOp> agg;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(agg.Add(Period(10, 20), 0).ok());
+  }
+  EXPECT_EQ(agg.CellCount(), 3u);
+  auto out = agg.FinishTyped();
+  EXPECT_EQ((*out)[1].state, 5);
+}
+
+TEST(LinkedListTest, SingleInstantTuple) {
+  LinkedListAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period::At(7), 0).ok());
+  auto out = agg.FinishTyped();
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[1], (TypedInterval<int64_t>{7, 7, 1}));
+}
+
+TEST(LinkedListTest, EmployedRelationCounts) {
+  Relation employed = MakeFigure1EmployedRelation();
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kLinkedList;
+  auto series = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->intervals.size(), 7u);
+  testutil::ExpectValidPartition(*series);
+}
+
+TEST(LinkedListTest, StatsReportOneScanAndCellCounts) {
+  LinkedListAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period(5, 9), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(20, 29), 0).ok());
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  const ExecutionStats& stats = agg.stats();
+  EXPECT_EQ(stats.relation_scans, 1u);
+  EXPECT_EQ(stats.tuples_processed, 2u);
+  EXPECT_EQ(stats.intervals_emitted, 5u);
+  EXPECT_EQ(stats.peak_live_nodes, 5u);
+  EXPECT_EQ(stats.peak_paper_bytes, 5 * kPaperNodeBytes);
+}
+
+TEST(LinkedListTest, MatchesReferenceOnRandomWorkload) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.lifespan = 10000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 99;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  for (AggregateKind agg :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg}) {
+    testutil::ExpectMatchesReference(*relation, agg,
+                                     AlgorithmKind::kLinkedList);
+  }
+}
+
+}  // namespace
+}  // namespace tagg

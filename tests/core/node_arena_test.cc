@@ -1,0 +1,83 @@
+#include "core/node_arena.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(NodeArenaTest, CountsLiveAndPeak) {
+  NodeArena arena(32);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+  void* a = arena.Allocate();
+  void* b = arena.Allocate();
+  EXPECT_EQ(arena.live_nodes(), 2u);
+  EXPECT_EQ(arena.peak_live_nodes(), 2u);
+  arena.Deallocate(a);
+  EXPECT_EQ(arena.live_nodes(), 1u);
+  EXPECT_EQ(arena.peak_live_nodes(), 2u);  // peak never drops
+  arena.Deallocate(b);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+  EXPECT_EQ(arena.total_allocated_nodes(), 2u);
+}
+
+TEST(NodeArenaTest, RecyclesFreedSlots) {
+  NodeArena arena(16);
+  void* a = arena.Allocate();
+  arena.Deallocate(a);
+  void* b = arena.Allocate();
+  EXPECT_EQ(a, b);  // LIFO free list hands the slot straight back
+}
+
+TEST(NodeArenaTest, SlotsAreDistinctWhileLive) {
+  NodeArena arena(24, /*slots_per_block=*/8);
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate();
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate live slot";
+  }
+  EXPECT_EQ(arena.live_nodes(), 100u);
+}
+
+TEST(NodeArenaTest, GrowsAcrossBlocks) {
+  NodeArena arena(16, /*slots_per_block=*/4);
+  std::vector<void*> slots;
+  for (int i = 0; i < 20; ++i) slots.push_back(arena.Allocate());
+  EXPECT_EQ(arena.live_nodes(), 20u);
+  for (void* p : slots) arena.Deallocate(p);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+}
+
+TEST(NodeArenaTest, ByteAccounting) {
+  NodeArena arena(16);
+  arena.Allocate();
+  arena.Allocate();
+  arena.Allocate();
+  EXPECT_EQ(arena.live_bytes(), 3 * arena.slot_size());
+  EXPECT_EQ(arena.peak_live_bytes(), 3 * arena.slot_size());
+  // Figure 9 accounting: 16 bytes per node regardless of real slot size.
+  EXPECT_EQ(arena.peak_paper_bytes(), 3 * kPaperNodeBytes);
+}
+
+TEST(NodeArenaTest, SlotSizeAtLeastPointer) {
+  NodeArena arena(1);
+  EXPECT_GE(arena.slot_size(), sizeof(void*));
+}
+
+TEST(NodeArenaTest, NewAndDeleteConstruct) {
+  struct Pair {
+    int a;
+    int b;
+  };
+  NodeArena arena(sizeof(Pair));
+  Pair* p = arena.New<Pair>(1, 2);
+  EXPECT_EQ(p->a, 1);
+  EXPECT_EQ(p->b, 2);
+  arena.Delete(p);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace tagg

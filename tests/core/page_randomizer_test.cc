@@ -1,0 +1,106 @@
+#include "core/page_randomizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregation_tree.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(PageRandomizerTest, OrderIsAPermutation) {
+  PageRandomizerOptions options;
+  const auto order = PageRandomizedOrder(1000, options);
+  ASSERT_EQ(order.size(), 1000u);
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PageRandomizerTest, ShufflingStaysWithinGroups) {
+  PageRandomizerOptions options;
+  options.tuples_per_page = 10;
+  options.pages_per_group = 2;  // groups of 20
+  const auto order = PageRandomizedOrder(100, options);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(i / 20, order[i] / 20)
+        << "index " << i << " left its group";
+  }
+}
+
+TEST(PageRandomizerTest, GroupsAreActuallyShuffled) {
+  PageRandomizerOptions options;
+  options.tuples_per_page = 63;
+  options.pages_per_group = 16;
+  const auto order = PageRandomizedOrder(2000, options);
+  size_t displaced = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) ++displaced;
+  }
+  EXPECT_GT(displaced, order.size() / 2);
+}
+
+TEST(PageRandomizerTest, DeterministicPerSeed) {
+  PageRandomizerOptions options;
+  options.seed = 5;
+  const auto a = PageRandomizedOrder(500, options);
+  const auto b = PageRandomizedOrder(500, options);
+  EXPECT_EQ(a, b);
+  options.seed = 6;
+  EXPECT_NE(PageRandomizedOrder(500, options), a);
+}
+
+TEST(PageRandomizerTest, EmptyAndTiny) {
+  PageRandomizerOptions options;
+  EXPECT_TRUE(PageRandomizedOrder(0, options).empty());
+  EXPECT_EQ(PageRandomizedOrder(1, options),
+            (std::vector<size_t>{0}));
+}
+
+TEST(PageRandomizerTest, RelationContentPreserved) {
+  WorkloadSpec spec;
+  spec.num_tuples = 300;
+  spec.order = TupleOrder::kSorted;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  PageRandomizerOptions options;
+  options.tuples_per_page = 16;
+  options.pages_per_group = 4;
+  Relation shuffled = PageRandomize(*relation, options);
+  ASSERT_EQ(shuffled.size(), relation->size());
+  // Same multiset of tuples: aggregate results must be identical.
+  AggregateOptions agg;
+  auto a = ComputeTemporalAggregate(*relation, agg);
+  auto b = ComputeTemporalAggregate(shuffled, agg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->intervals, b->intervals);
+}
+
+TEST(PageRandomizerTest, DelinearizesSortedInput) {
+  // Section 7: randomizing pages of a sorted relation avoids the linear
+  // aggregation tree.
+  WorkloadSpec spec;
+  spec.num_tuples = 2048;
+  spec.order = TupleOrder::kSorted;
+  spec.lifespan = 1000000;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  PageRandomizerOptions options;
+  Relation shuffled = PageRandomize(*relation, options);
+
+  auto depth_of = [](const Relation& r) {
+    AggregationTreeAggregator<CountOp> agg;
+    for (const Tuple& t : r) EXPECT_TRUE(agg.Add(t.valid(), 0).ok());
+    return agg.tree().Depth();
+  };
+  EXPECT_LT(depth_of(shuffled) * 2, depth_of(*relation));
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,199 @@
+#include "core/partitioned_agg.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregation_tree.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+void ExpectMatchesSingleTree(const Relation& relation,
+                             const PartitionedOptions& options) {
+  AggregateOptions single;
+  single.aggregate = options.aggregate;
+  single.attribute = options.attribute;
+  single.algorithm = AlgorithmKind::kAggregationTree;
+  auto want = ComputeTemporalAggregate(relation, single);
+  ASSERT_TRUE(want.ok());
+  auto got = ComputePartitionedAggregate(relation, options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->intervals, want->intervals)
+      << "partitions=" << options.partitions
+      << " spill=" << options.spill_to_disk;
+}
+
+TEST(PartitionedAggTest, ValidatesOptions) {
+  Relation r = testutil::MakeRelation({{0, 9, 1}});
+  PartitionedOptions options;
+  options.partitions = 0;
+  EXPECT_TRUE(
+      ComputePartitionedAggregate(r, options).status().IsInvalidArgument());
+  options.partitions = 4;
+  options.aggregate = AggregateKind::kSum;
+  options.attribute = 99;
+  EXPECT_TRUE(
+      ComputePartitionedAggregate(r, options).status().IsInvalidArgument());
+}
+
+TEST(PartitionedAggTest, SinglePartitionEqualsPlainTree) {
+  Relation employed = MakeFigure1EmployedRelation();
+  PartitionedOptions options;
+  options.partitions = 1;
+  ExpectMatchesSingleTree(employed, options);
+}
+
+TEST(PartitionedAggTest, EmployedAcrossPartitionCounts) {
+  Relation employed = MakeFigure1EmployedRelation();
+  for (size_t p : {2, 3, 4, 7, 16}) {
+    PartitionedOptions options;
+    options.partitions = p;
+    options.attribute = 0;
+    ExpectMatchesSingleTree(employed, options);
+  }
+}
+
+TEST(PartitionedAggTest, RandomWorkloadsMatch) {
+  for (double ll : {0.0, 0.4, 0.8}) {
+    WorkloadSpec spec;
+    spec.num_tuples = 300;
+    spec.lifespan = 20000;
+    spec.long_lived_fraction = ll;
+    spec.seed = 123 + static_cast<uint64_t>(ll * 10);
+    auto relation = GenerateEmployedRelation(spec);
+    ASSERT_TRUE(relation.ok());
+    for (size_t p : {2, 8, 32}) {
+      for (AggregateKind kind :
+           {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+            AggregateKind::kMax, AggregateKind::kAvg}) {
+        PartitionedOptions options;
+        options.partitions = p;
+        options.aggregate = kind;
+        options.attribute =
+            kind == AggregateKind::kCount ? AggregateOptions::kNoAttribute
+                                          : 1;
+        ExpectMatchesSingleTree(*relation, options);
+      }
+    }
+  }
+}
+
+TEST(PartitionedAggTest, SpillToDiskMatches) {
+  WorkloadSpec spec;
+  spec.num_tuples = 250;
+  spec.lifespan = 15000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 321;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  PartitionedOptions options;
+  options.partitions = 8;
+  options.spill_to_disk = true;
+  ExpectMatchesSingleTree(*relation, options);
+}
+
+TEST(PartitionedAggTest, PeakMemoryDropsWithPartitions) {
+  WorkloadSpec spec;
+  spec.num_tuples = 2000;
+  spec.lifespan = 1000000;
+  spec.seed = 9;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  PartitionedOptions one;
+  one.partitions = 1;
+  auto whole = ComputePartitionedAggregate(*relation, one);
+  ASSERT_TRUE(whole.ok());
+
+  PartitionedOptions sixteen;
+  sixteen.partitions = 16;
+  auto split = ComputePartitionedAggregate(*relation, sixteen);
+  ASSERT_TRUE(split.ok());
+
+  // Short-lived tuples rarely straddle regions: peak tree memory should
+  // fall by roughly the partition count.
+  EXPECT_LT(split->stats.peak_live_nodes * 4,
+            whole->stats.peak_live_nodes);
+}
+
+TEST(PartitionedAggTest, ParallelWorkersMatchSequential) {
+  WorkloadSpec spec;
+  spec.num_tuples = 1000;
+  spec.lifespan = 100000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 555;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  PartitionedOptions sequential;
+  sequential.partitions = 16;
+  auto want = ComputePartitionedAggregate(*relation, sequential);
+  ASSERT_TRUE(want.ok());
+
+  for (size_t workers : {2, 4, 8}) {
+    PartitionedOptions parallel = sequential;
+    parallel.parallel_workers = workers;
+    auto got = ComputePartitionedAggregate(*relation, parallel);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->intervals, want->intervals) << workers << " workers";
+  }
+}
+
+TEST(PartitionedAggTest, ParallelIncompatibleWithSpill) {
+  Relation r = testutil::MakeRelation({{0, 9, 1}});
+  PartitionedOptions options;
+  options.spill_to_disk = true;
+  options.parallel_workers = 4;
+  EXPECT_TRUE(
+      ComputePartitionedAggregate(r, options).status().IsInvalidArgument());
+}
+
+TEST(PartitionedAggTest, BoundaryExactlyOnTupleEndpointIsReal) {
+  // Construct a tuple ending exactly where a region begins; the boundary
+  // is then real and the two sides must NOT be merged.
+  // Lifespan [0, 99] with 2 partitions puts a boundary at 50.
+  Relation r = testutil::MakeRelation(
+      {{0, 49, 1}, {50, 99, 1}});  // endpoints exactly at the boundary
+  PartitionedOptions options;
+  options.partitions = 2;
+  auto got = ComputePartitionedAggregate(r, options);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->intervals.size(), 3u);
+  EXPECT_EQ(got->intervals[0].period, Period(0, 49));
+  EXPECT_EQ(got->intervals[1].period, Period(50, 99));
+}
+
+TEST(PartitionedAggTest, ArtificialBoundaryIsStitched) {
+  // One tuple spanning the whole [0, 99] lifespan; the region boundary at
+  // 50 is artificial, so the result must be a single interval across it.
+  Relation r = testutil::MakeRelation({{0, 99, 1}});
+  PartitionedOptions options;
+  options.partitions = 2;
+  auto got = ComputePartitionedAggregate(r, options);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->intervals.size(), 2u);
+  EXPECT_EQ(got->intervals[0].period, Period(0, 99));
+  EXPECT_EQ(got->intervals[0].value, Value::Int(1));
+  EXPECT_EQ(got->intervals[1].period, Period(100, kForever));
+}
+
+TEST(PartitionedAggTest, MorePartitionsThanTuples) {
+  Relation r = testutil::MakeRelation({{10, 20, 1}, {30, 40, 2}});
+  PartitionedOptions options;
+  options.partitions = 64;
+  ExpectMatchesSingleTree(r, options);
+}
+
+TEST(PartitionedAggTest, EmptyRelation) {
+  Relation r(EmployedSchema(), "empty");
+  PartitionedOptions options;
+  options.partitions = 4;
+  auto got = ComputePartitionedAggregate(r, options);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->intervals.size(), 1u);
+  EXPECT_EQ(got->intervals[0].period, Period::All());
+}
+
+}  // namespace
+}  // namespace tagg

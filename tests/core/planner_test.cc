@@ -1,0 +1,144 @@
+// Tests the Section 6.3 optimizer strategy rules.
+
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(PlannerTest, FewResultIntervalsPicksLinkedList) {
+  PlannerInput input;
+  input.num_tuples = 1'000'000;
+  input.expected_result_intervals = 12;  // e.g. one year, span = month
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kLinkedList);
+  EXPECT_FALSE(plan.presort);
+}
+
+TEST(PlannerTest, SortedPicksKOrderedTreeKOne) {
+  PlannerInput input;
+  input.num_tuples = 100000;
+  input.sorted = true;
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(plan.k, 1);
+  EXPECT_FALSE(plan.presort);
+}
+
+TEST(PlannerTest, DeclaredKZeroCountsAsSorted) {
+  PlannerInput input;
+  input.num_tuples = 100000;
+  input.declared_k = 0;
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(plan.k, 1);
+}
+
+TEST(PlannerTest, RetroactivelyBoundedUsesDeclaredK) {
+  // "If the relation is declared ... retroactively bounded, then the
+  // k-ordered aggregation tree would be the algorithm of choice, as no
+  // sorting is required."
+  PlannerInput input;
+  input.num_tuples = 100000;
+  input.declared_k = 48;
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(plan.k, 48);
+  EXPECT_FALSE(plan.presort);
+}
+
+TEST(PlannerTest, UnsortedWithMemoryPicksAggregationTree) {
+  PlannerInput input;
+  input.num_tuples = 10000;
+  input.memory_cheaper_than_io = true;
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kAggregationTree);
+}
+
+TEST(PlannerTest, UnsortedUnderMemoryPressureSortsThenKOne) {
+  PlannerInput input;
+  input.num_tuples = 1'000'000;
+  input.memory_budget_bytes = 1024;  // tree cannot fit
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(plan.k, 1);
+  EXPECT_TRUE(plan.presort);
+}
+
+TEST(PlannerTest, UnsortedWhenIoCheaperSortsThenKOne) {
+  PlannerInput input;
+  input.num_tuples = 10000;
+  input.memory_cheaper_than_io = false;
+  const Plan plan = ChoosePlan(input);
+  EXPECT_EQ(plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_TRUE(plan.presort);
+}
+
+TEST(PlannerTest, SortednessBeatsFewIntervalsOnlyWhenIntervalRuleMisses) {
+  // The few-intervals rule fires first even for sorted relations: a tiny
+  // result is cheap either way and the list needs no window bookkeeping.
+  PlannerInput input;
+  input.num_tuples = 1000;
+  input.sorted = true;
+  input.expected_result_intervals = 3;
+  EXPECT_EQ(ChoosePlan(input).algorithm, AlgorithmKind::kLinkedList);
+}
+
+TEST(PlannerTest, RationaleIsAlwaysPresent) {
+  for (bool sorted : {false, true}) {
+    PlannerInput input;
+    input.num_tuples = 1000;
+    input.sorted = sorted;
+    EXPECT_FALSE(ChoosePlan(input).rationale.empty());
+  }
+}
+
+TEST(PlannerTest, MemoryEstimatesScaleWithInputs) {
+  EXPECT_GT(EstimateAggregationTreeBytes(2000),
+            EstimateAggregationTreeBytes(1000));
+  EXPECT_GT(EstimateKOrderedTreeBytes(100000, 400),
+            EstimateKOrderedTreeBytes(100000, 4));
+  // The k-ordered estimate is bounded by the relation size.
+  EXPECT_EQ(EstimateKOrderedTreeBytes(10, 1'000'000),
+            EstimateKOrderedTreeBytes(10, 2'000'000));
+}
+
+TEST(PlannerTest, ToOptionsCopiesDecision) {
+  PlannerInput input;
+  input.num_tuples = 1'000'000;
+  input.memory_budget_bytes = 1024;
+  const Plan plan = ChoosePlan(input);
+  const AggregateOptions options =
+      plan.ToOptions(AggregateKind::kAvg, 1);
+  EXPECT_EQ(options.aggregate, AggregateKind::kAvg);
+  EXPECT_EQ(options.attribute, 1u);
+  EXPECT_EQ(options.algorithm, plan.algorithm);
+  EXPECT_EQ(options.k, plan.k);
+  EXPECT_EQ(options.presort, plan.presort);
+}
+
+TEST(PlannerTest, PlannedOptionsActuallyExecute) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.lifespan = 10000;
+  spec.order = TupleOrder::kRandom;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  PlannerInput input;
+  input.num_tuples = relation->size();
+  input.sorted = false;
+  const Plan plan = ChoosePlan(input);
+  auto series = ComputeTemporalAggregate(
+      *relation, plan.ToOptions(AggregateKind::kCount,
+                                AggregateOptions::kNoAttribute));
+  ASSERT_TRUE(series.ok());
+  testutil::ExpectValidPartition(*series);
+}
+
+}  // namespace
+}  // namespace tagg

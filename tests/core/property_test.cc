@@ -1,0 +1,247 @@
+// Property-based oracle suite: every algorithm, over every aggregate, on
+// randomized workloads spanning the paper's Table 3 grid, must produce
+// exactly the series the brute-force reference produces, and every series
+// must satisfy the structural invariants of temporal grouping by instant.
+//
+// Inputs are integer-valued salaries, so double addition is exact and
+// combination order cannot introduce floating-point divergence between
+// algorithms.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/sortedness.h"
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+struct PropertyCase {
+  TupleOrder order;
+  double long_lived_fraction;
+  AlgorithmKind algorithm;
+  uint64_t seed;
+};
+
+std::string CaseName(const testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::string order;
+  switch (c.order) {
+    case TupleOrder::kRandom:
+      order = "random";
+      break;
+    case TupleOrder::kSorted:
+      order = "sorted";
+      break;
+    case TupleOrder::kKOrdered:
+      order = "kordered";
+      break;
+  }
+  std::string algo(AlgorithmKindToString(c.algorithm));
+  for (char& ch : algo) {
+    if (ch == '-') ch = '_';
+  }
+  return order + "_ll" +
+         std::to_string(static_cast<int>(c.long_lived_fraction * 100)) +
+         "_" + algo + "_s" + std::to_string(c.seed);
+}
+
+class AlgorithmPropertyTest : public testing::TestWithParam<PropertyCase> {
+ protected:
+  Relation MakeWorkload() {
+    const PropertyCase& c = GetParam();
+    WorkloadSpec spec;
+    spec.num_tuples = 160;
+    spec.lifespan = 8000;
+    spec.long_lived_fraction = c.long_lived_fraction;
+    spec.order = c.order;
+    spec.k = 6;
+    spec.k_percentage = 0.1;
+    spec.seed = c.seed;
+    auto relation = GenerateEmployedRelation(spec);
+    EXPECT_TRUE(relation.ok());
+    return std::move(relation).value();
+  }
+
+  /// The k-ordered tree needs either a k matching the input's disorder or
+  /// a presort; everything else runs as-is.
+  std::pair<int64_t, bool> KAndPresort(const Relation& relation) {
+    if (GetParam().algorithm != AlgorithmKind::kKOrderedTree) {
+      return {1, false};
+    }
+    if (GetParam().order == TupleOrder::kRandom) return {1, true};
+    const auto report = MeasureSortedness(relation);
+    return {std::max<int64_t>(report.k, 1), false};
+  }
+};
+
+TEST_P(AlgorithmPropertyTest, MatchesReferenceForEveryAggregate) {
+  const Relation relation = MakeWorkload();
+  const auto [k, presort] = KAndPresort(relation);
+  for (AggregateKind agg :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg}) {
+    testutil::ExpectMatchesReference(relation, agg, GetParam().algorithm, k,
+                                     presort);
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, SeriesIsAPartitionOfTheTimeline) {
+  const Relation relation = MakeWorkload();
+  const auto [k, presort] = KAndPresort(relation);
+  AggregateOptions options;
+  options.algorithm = GetParam().algorithm;
+  options.k = k;
+  options.presort = presort;
+  auto series = ComputeTemporalAggregate(relation, options);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  testutil::ExpectValidPartition(*series);
+}
+
+TEST_P(AlgorithmPropertyTest, IntervalCountBoundedByTwoNPlusOne) {
+  // Each tuple contributes at most two unique timestamps, so at most 2n+1
+  // constant intervals exist (Section 2 / Figure 2).
+  const Relation relation = MakeWorkload();
+  const auto [k, presort] = KAndPresort(relation);
+  AggregateOptions options;
+  options.algorithm = GetParam().algorithm;
+  options.k = k;
+  options.presort = presort;
+  auto series = ComputeTemporalAggregate(relation, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_LE(series->intervals.size(), 2 * relation.size() + 1);
+}
+
+TEST_P(AlgorithmPropertyTest, CountsAreConsistentWithDurations) {
+  // sum over intervals of count * duration == sum of tuple durations,
+  // restricted to the bounded part of the time-line.
+  const Relation relation = MakeWorkload();
+  const auto [k, presort] = KAndPresort(relation);
+  AggregateOptions options;
+  options.algorithm = GetParam().algorithm;
+  options.k = k;
+  options.presort = presort;
+  auto series = ComputeTemporalAggregate(relation, options);
+  ASSERT_TRUE(series.ok());
+  int64_t weighted = 0;
+  for (const ResultInterval& ri : series->intervals) {
+    if (ri.period.end() >= kForever) continue;  // unbounded tail, count 0
+    weighted += ri.value.AsInt() * ri.period.duration();
+  }
+  int64_t expected = 0;
+  for (const Tuple& t : relation) expected += t.valid().duration();
+  EXPECT_EQ(weighted, expected);
+}
+
+constexpr AlgorithmKind kAllAlgorithms[] = {
+    AlgorithmKind::kLinkedList,   AlgorithmKind::kAggregationTree,
+    AlgorithmKind::kKOrderedTree, AlgorithmKind::kBalancedTree,
+    AlgorithmKind::kTwoScan,
+};
+
+std::vector<PropertyCase> AllCases() {
+  std::vector<PropertyCase> cases;
+  uint64_t seed = 1000;
+  for (TupleOrder order :
+       {TupleOrder::kRandom, TupleOrder::kSorted, TupleOrder::kKOrdered}) {
+    for (double ll : {0.0, 0.4, 0.8}) {
+      for (AlgorithmKind algo : kAllAlgorithms) {
+        cases.push_back({order, ll, algo, seed});
+        ++seed;
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3Grid, AlgorithmPropertyTest,
+                         testing::ValuesIn(AllCases()), CaseName);
+
+// --- presort path: every algorithm agrees after sorting too -----------------
+
+class PresortPropertyTest : public testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(PresortPropertyTest, PresortDoesNotChangeTheResult) {
+  WorkloadSpec spec;
+  spec.num_tuples = 150;
+  spec.lifespan = 6000;
+  spec.long_lived_fraction = 0.4;
+  spec.order = TupleOrder::kRandom;
+  spec.seed = 777;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  AggregateOptions plain;
+  plain.algorithm = GetParam();
+  plain.presort = false;
+  AggregateOptions sorted = plain;
+  sorted.presort = true;
+
+  auto a = ComputeTemporalAggregate(*relation, plain);
+  auto b = ComputeTemporalAggregate(*relation, sorted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->intervals, b->intervals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, PresortPropertyTest,
+    testing::Values(AlgorithmKind::kLinkedList,
+                    AlgorithmKind::kAggregationTree,
+                    AlgorithmKind::kBalancedTree, AlgorithmKind::kTwoScan),
+    [](const testing::TestParamInfo<AlgorithmKind>& param_info) {
+      std::string name(AlgorithmKindToString(param_info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// --- adversarial micro-cases across all algorithms --------------------------
+
+class EdgeCaseTest : public testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(EdgeCaseTest, AdversarialShapes) {
+  const std::vector<std::vector<std::tuple<Instant, Instant, int64_t>>>
+      cases = {
+          {},                                     // empty
+          {{0, kForever, 5}},                     // whole time-line
+          {{0, 0, 5}},                            // single instant at origin
+          {{5, 5, 1}, {5, 5, 2}, {5, 5, 3}},      // identical instants
+          {{0, 9, 1}, {10, 19, 2}, {20, 29, 3}},  // meeting chain
+          {{0, 100, 1}, {10, 90, 2}, {20, 80, 3}, {30, 70, 4}},  // nesting
+          {{50, 60, 1}, {55, 65, 2}, {60, 70, 3}},  // staircase
+          {{0, 10, 1}, {0, 10, 2}, {0, 10, 3}},     // duplicates
+          {{100, kForever, 1}, {200, kForever, 2}},  // open-ended pair
+      };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    Relation r = testutil::MakeRelation(cases[i]);
+    for (AggregateKind agg :
+         {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+          AggregateKind::kMax, AggregateKind::kAvg}) {
+      SCOPED_TRACE("case " + std::to_string(i));
+      testutil::ExpectMatchesReference(r, agg, GetParam(), /*k=*/1,
+                                       /*presort=*/true);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, EdgeCaseTest,
+    testing::Values(AlgorithmKind::kLinkedList,
+                    AlgorithmKind::kAggregationTree,
+                    AlgorithmKind::kKOrderedTree,
+                    AlgorithmKind::kBalancedTree, AlgorithmKind::kTwoScan),
+    [](const testing::TestParamInfo<AlgorithmKind>& param_info) {
+      std::string name(AlgorithmKindToString(param_info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tagg

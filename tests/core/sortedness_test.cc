@@ -1,0 +1,146 @@
+// Reproduces Section 5.2's sortedness metrics, including the Table 2
+// worked examples (n = 10000, k = 100).
+
+#include "core/sortedness.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+std::vector<Period> SortedPeriods(size_t n) {
+  std::vector<Period> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<Instant>(i * 10);
+    out.emplace_back(s, s + 5);
+  }
+  return out;
+}
+
+TEST(SortednessTest, SortedRelationIsZeroOrdered) {
+  const auto report = MeasureSortedness(SortedPeriods(100));
+  EXPECT_EQ(report.k, 0);
+  EXPECT_EQ(report.n, 100u);
+  EXPECT_EQ(report.histogram[0], 100u);
+  EXPECT_DOUBLE_EQ(KOrderedPercentage(report, 100), 0.0);
+}
+
+TEST(SortednessTest, EmptyAndSingleton) {
+  EXPECT_EQ(MeasureSortedness(std::vector<Period>{}).k, 0);
+  const auto one = MeasureSortedness({Period(3, 5)});
+  EXPECT_EQ(one.k, 0);
+  EXPECT_EQ(one.n, 1u);
+}
+
+TEST(SortednessTest, SingleSwapDisplacesTwoTuples) {
+  auto periods = SortedPeriods(100);
+  std::swap(periods[10], periods[35]);  // distance 25
+  const auto report = MeasureSortedness(periods);
+  EXPECT_EQ(report.k, 25);
+  EXPECT_EQ(report.histogram[25], 2u);
+  EXPECT_EQ(report.histogram[0], 98u);
+}
+
+// Table 2 row 1: "the tuples are sorted" -> 0.
+TEST(SortednessTest, Table2Row1Sorted) {
+  const auto report = MeasureSortedness(SortedPeriods(10000));
+  EXPECT_DOUBLE_EQ(KOrderedPercentage(report, 100), 0.0);
+}
+
+// Table 2 row 2: "2 tuples 100 places apart are swapped" -> 0.0002.
+TEST(SortednessTest, Table2Row2SingleSwap) {
+  auto periods = SortedPeriods(10000);
+  std::swap(periods[500], periods[600]);
+  const auto report = MeasureSortedness(periods);
+  EXPECT_EQ(report.k, 100);
+  EXPECT_DOUBLE_EQ(KOrderedPercentage(report, 100), 0.0002);
+}
+
+// Table 2 row 3: "20 tuples are 100 places from being sorted" -> 0.002.
+TEST(SortednessTest, Table2Row3TenSwaps) {
+  auto periods = SortedPeriods(10000);
+  for (int i = 0; i < 10; ++i) {
+    const size_t base = static_cast<size_t>(i) * 900;
+    std::swap(periods[base], periods[base + 100]);
+  }
+  const auto report = MeasureSortedness(periods);
+  EXPECT_EQ(report.k, 100);
+  EXPECT_EQ(report.histogram[100], 20u);
+  EXPECT_DOUBLE_EQ(KOrderedPercentage(report, 100), 0.002);
+}
+
+// Table 2 row 4: one tuple displaced by each of 1..100 -> 0.00505
+// (sum i = 5050 over k*n = 10^6).  Expressed as a histogram, as the paper
+// tabulates configurations rather than concrete permutations.
+TEST(SortednessTest, Table2Row4HistogramForm) {
+  std::vector<size_t> histogram(101, 0);
+  for (size_t i = 1; i <= 100; ++i) histogram[i] = 1;
+  auto pct = KOrderedPercentageFromHistogram(histogram, 100, 10000);
+  ASSERT_TRUE(pct.ok());
+  EXPECT_DOUBLE_EQ(*pct, 0.00505);
+}
+
+// Table 2 row 5: "10 tuples are 1 place out of order, 10 are 2, ..., 10
+// are 100 out" -> 0.0505.
+TEST(SortednessTest, Table2Row5HistogramForm) {
+  std::vector<size_t> histogram(101, 0);
+  for (size_t i = 1; i <= 100; ++i) histogram[i] = 10;
+  auto pct = KOrderedPercentageFromHistogram(histogram, 100, 10000);
+  ASSERT_TRUE(pct.ok());
+  EXPECT_DOUBLE_EQ(*pct, 0.0505);
+}
+
+// The paper's maximal-disorder example: n = 6, k = 3, swapping 1<->4,
+// 2<->5, 3<->6 gives percentage exactly 1.
+TEST(SortednessTest, MaximalDisorderReachesOne) {
+  auto periods = SortedPeriods(6);
+  std::swap(periods[0], periods[3]);
+  std::swap(periods[1], periods[4]);
+  std::swap(periods[2], periods[5]);
+  const auto report = MeasureSortedness(periods);
+  EXPECT_EQ(report.k, 3);
+  EXPECT_DOUBLE_EQ(KOrderedPercentage(report, 3), 1.0);
+}
+
+TEST(SortednessTest, HistogramValidation) {
+  EXPECT_FALSE(KOrderedPercentageFromHistogram({1, 2}, 0, 10).ok());
+  EXPECT_FALSE(KOrderedPercentageFromHistogram({1, 2}, 5, 0).ok());
+  // Histogram wider than k+1.
+  EXPECT_FALSE(
+      KOrderedPercentageFromHistogram({0, 0, 0, 1}, 2, 10).ok());
+  // More tuples than n.
+  EXPECT_FALSE(KOrderedPercentageFromHistogram({50}, 5, 10).ok());
+}
+
+TEST(SortednessTest, TiesUseStableOrder) {
+  // Equal periods must not count as displaced.
+  std::vector<Period> periods(10, Period(5, 9));
+  const auto report = MeasureSortedness(periods);
+  EXPECT_EQ(report.k, 0);
+}
+
+TEST(SortednessTest, MeasuresRelationsToo) {
+  Relation r = testutil::MakeRelation({{30, 35, 1}, {0, 5, 1}, {10, 15, 1}});
+  const auto report = MeasureSortedness(r);
+  EXPECT_EQ(report.n, 3u);
+  EXPECT_GT(report.k, 0);
+}
+
+TEST(SortednessTest, PercentageScalesInverselyWithK) {
+  auto periods = SortedPeriods(1000);
+  std::swap(periods[100], periods[110]);
+  const auto report = MeasureSortedness(periods);
+  EXPECT_EQ(report.k, 10);
+  const double at_k10 = KOrderedPercentage(report, 10);
+  const double at_k100 = KOrderedPercentage(report, 100);
+  EXPECT_DOUBLE_EQ(at_k10, 10.0 * at_k100);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,74 @@
+// Shared helpers for the core algorithm tests.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/workload.h"
+#include "temporal/relation.h"
+
+namespace tagg {
+namespace testutil {
+
+/// Builds a salary-bearing relation from (start, end, salary) triples, in
+/// the given order.
+inline Relation MakeRelation(
+    const std::vector<std::tuple<Instant, Instant, int64_t>>& rows) {
+  Relation relation(EmployedSchema(), "employed");
+  int i = 0;
+  for (const auto& [s, e, salary] : rows) {
+    relation.AppendUnchecked(
+        Tuple({Value::String("t" + std::to_string(i++)),
+               Value::Int(salary)},
+              Period(s, e)));
+  }
+  return relation;
+}
+
+/// Runs `algorithm` and the reference oracle with identical options and
+/// expects identical series.  Inputs must be integer-valued so that
+/// floating-point combination order cannot matter.
+inline void ExpectMatchesReference(const Relation& relation,
+                                   AggregateKind aggregate,
+                                   AlgorithmKind algorithm, int64_t k = 1,
+                                   bool presort = false) {
+  AggregateOptions options;
+  options.aggregate = aggregate;
+  options.algorithm = algorithm;
+  options.k = k;
+  options.presort = presort;
+  options.attribute =
+      aggregate == AggregateKind::kCount ? AggregateOptions::kNoAttribute : 1;
+
+  AggregateOptions ref_options = options;
+  ref_options.algorithm = AlgorithmKind::kReference;
+  ref_options.presort = false;
+
+  auto got = ComputeTemporalAggregate(relation, options);
+  auto want = ComputeTemporalAggregate(relation, ref_options);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_TRUE(got.ok()) << got.status().ToString()
+                        << " algorithm=" << AlgorithmKindToString(algorithm);
+  ASSERT_EQ(got->intervals.size(), want->intervals.size())
+      << "algorithm=" << AlgorithmKindToString(algorithm)
+      << " aggregate=" << AggregateKindToString(aggregate);
+  for (size_t i = 0; i < want->intervals.size(); ++i) {
+    EXPECT_EQ(got->intervals[i], want->intervals[i])
+        << "interval " << i << " algorithm="
+        << AlgorithmKindToString(algorithm)
+        << " aggregate=" << AggregateKindToString(aggregate);
+  }
+}
+
+/// Expects the series to be a gap-free partition of [kOrigin, kForever].
+inline void ExpectValidPartition(const AggregateSeries& series) {
+  const Status st = ValidatePartition(series.intervals);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace testutil
+}  // namespace tagg

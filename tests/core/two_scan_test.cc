@@ -1,0 +1,84 @@
+#include "core/two_scan_agg.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+TEST(TwoScanTest, ReportsTwoRelationScans) {
+  // Section 4.1: Tuma's algorithm must read the relation twice — the
+  // paper's core critique of the prior art.
+  TwoScanAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period(5, 9), 0).ok());
+  ASSERT_TRUE(agg.FinishTyped().ok());
+  EXPECT_EQ(agg.stats().relation_scans, 2u);
+}
+
+TEST(TwoScanTest, NewAlgorithmsReportOneScan) {
+  for (AlgorithmKind algo :
+       {AlgorithmKind::kLinkedList, AlgorithmKind::kAggregationTree,
+        AlgorithmKind::kKOrderedTree, AlgorithmKind::kBalancedTree}) {
+    Relation employed = MakeFigure1EmployedRelation();
+    AggregateOptions options;
+    options.algorithm = algo;
+    options.presort = true;  // harmless for the others, needed for k-tree
+    auto series = ComputeTemporalAggregate(employed, options);
+    ASSERT_TRUE(series.ok()) << AlgorithmKindToString(algo);
+    EXPECT_EQ(series->stats.relation_scans, 1u)
+        << AlgorithmKindToString(algo);
+  }
+}
+
+TEST(TwoScanTest, EmptyInput) {
+  TwoScanAggregator<CountOp> agg;
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], (TypedInterval<int64_t>{kOrigin, kForever, 0}));
+}
+
+TEST(TwoScanTest, EmployedCounts) {
+  Relation employed = MakeFigure1EmployedRelation();
+  AggregateOptions options;
+  options.algorithm = AlgorithmKind::kTwoScan;
+  auto series = ComputeTemporalAggregate(employed, options);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->intervals.size(), 7u);
+  EXPECT_EQ(series->intervals[4],
+            (ResultInterval{Period(18, 20), Value::Int(3)}));
+}
+
+TEST(TwoScanTest, MatchesReferenceAcrossOrders) {
+  for (TupleOrder order : {TupleOrder::kRandom, TupleOrder::kSorted}) {
+    WorkloadSpec spec;
+    spec.num_tuples = 300;
+    spec.lifespan = 20000;
+    spec.long_lived_fraction = 0.4;
+    spec.order = order;
+    spec.seed = 40 + static_cast<uint64_t>(order);
+    auto relation = GenerateEmployedRelation(spec);
+    ASSERT_TRUE(relation.ok());
+    for (AggregateKind agg :
+         {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+          AggregateKind::kMax, AggregateKind::kAvg}) {
+      testutil::ExpectMatchesReference(*relation, agg,
+                                       AlgorithmKind::kTwoScan);
+    }
+  }
+}
+
+TEST(TwoScanTest, IntervalTableSizeReported) {
+  TwoScanAggregator<CountOp> agg;
+  ASSERT_TRUE(agg.Add(Period(5, 9), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(20, 29), 0).ok());
+  auto out = agg.FinishTyped();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(agg.stats().peak_live_nodes, 5u);  // 5 constant intervals
+  EXPECT_EQ(agg.stats().intervals_emitted, 5u);
+}
+
+}  // namespace
+}  // namespace tagg

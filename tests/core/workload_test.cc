@@ -1,0 +1,194 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sortedness.h"
+
+namespace tagg {
+namespace {
+
+TEST(WorkloadTest, SpecValidation) {
+  WorkloadSpec spec;
+  spec.lifespan = 0;
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+
+  spec = {};
+  spec.long_lived_fraction = 1.5;
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+
+  spec = {};
+  spec.short_min_duration = 0;
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+
+  spec = {};
+  spec.short_max_duration = 2'000'000;  // exceeds the 1M lifespan
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+
+  spec = {};
+  spec.long_min_fraction = 0.9;
+  spec.long_max_fraction = 0.5;
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+
+  spec = {};
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 0;
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+
+  spec = {};
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 4;
+  spec.k_percentage = 2.0;
+  EXPECT_FALSE(GenerateEmployedRelation(spec).ok());
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  WorkloadSpec spec;
+  spec.num_tuples = 777;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 777u);
+  EXPECT_EQ(r->name(), "employed");
+  EXPECT_EQ(r->schema().size(), 2u);
+}
+
+TEST(WorkloadTest, TuplesStayInsideLifespan) {
+  WorkloadSpec spec;
+  spec.num_tuples = 500;
+  spec.lifespan = 10000;
+  spec.long_lived_fraction = 0.5;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : *r) {
+    EXPECT_GE(t.start(), 0);
+    EXPECT_LT(t.end(), spec.lifespan);  // overflowing candidates discarded
+  }
+}
+
+TEST(WorkloadTest, ShortLivedDurationsInRange) {
+  WorkloadSpec spec;
+  spec.num_tuples = 500;
+  spec.long_lived_fraction = 0.0;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : *r) {
+    const Instant d = t.valid().duration();
+    EXPECT_GE(d, spec.short_min_duration);
+    EXPECT_LE(d, spec.short_max_duration);
+  }
+}
+
+TEST(WorkloadTest, LongLivedDurationsInRange) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.long_lived_fraction = 1.0;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : *r) {
+    const Instant d = t.valid().duration();
+    // "duration equal to a random length between 20% and 80% of the
+    // relation's lifespan (200,000 to 800,000 instants)"
+    EXPECT_GE(d, 200000);
+    EXPECT_LE(d, 800000);
+  }
+}
+
+TEST(WorkloadTest, MixedLongLivedFraction) {
+  WorkloadSpec spec;
+  spec.num_tuples = 1000;
+  spec.long_lived_fraction = 0.4;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  size_t long_lived = 0;
+  for (const Tuple& t : *r) {
+    if (t.valid().duration() >= 200000) ++long_lived;
+  }
+  EXPECT_EQ(long_lived, 400u);
+}
+
+TEST(WorkloadTest, SortedOrderIsSorted) {
+  WorkloadSpec spec;
+  spec.num_tuples = 300;
+  spec.order = TupleOrder::kSorted;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsSortedByTime());
+}
+
+TEST(WorkloadTest, RandomOrderIsNotSorted) {
+  WorkloadSpec spec;
+  spec.num_tuples = 300;
+  spec.order = TupleOrder::kRandom;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->IsSortedByTime());
+}
+
+TEST(WorkloadTest, KOrderedHitsExactKAndPercentage) {
+  WorkloadSpec spec;
+  spec.num_tuples = 1000;
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 8;
+  spec.k_percentage = 0.1;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  const auto report = MeasureSortedness(*r);
+  EXPECT_EQ(report.k, 8);
+  // m = pct*n/2 = 50 disjoint swaps, each displacing 2 tuples by 8.
+  EXPECT_DOUBLE_EQ(KOrderedPercentage(report, 8), 0.1);
+}
+
+TEST(WorkloadTest, KOrderedWithZeroPercentageStaysSorted) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.order = TupleOrder::kKOrdered;
+  spec.k = 4;
+  spec.k_percentage = 0.0;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsSortedByTime());
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadSpec spec;
+  spec.num_tuples = 100;
+  spec.seed = 1234;
+  auto a = GenerateEmployedRelation(spec);
+  auto b = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->tuple(i), b->tuple(i));
+  }
+  spec.seed = 4321;
+  auto c = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(c.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (!(a->tuple(i) == c->tuple(i))) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(WorkloadTest, SalariesWithinGeneratorBounds) {
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : *r) {
+    const int64_t salary = t.value(1).AsInt();
+    EXPECT_GE(salary, 30000);
+    EXPECT_LE(salary, 100000);
+  }
+}
+
+TEST(WorkloadTest, EmptyRelationGeneratable) {
+  WorkloadSpec spec;
+  spec.num_tuples = 0;
+  auto r = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace tagg

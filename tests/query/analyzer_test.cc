@@ -1,0 +1,126 @@
+#include "query/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "query/parser.h"
+
+namespace tagg {
+namespace {
+
+class AnalyzerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto employed =
+        std::make_shared<Relation>(MakeFigure1EmployedRelation());
+    ASSERT_TRUE(catalog_.Register(employed).ok());
+  }
+
+  Result<BoundQuery> AnalyzeSql(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    return Analyze(*stmt, catalog_);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, BindsSimpleCount) {
+  auto q = AnalyzeSql("SELECT COUNT(name) FROM employed");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggregates.size(), 1u);
+  EXPECT_EQ(q->aggregates[0].kind, AggregateKind::kCount);
+  EXPECT_EQ(q->aggregates[0].attribute, 0u);
+  EXPECT_EQ(q->columns[0].name, "COUNT(name)");
+}
+
+TEST_F(AnalyzerTest, UnknownRelation) {
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT COUNT(*) FROM ghosts").status().IsNotFound());
+}
+
+TEST_F(AnalyzerTest, UnknownColumn) {
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT COUNT(dept) FROM employed").status().IsNotFound());
+  EXPECT_TRUE(AnalyzeSql("SELECT COUNT(*) FROM employed WHERE dept = 1")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AnalyzerTest, NonNumericAggregateRejected) {
+  auto r = AnalyzeSql("SELECT AVG(name) FROM employed");
+  EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST_F(AnalyzerTest, CountOverStringAllowed) {
+  EXPECT_TRUE(AnalyzeSql("SELECT COUNT(name) FROM employed").ok());
+}
+
+TEST_F(AnalyzerTest, SelectedColumnMustBeGrouped) {
+  auto r = AnalyzeSql("SELECT name, COUNT(*) FROM employed");
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT name, COUNT(*) FROM employed GROUP BY name").ok());
+}
+
+TEST_F(AnalyzerTest, AtLeastOneAggregateRequired) {
+  auto r = AnalyzeSql("SELECT name FROM employed GROUP BY name");
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, DuplicateGroupingColumnRejected) {
+  auto r =
+      AnalyzeSql("SELECT COUNT(*) FROM employed GROUP BY name, NAME");
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, PredicateTypeChecking) {
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT COUNT(*) FROM employed WHERE salary > 40000").ok());
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT COUNT(*) FROM employed WHERE name = 'Karen'").ok());
+  EXPECT_TRUE(AnalyzeSql("SELECT COUNT(*) FROM employed WHERE name > 5")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AnalyzeSql("SELECT COUNT(*) FROM employed WHERE salary = 'x'")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, NumericLiteralsCoerce) {
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT COUNT(*) FROM employed WHERE salary > 4.5").ok());
+}
+
+TEST_F(AnalyzerTest, SpanValidation) {
+  EXPECT_TRUE(
+      AnalyzeSql("SELECT COUNT(*) FROM employed GROUP BY SPAN 10").ok());
+  EXPECT_TRUE(AnalyzeSql(
+                  "SELECT COUNT(*) FROM employed GROUP BY SPAN 10 FROM 9 TO 5")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, StatsArePropagated) {
+  RelationStats stats;
+  stats.declared_k = 5;
+  ASSERT_TRUE(catalog_.SetStats("employed", stats).ok());
+  auto q = AnalyzeSql("SELECT COUNT(*) FROM employed");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->stats.declared_k, 5);
+}
+
+TEST_F(AnalyzerTest, ColumnOrderPreserved) {
+  auto q = AnalyzeSql(
+      "SELECT MAX(salary), name, COUNT(*) FROM employed GROUP BY name");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->columns.size(), 3u);
+  EXPECT_TRUE(q->columns[0].is_aggregate);
+  EXPECT_FALSE(q->columns[1].is_aggregate);
+  EXPECT_EQ(q->columns[1].name, "name");
+  EXPECT_TRUE(q->columns[2].is_aggregate);
+  EXPECT_EQ(q->columns[2].index, 1u);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,317 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace tagg {
+namespace {
+
+class ExecutorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto employed =
+        std::make_shared<Relation>(MakeFigure1EmployedRelation());
+    ASSERT_TRUE(catalog_.Register(employed).ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ExecutorTest, Table1Query) {
+  // The paper's Section 5.1 query: SELECT COUNT(Name) FROM Employed.
+  auto result = RunQuery("SELECT COUNT(name) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // drop_empty defaults to true: six populated constant intervals.
+  ASSERT_EQ(result->rows.size(), 6u);
+  EXPECT_EQ(result->rows[0].valid, Period(7, 7));
+  EXPECT_EQ(result->rows[0].values[0], Value::Int(1));
+  EXPECT_EQ(result->rows[3].valid, Period(18, 20));
+  EXPECT_EQ(result->rows[3].values[0], Value::Int(3));
+  EXPECT_EQ(result->rows[5].valid, Period(22, kForever));
+  EXPECT_EQ(result->rows[5].values[0], Value::Int(1));
+}
+
+TEST_F(ExecutorTest, KeepEmptyRows) {
+  ExecutorOptions options;
+  options.drop_empty = false;
+  auto result =
+      RunQuery("SELECT COUNT(name) FROM employed", catalog_, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 7u);
+  EXPECT_EQ(result->rows[0].valid, Period(0, 6));
+  EXPECT_EQ(result->rows[0].values[0], Value::Int(0));
+}
+
+TEST_F(ExecutorTest, GroupByName) {
+  auto result = RunQuery(
+      "SELECT name, MAX(salary) FROM employed GROUP BY name", catalog_);
+  ASSERT_TRUE(result.ok());
+  // Groups sorted by key: Karen, Nathan, Richard.
+  ASSERT_FALSE(result->rows.empty());
+  EXPECT_EQ(result->rows[0].values[0], Value::String("Karen"));
+  EXPECT_EQ(result->rows[0].valid, Period(8, 20));
+  EXPECT_EQ(result->rows[0].values[1], Value::Double(45000));
+  // Nathan has two disjoint employments -> two rows.
+  size_t nathan_rows = 0;
+  for (const auto& row : result->rows) {
+    if (row.values[0] == Value::String("Nathan")) ++nathan_rows;
+  }
+  EXPECT_EQ(nathan_rows, 2u);
+  // Richard's open-ended employment.
+  EXPECT_EQ(result->rows.back().values[0], Value::String("Richard"));
+  EXPECT_EQ(result->rows.back().valid, Period(18, kForever));
+}
+
+TEST_F(ExecutorTest, WhereFilters) {
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed WHERE salary >= 40000", catalog_);
+  ASSERT_TRUE(result.ok());
+  // Only Richard (40000) and Karen (45000) qualify.
+  // Karen alone on [8,17], both on [18,20], Richard alone on [21,forever].
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0].valid, Period(8, 17));
+  EXPECT_EQ(result->rows[0].values[0], Value::Int(1));
+  EXPECT_EQ(result->rows[1].valid, Period(18, 20));
+  EXPECT_EQ(result->rows[1].values[0], Value::Int(2));
+  EXPECT_EQ(result->rows[2].valid, Period(21, kForever));
+}
+
+TEST_F(ExecutorTest, WhereStringPredicate) {
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed WHERE name = 'Nathan'", catalog_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].valid, Period(7, 12));
+  EXPECT_EQ(result->rows[1].valid, Period(18, 21));
+}
+
+TEST_F(ExecutorTest, ComplexPredicate) {
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed WHERE NOT (name = 'Nathan') AND "
+      "salary < 45000",
+      catalog_);
+  ASSERT_TRUE(result.ok());
+  // Only Richard.
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].valid, Period(18, kForever));
+}
+
+TEST_F(ExecutorTest, MultipleAggregatesShareBoundaries) {
+  auto result = RunQuery(
+      "SELECT COUNT(*), MIN(salary), MAX(salary), AVG(salary) "
+      "FROM employed",
+      catalog_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->column_names.size(), 4u);
+  // Row over [18,20]: count 3, min 37000, max 45000, avg 122000/3.
+  const auto& row = result->rows[3];
+  EXPECT_EQ(row.valid, Period(18, 20));
+  EXPECT_EQ(row.values[0], Value::Int(3));
+  EXPECT_EQ(row.values[1], Value::Double(37000));
+  EXPECT_EQ(row.values[2], Value::Double(45000));
+  EXPECT_EQ(row.values[3], Value::Double(122000.0 / 3.0));
+}
+
+TEST_F(ExecutorTest, SpanGroupingQuery) {
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed GROUP BY SPAN 10 FROM 0 TO 29",
+      catalog_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);
+  // Span [0,9]: Karen + Nathan1 overlap -> 2.
+  EXPECT_EQ(result->rows[0].valid, Period(0, 9));
+  EXPECT_EQ(result->rows[0].values[0], Value::Int(2));
+  // Span [10,19]: Karen, Nathan1, Richard, Nathan2 -> 4.
+  EXPECT_EQ(result->rows[1].values[0], Value::Int(4));
+  // Span [20,29]: Karen, Richard, Nathan2 -> 3.
+  EXPECT_EQ(result->rows[2].values[0], Value::Int(3));
+}
+
+TEST_F(ExecutorTest, GroupByValueAndSpanCombined) {
+  // Value partitioning composes with span grouping: one span series per
+  // name, over a shared window.
+  auto result = RunQuery(
+      "SELECT name, COUNT(*) FROM employed GROUP BY name, SPAN 10 "
+      "FROM 0 TO 29",
+      catalog_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Karen overlaps spans [0,9],[10,19],[20,29]; Nathan spans all three
+  // ([7,12] and [18,21]); Richard spans [10,19],[20,29].
+  size_t karen = 0, nathan = 0, richard = 0;
+  for (const auto& row : result->rows) {
+    if (row.values[0] == Value::String("Karen")) ++karen;
+    if (row.values[0] == Value::String("Nathan")) ++nathan;
+    if (row.values[0] == Value::String("Richard")) ++richard;
+  }
+  EXPECT_EQ(karen, 3u);
+  EXPECT_EQ(nathan, 3u);
+  EXPECT_EQ(richard, 2u);
+}
+
+TEST_F(ExecutorTest, EventRelationAggregation) {
+  // Section 2: "aggregates may also be evaluated over event relations" —
+  // relations whose tuples are stamped with single instants.
+  auto events = std::make_shared<Relation>(EmployedSchema(), "events");
+  for (int i = 0; i < 5; ++i) {
+    events->AppendUnchecked(
+        Tuple({Value::String("e"), Value::Int(i * 100)},
+              Period::At(10 * (i % 3))));  // events at instants 0, 10, 20
+  }
+  ASSERT_TRUE(catalog_.Register(events).ok());
+  auto result = RunQuery("SELECT COUNT(*), MAX(salary) FROM events",
+                         catalog_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0].valid, Period::At(0));
+  EXPECT_EQ(result->rows[0].values[0], Value::Int(2));  // i=0 and i=3
+  EXPECT_EQ(result->rows[0].values[1], Value::Double(300));
+  EXPECT_EQ(result->rows[2].valid, Period::At(20));
+  EXPECT_EQ(result->rows[2].values[0], Value::Int(1));
+}
+
+TEST_F(ExecutorTest, CoalesceMergesEqualRows) {
+  // Two tuples meeting at 12/13 with equal salary: COUNT is 1 across
+  // both; coalescing merges them.
+  auto rel = std::make_shared<Relation>(EmployedSchema(), "meet");
+  rel->AppendUnchecked(
+      Tuple({Value::String("a"), Value::Int(1)}, Period(0, 12)));
+  rel->AppendUnchecked(
+      Tuple({Value::String("b"), Value::Int(1)}, Period(13, 20)));
+  ASSERT_TRUE(catalog_.Register(rel).ok());
+  ExecutorOptions options;
+  options.coalesce = true;
+  auto result = RunQuery("SELECT COUNT(*) FROM meet", catalog_, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].valid, Period(0, 20));
+}
+
+TEST_F(ExecutorTest, ForcedAlgorithmIsUsed) {
+  ExecutorOptions options;
+  options.force_algorithm = AlgorithmKind::kLinkedList;
+  auto result =
+      RunQuery("SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kLinkedList);
+  EXPECT_EQ(result->plan.rationale, "forced by executor options");
+}
+
+TEST_F(ExecutorTest, PlannerUsesDeclaredStats) {
+  RelationStats stats;
+  stats.declared_k = 9;
+  ASSERT_TRUE(catalog_.SetStats("employed", stats).ok());
+  auto result = RunQuery("SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(result->plan.k, 9);
+}
+
+TEST_F(ExecutorTest, WrongKDeclarationFallsBackSafely) {
+  // Declare the (unsorted) Employed relation totally ordered: the
+  // k-ordered tree will detect the violation and the executor must fall
+  // back to sort + k = 1 and still produce the right answer.
+  RelationStats stats;
+  stats.declared_k = 0;
+  ASSERT_TRUE(catalog_.SetStats("employed", stats).ok());
+  auto result = RunQuery("SELECT COUNT(name) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 6u);
+  EXPECT_EQ(result->rows[3].values[0], Value::Int(3));
+}
+
+TEST_F(ExecutorTest, ValidOverlapsRestrictsTheTimeline) {
+  // Only tuples overlapping [8, 12]: Karen and Nathan1.
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed WHERE VALID OVERLAPS 8 TO 12",
+      catalog_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0].valid, Period(7, 7));   // Nathan1 alone
+  EXPECT_EQ(result->rows[1].valid, Period(8, 12));  // both
+  EXPECT_EQ(result->rows[1].values[0], Value::Int(2));
+  EXPECT_EQ(result->rows[2].valid, Period(13, 20));  // Karen's tail
+}
+
+TEST_F(ExecutorTest, ValidOverlapsWithValuePredicate) {
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed WHERE VALID OVERLAPS 0 TO 12 AND "
+      "salary >= 40000",
+      catalog_);
+  ASSERT_TRUE(result.ok());
+  // Only Karen qualifies.
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].valid, Period(8, 20));
+}
+
+TEST_F(ExecutorTest, ExplainPlansWithoutExecuting) {
+  auto result =
+      RunQuery("EXPLAIN SELECT COUNT(name) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kAggregationTree);
+  EXPECT_FALSE(result->plan.rationale.empty());
+  ASSERT_EQ(result->column_names.size(), 1u);
+  EXPECT_EQ(result->column_names[0], "COUNT(name)");
+}
+
+TEST_F(ExecutorTest, ExplainReflectsDeclaredStats) {
+  RelationStats stats;
+  stats.known_sorted = true;
+  ASSERT_TRUE(catalog_.SetStats("employed", stats).ok());
+  auto result =
+      RunQuery("EXPLAIN SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kKOrderedTree);
+  EXPECT_EQ(result->plan.k, 1);
+}
+
+TEST_F(ExecutorTest, EmptyGroupResult) {
+  auto result = RunQuery(
+      "SELECT COUNT(*) FROM employed WHERE salary > 999999", catalog_);
+  ASSERT_TRUE(result.ok());
+  // One group (no grouping columns), whose only non-empty rows... none.
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(ExecutorTest, ResultToStringRendersTable) {
+  auto result = RunQuery("SELECT COUNT(name) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok());
+  const std::string table = result->ToString();
+  EXPECT_NE(table.find("COUNT(name)"), std::string::npos);
+  EXPECT_NE(table.find("VALID"), std::string::npos);
+  EXPECT_NE(table.find("[18, 20]"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, LargerWorkloadThroughFullStack) {
+  WorkloadSpec spec;
+  spec.num_tuples = 500;
+  spec.lifespan = 50000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 11;
+  auto gen = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(gen.ok());
+  auto rel = std::make_shared<Relation>(std::move(gen).value());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(rel).ok());
+
+  ExecutorOptions options;
+  options.drop_empty = false;
+  auto via_query =
+      RunQuery("SELECT COUNT(*) FROM employed", catalog, options);
+  ASSERT_TRUE(via_query.ok());
+
+  AggregateOptions direct;
+  direct.algorithm = AlgorithmKind::kReference;
+  auto oracle = ComputeTemporalAggregate(*rel, direct);
+  ASSERT_TRUE(oracle.ok());
+
+  ASSERT_EQ(via_query->rows.size(), oracle->intervals.size());
+  for (size_t i = 0; i < oracle->intervals.size(); ++i) {
+    EXPECT_EQ(via_query->rows[i].valid, oracle->intervals[i].period);
+    EXPECT_EQ(via_query->rows[i].values[0], oracle->intervals[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace tagg

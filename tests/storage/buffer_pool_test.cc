@@ -1,0 +1,122 @@
+#include "storage/buffer_pool.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/record_codec.h"
+
+namespace tagg {
+namespace {
+
+class BufferPoolTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tagg_pool_" + std::to_string(::getpid()) + "_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    auto file = HeapFile::Create((dir_ / "t.heap").string());
+    ASSERT_TRUE(file.ok());
+    file_ = std::move(file).value();
+    // Five full pages of records.
+    char buf[kRecordSize];
+    for (size_t i = 0; i < kRecordsPerPage * 5; ++i) {
+      const Tuple t({Value::String("x"), Value::Int(static_cast<int64_t>(i))},
+                    Period(static_cast<Instant>(i), static_cast<Instant>(i)));
+      ASSERT_TRUE(EncodeEmployedRecord(t, buf).ok());
+      ASSERT_TRUE(file_->AppendRecord(buf).ok());
+    }
+  }
+  void TearDown() override {
+    file_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<HeapFile> file_;
+};
+
+TEST_F(BufferPoolTest, FetchReadsCorrectPage) {
+  BufferPool pool(file_.get(), 4);
+  auto guard = pool.Fetch(3);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(guard->page()->page_id(), 3u);
+  EXPECT_EQ(guard->page()->record_count(), kRecordsPerPage);
+}
+
+TEST_F(BufferPoolTest, SecondFetchIsAHit) {
+  BufferPool pool(file_.get(), 4);
+  { auto g = pool.Fetch(1); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.Fetch(1); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(file_.get(), 2);
+  { auto g = pool.Fetch(1); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.Fetch(2); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.Fetch(3); ASSERT_TRUE(g.ok()); }  // evicts page 1
+  EXPECT_EQ(pool.evictions(), 1u);
+  { auto g = pool.Fetch(2); ASSERT_TRUE(g.ok()); }  // still cached
+  EXPECT_EQ(pool.hits(), 1u);
+  { auto g = pool.Fetch(1); ASSERT_TRUE(g.ok()); }  // must re-read
+  EXPECT_EQ(pool.misses(), 4u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(file_.get(), 2);
+  auto pinned = pool.Fetch(1);
+  ASSERT_TRUE(pinned.ok());
+  { auto g = pool.Fetch(2); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.Fetch(3); ASSERT_TRUE(g.ok()); }  // evicts 2, not 1
+  auto again = pool.Fetch(1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  BufferPool pool(file_.get(), 2);
+  auto a = pool.Fetch(1);
+  auto b = pool.Fetch(2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.Fetch(3);
+  EXPECT_TRUE(c.status().IsResourceExhausted());
+  // Releasing one frame unblocks the fetch.
+  a->Release();
+  auto d = pool.Fetch(3);
+  EXPECT_TRUE(d.ok());
+}
+
+TEST_F(BufferPoolTest, GuardMoveTransfersPin) {
+  BufferPool pool(file_.get(), 1);
+  auto a = pool.Fetch(1);
+  ASSERT_TRUE(a.ok());
+  PageGuard moved = std::move(a).value();
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  // Pin released: another page can now occupy the single frame.
+  EXPECT_TRUE(pool.Fetch(2).ok());
+}
+
+TEST_F(BufferPoolTest, FetchErrorsPropagate) {
+  BufferPool pool(file_.get(), 2);
+  auto bad = pool.Fetch(99);
+  EXPECT_TRUE(bad.status().IsOutOfRange());
+  // A failed fetch must not leak a frame.
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, CapacityFloorsAtOne) {
+  BufferPool pool(file_.get(), 0);
+  EXPECT_EQ(pool.capacity(), 1u);
+  EXPECT_TRUE(pool.Fetch(1).ok());
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,158 @@
+#include "storage/external_sort.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "storage/buffer_pool.h"
+#include "storage/record_codec.h"
+#include "storage/table_scan.h"
+
+namespace tagg {
+namespace {
+
+class ExternalSortTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tagg_sort_" + std::to_string(::getpid()) + "_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    input_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteWorkload(size_t n, uint64_t seed) {
+    WorkloadSpec spec;
+    spec.num_tuples = n;
+    spec.lifespan = 100000;
+    spec.order = TupleOrder::kRandom;
+    spec.seed = seed;
+    auto relation = GenerateEmployedRelation(spec);
+    ASSERT_TRUE(relation.ok());
+    auto file = HeapFile::Create(Path("input.heap"));
+    ASSERT_TRUE(file.ok());
+    input_ = std::move(file).value();
+    char buf[kRecordSize];
+    for (const Tuple& t : *relation) {
+      ASSERT_TRUE(EncodeEmployedRecord(t, buf).ok());
+      ASSERT_TRUE(input_->AppendRecord(buf).ok());
+    }
+  }
+
+  static void ExpectSortedByTime(HeapFile& file, size_t expected_count) {
+    BufferPool pool(&file, 8);
+    TableScan scan(&pool);
+    size_t count = 0;
+    Period prev(0, 0);
+    bool first = true;
+    while (true) {
+      auto next = scan.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      const Period cur = (**next).valid();
+      if (!first) {
+        EXPECT_FALSE(cur < prev) << "record " << count << " out of order";
+      }
+      prev = cur;
+      first = false;
+      ++count;
+    }
+    EXPECT_EQ(count, expected_count);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<HeapFile> input_;
+};
+
+TEST_F(ExternalSortTest, SingleRunFitsInMemory) {
+  WriteWorkload(100, 1);
+  ExternalSortOptions options;
+  options.memory_budget_records = 1000;
+  auto sorted = ExternalSortByTime(*input_, Path("out.heap"), options);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_EQ((*sorted)->record_count(), 100u);
+  ExpectSortedByTime(**sorted, 100);
+}
+
+TEST_F(ExternalSortTest, MultiRunMerge) {
+  WriteWorkload(500, 2);
+  ExternalSortOptions options;
+  options.memory_budget_records = 64;  // forces 8 runs
+  auto sorted = ExternalSortByTime(*input_, Path("out.heap"), options);
+  ASSERT_TRUE(sorted.ok());
+  ExpectSortedByTime(**sorted, 500);
+}
+
+TEST_F(ExternalSortTest, SingleRecordPerRun) {
+  WriteWorkload(40, 3);
+  ExternalSortOptions options;
+  options.memory_budget_records = 1;  // pathological: 40 runs
+  auto sorted = ExternalSortByTime(*input_, Path("out.heap"), options);
+  ASSERT_TRUE(sorted.ok());
+  ExpectSortedByTime(**sorted, 40);
+}
+
+TEST_F(ExternalSortTest, EmptyInput) {
+  WriteWorkload(0, 4);
+  auto sorted = ExternalSortByTime(*input_, Path("out.heap"), {});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted)->record_count(), 0u);
+}
+
+TEST_F(ExternalSortTest, ZeroBudgetRejected) {
+  WriteWorkload(10, 5);
+  ExternalSortOptions options;
+  options.memory_budget_records = 0;
+  EXPECT_TRUE(ExternalSortByTime(*input_, Path("out.heap"), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ExternalSortTest, RunFilesAreCleanedUp) {
+  WriteWorkload(300, 6);
+  ExternalSortOptions options;
+  options.memory_budget_records = 50;
+  auto sorted = ExternalSortByTime(*input_, Path("out.heap"), options);
+  ASSERT_TRUE(sorted.ok());
+  size_t run_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().find(".run") != std::string::npos) {
+      ++run_files;
+    }
+  }
+  EXPECT_EQ(run_files, 0u);
+}
+
+TEST_F(ExternalSortTest, PreservesRecordPayloads) {
+  WriteWorkload(200, 7);
+  ExternalSortOptions options;
+  options.memory_budget_records = 32;
+  auto sorted = ExternalSortByTime(*input_, Path("out.heap"), options);
+  ASSERT_TRUE(sorted.ok());
+  // Multiset of salaries must be preserved.
+  auto salaries_of = [](HeapFile& f) {
+    BufferPool pool(&f, 8);
+    TableScan scan(&pool);
+    std::multiset<int64_t> out;
+    while (true) {
+      auto next = scan.Next();
+      EXPECT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      out.insert((**next).value(1).AsInt());
+    }
+    return out;
+  };
+  EXPECT_EQ(salaries_of(*input_), salaries_of(**sorted));
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,180 @@
+#include "storage/heap_file.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "storage/record_codec.h"
+
+namespace tagg {
+namespace {
+
+class HeapFileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tagg_heap_" + std::to_string(::getpid()) + "_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static void FillRecord(char* buf, int i) {
+    const Tuple t(
+        {Value::String("n" + std::to_string(i)), Value::Int(i * 100)},
+        Period(i * 10, i * 10 + 5));
+    ASSERT_TRUE(EncodeEmployedRecord(t, buf).ok());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(HeapFileTest, CreateAppendRead) {
+  auto file = HeapFile::Create(Path("a.heap"));
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  char buf[kRecordSize];
+  for (int i = 0; i < 10; ++i) {
+    FillRecord(buf, i);
+    ASSERT_TRUE((*file)->AppendRecord(buf).ok());
+  }
+  EXPECT_EQ((*file)->record_count(), 10u);
+  EXPECT_EQ((*file)->data_page_count(), 1u);
+
+  Page page;
+  ASSERT_TRUE((*file)->ReadPage(1, &page).ok());
+  EXPECT_EQ(page.record_count(), 10u);
+  auto t = DecodeEmployedRecord(page.RecordAt(3));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->value(1), Value::Int(300));
+}
+
+TEST_F(HeapFileTest, SpansMultiplePages) {
+  auto file = HeapFile::Create(Path("b.heap"));
+  ASSERT_TRUE(file.ok());
+  char buf[kRecordSize];
+  const int n = static_cast<int>(kRecordsPerPage) * 3 + 7;
+  for (int i = 0; i < n; ++i) {
+    FillRecord(buf, i);
+    ASSERT_TRUE((*file)->AppendRecord(buf).ok());
+  }
+  EXPECT_EQ((*file)->data_page_count(), 4u);
+  Page page;
+  ASSERT_TRUE((*file)->ReadPage(4, &page).ok());
+  EXPECT_EQ(page.record_count(), 7u);
+}
+
+TEST_F(HeapFileTest, ReopenPreservesData) {
+  const std::string path = Path("c.heap");
+  {
+    auto file = HeapFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    char buf[kRecordSize];
+    for (int i = 0; i < 100; ++i) {
+      FillRecord(buf, i);
+      ASSERT_TRUE((*file)->AppendRecord(buf).ok());
+    }
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto reopened = HeapFile::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->record_count(), 100u);
+  Page page;
+  ASSERT_TRUE((*reopened)->ReadPage(2, &page).ok());
+  auto t = DecodeEmployedRecord(page.RecordAt(0));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->value(1), Value::Int(static_cast<int64_t>(kRecordsPerPage) *
+                                    100));
+}
+
+TEST_F(HeapFileTest, AppendsContinueAfterReopen) {
+  const std::string path = Path("d.heap");
+  char buf[kRecordSize];
+  {
+    auto file = HeapFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 10; ++i) {
+      FillRecord(buf, i);
+      ASSERT_TRUE((*file)->AppendRecord(buf).ok());
+    }
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = HeapFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    for (int i = 10; i < 20; ++i) {
+      FillRecord(buf, i);
+      ASSERT_TRUE((*file)->AppendRecord(buf).ok());
+    }
+    EXPECT_EQ((*file)->record_count(), 20u);
+    Page page;
+    ASSERT_TRUE((*file)->ReadPage(1, &page).ok());
+    EXPECT_EQ(page.record_count(), 20u);
+    auto t = DecodeEmployedRecord(page.RecordAt(15));
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->value(1), Value::Int(1500));
+  }
+}
+
+TEST_F(HeapFileTest, TailPageServedBeforeSync) {
+  auto file = HeapFile::Create(Path("e.heap"));
+  ASSERT_TRUE(file.ok());
+  char buf[kRecordSize];
+  FillRecord(buf, 1);
+  ASSERT_TRUE((*file)->AppendRecord(buf).ok());
+  // No Sync(): the tail page must still be readable from memory.
+  Page page;
+  ASSERT_TRUE((*file)->ReadPage(1, &page).ok());
+  EXPECT_EQ(page.record_count(), 1u);
+}
+
+TEST_F(HeapFileTest, PageOutOfRange) {
+  auto file = HeapFile::Create(Path("f.heap"));
+  ASSERT_TRUE(file.ok());
+  Page page;
+  EXPECT_TRUE((*file)->ReadPage(0, &page).IsOutOfRange());
+  EXPECT_TRUE((*file)->ReadPage(1, &page).IsOutOfRange());
+}
+
+TEST_F(HeapFileTest, OpenMissingFileFails) {
+  EXPECT_TRUE(HeapFile::Open(Path("ghost.heap")).status().IsIOError());
+}
+
+TEST_F(HeapFileTest, OpenRejectsBadMagic) {
+  const std::string path = Path("garbage.heap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  char junk[kPageSize];
+  std::memset(junk, 0x5A, sizeof(junk));
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_TRUE(HeapFile::Open(path).status().IsCorruption());
+}
+
+TEST_F(HeapFileTest, OpenRejectsTruncatedHeader) {
+  const std::string path = Path("short.heap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("tiny", 1, 4, f);
+  std::fclose(f);
+  EXPECT_TRUE(HeapFile::Open(path).status().IsCorruption());
+}
+
+TEST_F(HeapFileTest, OperationsFailAfterClose) {
+  auto file = HeapFile::Create(Path("g.heap"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  char buf[kRecordSize];
+  FillRecord(buf, 0);
+  EXPECT_TRUE((*file)->AppendRecord(buf).IsIOError());
+  Page page;
+  EXPECT_TRUE((*file)->ReadPage(1, &page).IsIOError());
+}
+
+}  // namespace
+}  // namespace tagg

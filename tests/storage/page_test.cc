@@ -1,0 +1,64 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(PageTest, LayoutConstants) {
+  EXPECT_EQ(sizeof(Page), kPageSize);
+  EXPECT_EQ(kPageSize, 8192u);
+  EXPECT_EQ(kRecordSize, 128u);  // the paper's tuple size
+  // Header + records never exceed the page.
+  EXPECT_LE(kPageHeaderSize + kRecordsPerPage * kRecordSize, kPageSize);
+  // And one more record would not fit.
+  EXPECT_GT(kPageHeaderSize + (kRecordsPerPage + 1) * kRecordSize,
+            kPageSize);
+}
+
+TEST(PageTest, FormatInitializesHeader) {
+  Page page;
+  std::memset(page.bytes, 0xEE, kPageSize);
+  page.Format(7);
+  EXPECT_EQ(page.magic(), kPageMagic);
+  EXPECT_EQ(page.page_id(), 7u);
+  EXPECT_EQ(page.record_count(), 0u);
+  // Record area is zeroed.
+  for (size_t i = kPageHeaderSize; i < kPageSize; ++i) {
+    ASSERT_EQ(page.bytes[i], 0) << "byte " << i;
+  }
+}
+
+TEST(PageTest, RecordCountRoundTrips) {
+  Page page;
+  page.Format(1);
+  page.set_record_count(42);
+  EXPECT_EQ(page.record_count(), 42u);
+}
+
+TEST(PageTest, RecordSlotsAreDisjointAndInBounds) {
+  Page page;
+  page.Format(1);
+  for (size_t i = 0; i < kRecordsPerPage; ++i) {
+    char* slot = page.RecordAt(i);
+    ASSERT_GE(slot, page.bytes + kPageHeaderSize);
+    ASSERT_LE(slot + kRecordSize, page.bytes + kPageSize);
+    if (i > 0) {
+      EXPECT_EQ(slot, page.RecordAt(i - 1) + kRecordSize);
+    }
+  }
+}
+
+TEST(PageTest, RecordWritesDoNotDisturbHeader) {
+  Page page;
+  page.Format(3);
+  std::memset(page.RecordAt(0), 0xAB, kRecordSize);
+  std::memset(page.RecordAt(kRecordsPerPage - 1), 0xCD, kRecordSize);
+  EXPECT_EQ(page.magic(), kPageMagic);
+  EXPECT_EQ(page.page_id(), 3u);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,93 @@
+#include "storage/record_codec.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+Tuple Emp(const char* name, int64_t salary, Instant s, Instant e) {
+  return Tuple({Value::String(name), Value::Int(salary)}, Period(s, e));
+}
+
+TEST(RecordCodecTest, RoundTrip) {
+  char buf[kRecordSize];
+  const Tuple in = Emp("Richard", 40000, 18, kForever);
+  ASSERT_TRUE(EncodeEmployedRecord(in, buf).ok());
+  auto out = DecodeEmployedRecord(buf);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(RecordCodecTest, EmptyNameRoundTrips) {
+  char buf[kRecordSize];
+  const Tuple in = Emp("", 0, 0, 0);
+  ASSERT_TRUE(EncodeEmployedRecord(in, buf).ok());
+  EXPECT_EQ(DecodeEmployedRecord(buf)->value(0), Value::String(""));
+}
+
+TEST(RecordCodecTest, MaxLengthNameRoundTrips) {
+  char buf[kRecordSize];
+  const std::string name(kMaxNameLength, 'x');
+  const Tuple in = Emp(name.c_str(), 1, 2, 3);
+  ASSERT_TRUE(EncodeEmployedRecord(in, buf).ok());
+  EXPECT_EQ(DecodeEmployedRecord(buf)->value(0).AsString(), name);
+}
+
+TEST(RecordCodecTest, OverlongNameRejected) {
+  char buf[kRecordSize];
+  const std::string name(kMaxNameLength + 1, 'x');
+  EXPECT_TRUE(EncodeEmployedRecord(Emp(name.c_str(), 1, 2, 3), buf)
+                  .IsInvalidArgument());
+}
+
+TEST(RecordCodecTest, WrongShapeRejected) {
+  char buf[kRecordSize];
+  EXPECT_FALSE(
+      EncodeEmployedRecord(Tuple({Value::Int(1)}, Period(0, 1)), buf).ok());
+  EXPECT_FALSE(EncodeEmployedRecord(
+                   Tuple({Value::Int(1), Value::Int(2)}, Period(0, 1)), buf)
+                   .ok());
+}
+
+TEST(RecordCodecTest, FillerBytesAreZeroed) {
+  char buf[kRecordSize];
+  std::memset(buf, 0xAB, sizeof(buf));
+  ASSERT_TRUE(EncodeEmployedRecord(Emp("a", 1, 2, 3), buf).ok());
+  for (size_t i = 40; i < kRecordSize; ++i) {
+    EXPECT_EQ(buf[i], 0) << "filler byte " << i;
+  }
+}
+
+TEST(RecordCodecTest, CorruptNameLengthDetected) {
+  char buf[kRecordSize];
+  ASSERT_TRUE(EncodeEmployedRecord(Emp("a", 1, 2, 3), buf).ok());
+  buf[0] = 127;  // length beyond kMaxNameLength
+  EXPECT_TRUE(DecodeEmployedRecord(buf).status().IsCorruption());
+}
+
+TEST(RecordCodecTest, CorruptPeriodDetected) {
+  char buf[kRecordSize];
+  ASSERT_TRUE(EncodeEmployedRecord(Emp("a", 1, 20, 30), buf).ok());
+  // Swap start and end to fabricate start > end.
+  char tmp[8];
+  std::memcpy(tmp, buf + kRecordStartOffset, 8);
+  std::memcpy(buf + kRecordStartOffset, buf + kRecordEndOffset, 8);
+  std::memcpy(buf + kRecordEndOffset, tmp, 8);
+  EXPECT_TRUE(DecodeEmployedRecord(buf).status().IsCorruption());
+}
+
+TEST(RecordCodecTest, DecodeRecordPeriodReadsKeysOnly) {
+  char buf[kRecordSize];
+  ASSERT_TRUE(EncodeEmployedRecord(Emp("a", 1, 20, 30), buf).ok());
+  EXPECT_EQ(DecodeRecordPeriod(buf), Period(20, 30));
+}
+
+TEST(RecordCodecTest, RecordsPerPageMatchesPaperScale) {
+  // 8 KiB pages of 128-byte tuples: 63 records once the header is paid.
+  EXPECT_EQ(kRecordsPerPage, 63u);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,139 @@
+// Property tests for the temporal algebra, phrased as semantic laws:
+//
+//   * coalescing preserves snapshot membership: at every instant, the set
+//     of distinct attribute rows visible in the coalesced relation equals
+//     the set visible in the original (TSQL2 coalescing is supposed to be
+//     a change of representation, not of content);
+//   * duplicate elimination preserves snapshot membership too, and is
+//     idempotent;
+//   * clipping commutes with aggregation: aggregating the clipped
+//     relation equals the original aggregate restricted to the window.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/workload.h"
+#include "temporal/algebra.h"
+#include "util/random.h"
+
+namespace tagg {
+namespace {
+
+/// A relation with heavy value collisions and overlapping periods, to give
+/// coalescing and dedup real work.
+Relation MessyRelation(uint64_t seed, size_t n) {
+  Relation r(EmployedSchema(), "messy");
+  Rng rng(seed);
+  const char* names[] = {"a", "b", "c"};
+  for (size_t i = 0; i < n; ++i) {
+    const Instant s = rng.Uniform(0, 300);
+    const Instant e = s + rng.Uniform(0, 60);
+    r.AppendUnchecked(
+        Tuple({Value::String(names[rng.Uniform(0, 2)]),
+               Value::Int(rng.Uniform(1, 3) * 100)},
+              Period(s, e)));
+  }
+  return r;
+}
+
+/// The set of distinct (name, salary) rows visible at instant t.
+std::set<std::string> SnapshotKeys(const Relation& r, Instant t) {
+  std::set<std::string> keys;
+  for (const Tuple& tuple : TimesliceAt(r, t)) {
+    keys.insert(tuple.value(0).ToString() + "|" +
+                tuple.value(1).ToString());
+  }
+  return keys;
+}
+
+TEST(AlgebraPropertyTest, CoalescePreservesSnapshots) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Relation original = MessyRelation(seed, 60);
+    const Relation coalesced = CoalesceRelation(original);
+    EXPECT_LE(coalesced.size(), original.size());
+    for (Instant t = 0; t <= 400; t += 7) {
+      EXPECT_EQ(SnapshotKeys(original, t), SnapshotKeys(coalesced, t))
+          << "seed " << seed << " instant " << t;
+    }
+  }
+}
+
+TEST(AlgebraPropertyTest, CoalesceOutputHasNoMergeableNeighbours) {
+  const Relation coalesced = CoalesceRelation(MessyRelation(4, 80));
+  // No two value-equivalent tuples may overlap or meet.
+  for (size_t i = 0; i < coalesced.size(); ++i) {
+    for (size_t j = i + 1; j < coalesced.size(); ++j) {
+      const Tuple& a = coalesced.tuple(i);
+      const Tuple& b = coalesced.tuple(j);
+      if (a.values() != b.values()) continue;
+      EXPECT_FALSE(a.valid().Overlaps(b.valid()) ||
+                   a.valid().MeetsBefore(b.valid()) ||
+                   b.valid().MeetsBefore(a.valid()))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(AlgebraPropertyTest, DedupPreservesSnapshotsAndIsIdempotent) {
+  for (uint64_t seed : {5u, 6u}) {
+    const Relation original = MessyRelation(seed, 60);
+    const Relation deduped = RemoveDuplicateTuples(original);
+    for (Instant t = 0; t <= 400; t += 11) {
+      EXPECT_EQ(SnapshotKeys(original, t), SnapshotKeys(deduped, t));
+    }
+    const Relation twice = RemoveDuplicateTuples(deduped);
+    ASSERT_EQ(twice.size(), deduped.size());
+    for (size_t i = 0; i < twice.size(); ++i) {
+      EXPECT_EQ(twice.tuple(i), deduped.tuple(i));
+    }
+    // No exact duplicates remain.
+    for (size_t i = 1; i < deduped.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        EXPECT_FALSE(deduped.tuple(i) == deduped.tuple(j));
+      }
+    }
+  }
+}
+
+TEST(AlgebraPropertyTest, ClipCommutesWithAggregation) {
+  const Period window(50, 250);
+  for (uint64_t seed : {7u, 8u}) {
+    const Relation original = MessyRelation(seed, 80);
+    const Relation clipped = ClipToWindow(original, window);
+
+    AggregateOptions options;  // COUNT(*), aggregation tree
+    auto full = ComputeTemporalAggregate(original, options);
+    auto restricted = ComputeTemporalAggregate(clipped, options);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(restricted.ok());
+
+    // Inside the window, the two series agree pointwise; compare at
+    // sampled instants (boundaries differ where clipping cut tuples).
+    auto value_at = [](const AggregateSeries& s, Instant t) {
+      for (const ResultInterval& ri : s.intervals) {
+        if (ri.period.Contains(t)) return ri.value;
+      }
+      return Value::Null();
+    };
+    for (Instant t = window.start(); t <= window.end(); t += 13) {
+      EXPECT_EQ(value_at(*full, t), value_at(*restricted, t))
+          << "seed " << seed << " instant " << t;
+    }
+    // Outside the window the clipped aggregate is zero.
+    EXPECT_EQ(value_at(*restricted, window.start() - 1), Value::Int(0));
+    EXPECT_EQ(value_at(*restricted, window.end() + 1), Value::Int(0));
+  }
+}
+
+TEST(AlgebraPropertyTest, CoalesceThenDedupEqualsCoalesce) {
+  // Coalesced output has no duplicates by construction.
+  const Relation coalesced = CoalesceRelation(MessyRelation(9, 70));
+  const Relation then_dedup = RemoveDuplicateTuples(coalesced);
+  ASSERT_EQ(then_dedup.size(), coalesced.size());
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,88 @@
+#include "temporal/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+std::shared_ptr<Relation> MakeRel(const std::string& name) {
+  auto schema = Schema::Make({{"x", ValueType::kInt}}).value();
+  return std::make_shared<Relation>(schema, name);
+}
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeRel("employed")).ok());
+  auto r = c.Get("employed");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->name(), "employed");
+}
+
+TEST(CatalogTest, LookupIsCaseInsensitive) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeRel("Employed")).ok());
+  EXPECT_TRUE(c.Get("EMPLOYED").ok());
+  EXPECT_TRUE(c.Get("employed").ok());
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeRel("r")).ok());
+  auto dup = c.Register(MakeRel("R"));
+  EXPECT_TRUE(dup.IsAlreadyExists());
+}
+
+TEST(CatalogTest, NullAndUnnamedRejected) {
+  Catalog c;
+  EXPECT_TRUE(c.Register(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(c.Register(MakeRel("")).IsInvalidArgument());
+}
+
+TEST(CatalogTest, MissingLookupIsNotFound) {
+  Catalog c;
+  EXPECT_TRUE(c.Get("ghost").status().IsNotFound());
+  EXPECT_TRUE(c.GetStats("ghost").status().IsNotFound());
+  EXPECT_TRUE(c.Drop("ghost").IsNotFound());
+}
+
+TEST(CatalogTest, StatsRoundTrip) {
+  Catalog c;
+  RelationStats stats;
+  stats.known_sorted = true;
+  stats.declared_k = 7;
+  ASSERT_TRUE(c.Register(MakeRel("r"), stats).ok());
+  auto got = c.GetStats("r");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->known_sorted);
+  EXPECT_EQ(got->declared_k, 7);
+}
+
+TEST(CatalogTest, SetStatsUpdates) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeRel("r")).ok());
+  RelationStats stats;
+  stats.declared_k = 3;
+  ASSERT_TRUE(c.SetStats("r", stats).ok());
+  EXPECT_EQ(c.GetStats("r")->declared_k, 3);
+  EXPECT_TRUE(c.SetStats("ghost", stats).IsNotFound());
+}
+
+TEST(CatalogTest, DropRemoves) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeRel("r")).ok());
+  ASSERT_TRUE(c.Drop("R").ok());
+  EXPECT_TRUE(c.Get("r").status().IsNotFound());
+}
+
+TEST(CatalogTest, NamesAreSorted) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeRel("zeta")).ok());
+  ASSERT_TRUE(c.Register(MakeRel("alpha")).ok());
+  const auto names = c.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace tagg

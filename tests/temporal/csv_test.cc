@@ -1,0 +1,152 @@
+#include "temporal/csv.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace tagg {
+namespace {
+
+constexpr char kEmployedCsv[] =
+    "name,salary,valid_start,valid_end\n"
+    "Richard,40000,18,forever\n"
+    "Karen,45000,8,20\n"
+    "Nathan,35000,7,12\n"
+    "Nathan,37000,18,21\n";
+
+TEST(CsvTest, ParsesEmployedWithInference) {
+  auto r = ParseCsvRelation(kEmployedCsv, "employed");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ(r->schema().attribute(0).type, ValueType::kString);
+  EXPECT_EQ(r->schema().attribute(1).type, ValueType::kInt);
+  EXPECT_EQ(r->tuple(0).value(0), Value::String("Richard"));
+  EXPECT_EQ(r->tuple(0).valid(), Period(18, kForever));
+  EXPECT_EQ(r->tuple(2).valid(), Period(7, 12));
+}
+
+TEST(CsvTest, RoundTripsThroughText) {
+  Relation employed = MakeFigure1EmployedRelation();
+  const std::string csv = RelationToCsv(employed);
+  auto back = ParseCsvRelationWithSchema(csv, employed.schema(), "employed");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), employed.size());
+  for (size_t i = 0; i < employed.size(); ++i) {
+    EXPECT_EQ(back->tuple(i), employed.tuple(i)) << "tuple " << i;
+  }
+}
+
+TEST(CsvTest, TypeInferenceDoubleAndString) {
+  const char* csv =
+      "rate,tag,valid_start,valid_end\n"
+      "1.5,a,0,10\n"
+      "2,b,5,15\n";
+  auto r = ParseCsvRelation(csv, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().attribute(0).type, ValueType::kDouble);
+  EXPECT_EQ(r->schema().attribute(1).type, ValueType::kString);
+  EXPECT_EQ(r->tuple(1).value(0), Value::Double(2.0));
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNull) {
+  const char* csv =
+      "x,valid_start,valid_end\n"
+      ",0,10\n"
+      "5,5,15\n";
+  auto r = ParseCsvRelation(csv, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->tuple(0).value(0).is_null());
+  EXPECT_EQ(r->tuple(1).value(0), Value::Int(5));
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  const char* csv =
+      "note,valid_start,valid_end\n"
+      "\"a, b\",0,10\n"
+      "\"say \"\"hi\"\"\",5,15\n";
+  auto r = ParseCsvRelation(csv, "t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuple(0).value(0), Value::String("a, b"));
+  EXPECT_EQ(r->tuple(1).value(0), Value::String("say \"hi\""));
+}
+
+TEST(CsvTest, QuotedRoundTrip) {
+  auto schema = Schema::Make({{"note", ValueType::kString}}).value();
+  Relation r(schema, "notes");
+  r.AppendUnchecked(Tuple({Value::String("a, \"b\"\nline2")}, Period(0, 5)));
+  const std::string csv = RelationToCsv(r);
+  auto back = ParseCsvRelationWithSchema(csv, schema, "notes");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->tuple(0).value(0), r.tuple(0).value(0));
+}
+
+TEST(CsvTest, PeriodColumnsAnywhereInHeader) {
+  const char* csv =
+      "valid_start,name,valid_end\n"
+      "3,bob,9\n";
+  auto r = ParseCsvRelation(csv, "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().size(), 1u);
+  EXPECT_EQ(r->tuple(0).valid(), Period(3, 9));
+}
+
+TEST(CsvTest, ErrorsAreDescriptive) {
+  EXPECT_FALSE(ParseCsvRelation("", "t").ok());
+  // Missing period columns.
+  EXPECT_FALSE(ParseCsvRelation("a,b\n1,2\n", "t").ok());
+  // Ragged row.
+  EXPECT_FALSE(
+      ParseCsvRelation("a,valid_start,valid_end\n1,2\n", "t").ok());
+  // Bad timestamp.
+  EXPECT_FALSE(
+      ParseCsvRelation("a,valid_start,valid_end\n1,x,9\n", "t").ok());
+  // start > end.
+  EXPECT_FALSE(
+      ParseCsvRelation("a,valid_start,valid_end\n1,9,3\n", "t").ok());
+  // Unterminated quote.
+  EXPECT_FALSE(
+      ParseCsvRelation("a,valid_start,valid_end\n\"x,0,9\n", "t").ok());
+}
+
+TEST(CsvTest, SchemaMismatchRejected) {
+  auto schema = Schema::Make({{"other", ValueType::kInt}}).value();
+  EXPECT_FALSE(
+      ParseCsvRelationWithSchema(kEmployedCsv, schema, "t").ok());
+}
+
+TEST(CsvTest, GeneratedWorkloadRoundTripsExactly) {
+  WorkloadSpec spec;
+  spec.num_tuples = 400;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 99;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  const std::string csv = RelationToCsv(*relation);
+  auto back = ParseCsvRelationWithSchema(csv, relation->schema(), "w");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), relation->size());
+  for (size_t i = 0; i < relation->size(); ++i) {
+    ASSERT_EQ(back->tuple(i), relation->tuple(i)) << "tuple " << i;
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tagg_csv_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "employed.csv").string();
+  Relation employed = MakeFigure1EmployedRelation();
+  ASSERT_TRUE(SaveCsvRelation(employed, path).ok());
+  auto back = LoadCsvRelation(path, "employed");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), employed.size());
+  EXPECT_FALSE(LoadCsvRelation(path + ".missing", "x").ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tagg

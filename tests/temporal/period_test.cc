@@ -1,0 +1,110 @@
+#include "temporal/period.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(PeriodTest, DefaultCoversWholeTimeline) {
+  Period p;
+  EXPECT_EQ(p.start(), kOrigin);
+  EXPECT_EQ(p.end(), kForever);
+  EXPECT_EQ(p, Period::All());
+}
+
+TEST(PeriodTest, MakeValidatesBounds) {
+  EXPECT_TRUE(Period::Make(3, 7).ok());
+  EXPECT_TRUE(Period::Make(5, 5).ok());
+  EXPECT_TRUE(Period::Make(0, kForever).ok());
+  EXPECT_FALSE(Period::Make(7, 3).ok());
+  EXPECT_TRUE(Period::Make(7, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(Period::Make(-1, 3).status().IsOutOfRange());
+}
+
+TEST(PeriodTest, AtIsSingleInstant) {
+  Period p = Period::At(9);
+  EXPECT_EQ(p.start(), 9);
+  EXPECT_EQ(p.end(), 9);
+  EXPECT_EQ(p.duration(), 1);
+}
+
+TEST(PeriodTest, DurationIsClosedIntervalLength) {
+  EXPECT_EQ(Period(3, 7).duration(), 5);
+  EXPECT_EQ(Period(0, 0).duration(), 1);
+  EXPECT_EQ(Period(5, kForever).duration(), kForever);
+}
+
+TEST(PeriodTest, ContainsInstant) {
+  Period p(10, 20);
+  EXPECT_TRUE(p.Contains(10));
+  EXPECT_TRUE(p.Contains(15));
+  EXPECT_TRUE(p.Contains(20));
+  EXPECT_FALSE(p.Contains(9));
+  EXPECT_FALSE(p.Contains(21));
+}
+
+TEST(PeriodTest, ContainsPeriod) {
+  Period p(10, 20);
+  EXPECT_TRUE(p.Contains(Period(10, 20)));
+  EXPECT_TRUE(p.Contains(Period(12, 18)));
+  EXPECT_FALSE(p.Contains(Period(9, 20)));
+  EXPECT_FALSE(p.Contains(Period(10, 21)));
+}
+
+TEST(PeriodTest, OverlapsIsClosedIntervalSemantics) {
+  // The paper assumes closed intervals: [0,10] and [10,20] share instant 10.
+  EXPECT_TRUE(Period(0, 10).Overlaps(Period(10, 20)));
+  EXPECT_TRUE(Period(10, 20).Overlaps(Period(0, 10)));
+  EXPECT_FALSE(Period(0, 9).Overlaps(Period(10, 20)));
+  EXPECT_TRUE(Period(0, kForever).Overlaps(Period(5, 5)));
+}
+
+TEST(PeriodTest, MeetsBefore) {
+  EXPECT_TRUE(Period(0, 9).MeetsBefore(Period(10, 20)));
+  EXPECT_FALSE(Period(0, 10).MeetsBefore(Period(10, 20)));
+  EXPECT_FALSE(Period(0, 8).MeetsBefore(Period(10, 20)));
+  // A period ending at forever meets nothing.
+  EXPECT_FALSE(Period(0, kForever).MeetsBefore(Period(5, 6)));
+}
+
+TEST(PeriodTest, Intersect) {
+  auto r = Period(0, 10).Intersect(Period(5, 20));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Period(5, 10));
+  EXPECT_FALSE(Period(0, 4).Intersect(Period(5, 20)).ok());
+}
+
+TEST(PeriodTest, UnionOfOverlapping) {
+  auto r = Period(0, 10).Union(Period(5, 20));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Period(0, 20));
+}
+
+TEST(PeriodTest, UnionOfMeeting) {
+  auto r = Period(0, 9).Union(Period(10, 20));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Period(0, 20));
+  auto r2 = Period(10, 20).Union(Period(0, 9));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, Period(0, 20));
+}
+
+TEST(PeriodTest, UnionOfDisjointFails) {
+  EXPECT_FALSE(Period(0, 8).Union(Period(10, 20)).ok());
+}
+
+TEST(PeriodTest, OrderingIsStartThenEnd) {
+  // Section 5.2: "sorted in order by start-times, ties broken by using the
+  // end time".
+  EXPECT_LT(Period(1, 100), Period(2, 3));
+  EXPECT_LT(Period(1, 3), Period(1, 4));
+  EXPECT_FALSE(Period(1, 3) < Period(1, 3));
+}
+
+TEST(PeriodTest, ToStringRendersForever) {
+  EXPECT_EQ(Period(3, 7).ToString(), "[3, 7]");
+  EXPECT_EQ(Period(18, kForever).ToString(), "[18, forever]");
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,113 @@
+#include "temporal/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+Schema TwoCol() {
+  return Schema::Make({{"name", ValueType::kString},
+                       {"salary", ValueType::kInt}})
+      .value();
+}
+
+Tuple T(const char* name, int64_t salary, Instant s, Instant e) {
+  return Tuple({Value::String(name), Value::Int(salary)}, Period(s, e));
+}
+
+TEST(RelationTest, AppendValidates) {
+  Relation r(TwoCol(), "emp");
+  EXPECT_TRUE(r.Append(T("a", 1, 0, 5)).ok());
+  EXPECT_FALSE(r.Append(Tuple({Value::Int(3)}, Period(0, 5))).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, AppendUncheckedSkipsValidation) {
+  Relation r(TwoCol(), "emp");
+  r.AppendUnchecked(Tuple({Value::Int(3)}, Period(0, 5)));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, SortByTimeOrdersByStartThenEnd) {
+  Relation r(TwoCol());
+  r.AppendUnchecked(T("c", 3, 5, 9));
+  r.AppendUnchecked(T("a", 1, 1, 20));
+  r.AppendUnchecked(T("b", 2, 5, 7));
+  r.SortByTime();
+  EXPECT_EQ(r.tuple(0).value(0).AsString(), "a");
+  EXPECT_EQ(r.tuple(1).value(0).AsString(), "b");  // [5,7] before [5,9]
+  EXPECT_EQ(r.tuple(2).value(0).AsString(), "c");
+  EXPECT_TRUE(r.IsSortedByTime());
+}
+
+TEST(RelationTest, SortByTimeIsStableOnExactTies) {
+  Relation r(TwoCol());
+  r.AppendUnchecked(T("first", 1, 5, 9));
+  r.AppendUnchecked(T("second", 2, 5, 9));
+  r.SortByTime();
+  EXPECT_EQ(r.tuple(0).value(0).AsString(), "first");
+  EXPECT_EQ(r.tuple(1).value(0).AsString(), "second");
+}
+
+TEST(RelationTest, IsSortedByTimeDetectsDisorder) {
+  Relation r(TwoCol());
+  r.AppendUnchecked(T("a", 1, 10, 20));
+  r.AppendUnchecked(T("b", 2, 5, 7));
+  EXPECT_FALSE(r.IsSortedByTime());
+}
+
+TEST(RelationTest, EmptyRelationIsSorted) {
+  Relation r(TwoCol());
+  EXPECT_TRUE(r.IsSortedByTime());
+}
+
+TEST(RelationTest, LifespanCoversAllTuples) {
+  Relation r(TwoCol());
+  r.AppendUnchecked(T("a", 1, 10, 20));
+  r.AppendUnchecked(T("b", 2, 5, 7));
+  r.AppendUnchecked(T("c", 3, 15, 40));
+  auto span = r.Lifespan();
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(*span, Period(5, 40));
+}
+
+TEST(RelationTest, LifespanOfEmptyFails) {
+  Relation r(TwoCol());
+  EXPECT_FALSE(r.Lifespan().ok());
+}
+
+TEST(RelationTest, FilterKeepsMatching) {
+  Relation r(TwoCol());
+  r.AppendUnchecked(T("a", 10, 0, 5));
+  r.AppendUnchecked(T("b", 20, 0, 5));
+  r.AppendUnchecked(T("c", 30, 0, 5));
+  Relation f = r.Filter(
+      [](const Tuple& t) { return t.value(1).AsInt() >= 20; });
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.tuple(0).value(0).AsString(), "b");
+}
+
+TEST(RelationTest, RangeForIteration) {
+  Relation r(TwoCol());
+  r.AppendUnchecked(T("a", 1, 0, 1));
+  r.AppendUnchecked(T("b", 2, 2, 3));
+  int64_t total = 0;
+  for (const Tuple& t : r) total += t.value(1).AsInt();
+  EXPECT_EQ(total, 3);
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  Relation r(TwoCol(), "emp");
+  for (int i = 0; i < 30; ++i) r.AppendUnchecked(T("x", i, 0, 1));
+  const std::string s = r.ToString(5);
+  EXPECT_NE(s.find("25 more"), std::string::npos);
+}
+
+TEST(TupleTest, ToStringRendersValuesAndPeriod) {
+  const Tuple t({Value::String("bob"), Value::Int(7), Value::Null()},
+                Period(3, kForever));
+  EXPECT_EQ(t.ToString(), "('bob', 7, NULL) @ [3, forever]");
+}
+
+}  // namespace
+}  // namespace tagg

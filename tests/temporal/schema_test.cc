@@ -1,0 +1,84 @@
+#include "temporal/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+Schema TestSchema() {
+  auto s = Schema::Make({{"name", ValueType::kString},
+                         {"salary", ValueType::kInt},
+                         {"rate", ValueType::kDouble}});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(SchemaTest, MakeAcceptsDistinctNames) {
+  EXPECT_TRUE(Schema::Make({{"a", ValueType::kInt},
+                            {"b", ValueType::kString}})
+                  .ok());
+}
+
+TEST(SchemaTest, MakeRejectsDuplicatesCaseInsensitively) {
+  auto r = Schema::Make({{"Name", ValueType::kString},
+                         {"name", ValueType::kInt}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, MakeRejectsEmptyNameAndNullType) {
+  EXPECT_FALSE(Schema::Make({{"", ValueType::kInt}}).ok());
+  EXPECT_FALSE(Schema::Make({{"x", ValueType::kNull}}).ok());
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("name"), 0u);
+  EXPECT_EQ(s.IndexOf("SALARY"), 1u);
+  EXPECT_EQ(s.IndexOf("Rate"), 2u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, ValidateAcceptsMatchingTuple) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate({Value::String("bob"), Value::Int(5),
+                          Value::Double(0.5)})
+                  .ok());
+}
+
+TEST(SchemaTest, ValidateAcceptsNulls) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(
+      s.Validate({Value::Null(), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsWrongArity) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(s.Validate({Value::String("bob")}).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsWrongType) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(s.Validate({Value::Int(1), Value::Int(5),
+                           Value::Double(0.5)})
+                   .ok());
+  // Int is not silently accepted where double is declared.
+  EXPECT_FALSE(s.Validate({Value::String("b"), Value::Int(5),
+                           Value::Int(1)})
+                   .ok());
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.ToString(), "(name string, salary int, rate double)");
+}
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  auto s = Schema::Make({});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 0u);
+  EXPECT_TRUE(s->Validate({}).ok());
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,83 @@
+#include "temporal/value.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, StrictEqualityDistinguishesTypes) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::String("1"), Value::Int(1));
+}
+
+TEST(ValueTest, ToNumericWidensInt) {
+  auto r = Value::Int(7).ToNumeric();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 7.0);
+}
+
+TEST(ValueTest, ToNumericRejectsStringAndNull) {
+  EXPECT_FALSE(Value::String("x").ToNumeric().ok());
+  EXPECT_FALSE(Value::Null().ToNumeric().ok());
+}
+
+TEST(ValueTest, CompareCoercesNumerics) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)).value(), 0);
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.5)).value(), -1);
+  EXPECT_EQ(Value::Double(2.0).Compare(Value::Int(1)).value(), 1);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")).value(), -1);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("b")).value(), 0);
+  EXPECT_EQ(Value::String("c").Compare(Value::String("b")).value(), 1);
+}
+
+TEST(ValueTest, CompareNullsSortFirst) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()).value(), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Int(0)).value(), -1);
+  EXPECT_EQ(Value::Int(0).Compare(Value::Null()).value(), 1);
+}
+
+TEST(ValueTest, CompareIncompatibleTypesFails) {
+  EXPECT_FALSE(Value::String("x").Compare(Value::Int(1)).ok());
+  EXPECT_FALSE(Value::Int(1).Compare(Value::String("x")).ok());
+}
+
+TEST(ValueTest, LargeIntsCompareExactly) {
+  // Values beyond double's 2^53 mantissa must still compare correctly.
+  const int64_t big = (int64_t{1} << 62) + 1;
+  EXPECT_EQ(Value::Int(big).Compare(Value::Int(big - 1)).value(), 1);
+  EXPECT_EQ(Value::Int(big).Compare(Value::Int(big)).value(), 0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::String("bob").ToString(), "'bob'");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  // Different types hash differently for the same bit pattern.
+  EXPECT_NE(Value::Int(0).Hash(), Value::Null().Hash());
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  TAGG_LOG(Debug) << "below the threshold " << 42;
+  TAGG_LOG(Info) << "also below " << 3.14;
+  TAGG_LOG(Warn) << "still below";
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  TAGG_LOG(Debug) << "streaming " << 1 << ", " << "two" << ", " << 3.0;
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  TAGG_CHECK(1 + 1 == 2) << "never evaluated";
+  TAGG_DCHECK(true);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ TAGG_CHECK(false) << "boom"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,115 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(42, 42), 42);
+  }
+}
+
+TEST(RngTest, UniformCoversWholeRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++seen[static_cast<size_t>(rng.Uniform(0, 9))];
+  }
+  for (int count : seen) {
+    // ~1000 expected; allow generous slack.
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.5)) ++heads;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v.size(), [&](size_t a, size_t b) { std::swap(v[a], v[b]); });
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v.size(), [&](size_t a, size_t b) { std::swap(v[a], v[b]); });
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (v[static_cast<size_t>(i)] != i) ++displaced;
+  }
+  EXPECT_GT(displaced, 80);
+}
+
+TEST(RngTest, ShuffleHandlesTrivialSizes) {
+  Rng rng(31);
+  int calls = 0;
+  rng.Shuffle(0, [&](size_t, size_t) { ++calls; });
+  rng.Shuffle(1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace tagg

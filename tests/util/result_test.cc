@@ -1,0 +1,84 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, OkStatusIsRemappedToInternal) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::IOError("x");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, RvalueValueReturnsByValue) {
+  // value() on an rvalue moves the value OUT (by value, not a reference
+  // into the dying temporary): binding the result must stay valid after
+  // the temporary is gone.
+  auto make = []() -> Result<std::string> { return std::string("alive"); };
+  auto&& bound = make().value();
+  // `bound` owns the string; the temporary Result is already destroyed.
+  EXPECT_EQ(bound, "alive");
+  const double d = Result<double>(0.00505).value();  // rvalue path
+  EXPECT_DOUBLE_EQ(d, 0.00505);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto source = []() -> Result<int> { return Status::OutOfRange("far"); };
+  auto wrapper = [&]() -> Status {
+    TAGG_ASSIGN_OR_RETURN(int v, source());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto source = []() -> Result<int> { return 9; };
+  int seen = 0;
+  auto wrapper = [&]() -> Status {
+    TAGG_ASSIGN_OR_RETURN(seen, source());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().ok());
+  EXPECT_EQ(seen, 9);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("relation 'x' not found");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "relation 'x' not found");
+  EXPECT_EQ(s.ToString(), "not found: relation 'x' not found");
+}
+
+TEST(StatusTest, AllFactoriesMapToTheirPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("m").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("m").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("m").IsResourceExhausted());
+  EXPECT_TRUE(Status::IOError("m").IsIOError());
+  EXPECT_TRUE(Status::Corruption("m").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("m").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("m").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesErrorState) {
+  Status s = Status::IOError("disk on fire");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk on fire");
+  EXPECT_EQ(s, t);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Corruption("bad page"); };
+  auto wrapper = [&]() -> Status {
+    TAGG_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsCorruption());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    TAGG_RETURN_IF_ERROR(succeeds());
+    return Status::NotFound("reached the end");
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "io error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+}
+
+}  // namespace
+}  // namespace tagg

@@ -1,0 +1,55 @@
+#include "util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace tagg {
+namespace {
+
+TEST(StrTest, ToLower) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToLower("abc123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StrTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("COUNT", "count"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("count", "counts"));
+  EXPECT_FALSE(EqualsIgnoreCase("count", "coint"));
+}
+
+TEST(StrTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("\t\n x \r "), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x,", ','), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrTest, SplitJoinRoundTrip) {
+  const std::string s = "one,two,three";
+  EXPECT_EQ(Join(Split(s, ','), ","), s);
+}
+
+TEST(StrTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+  EXPECT_EQ(StringPrintf("%zu tuples", static_cast<size_t>(42)),
+            "42 tuples");
+}
+
+}  // namespace
+}  // namespace tagg
