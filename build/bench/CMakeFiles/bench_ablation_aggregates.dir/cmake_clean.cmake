@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggregates.dir/bench_ablation_aggregates.cc.o"
+  "CMakeFiles/bench_ablation_aggregates.dir/bench_ablation_aggregates.cc.o.d"
+  "bench_ablation_aggregates"
+  "bench_ablation_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

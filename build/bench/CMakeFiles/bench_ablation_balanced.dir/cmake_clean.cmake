@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balanced.dir/bench_ablation_balanced.cc.o"
+  "CMakeFiles/bench_ablation_balanced.dir/bench_ablation_balanced.cc.o.d"
+  "bench_ablation_balanced"
+  "bench_ablation_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

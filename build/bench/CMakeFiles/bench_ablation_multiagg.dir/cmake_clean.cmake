@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiagg.dir/bench_ablation_multiagg.cc.o"
+  "CMakeFiles/bench_ablation_multiagg.dir/bench_ablation_multiagg.cc.o.d"
+  "bench_ablation_multiagg"
+  "bench_ablation_multiagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

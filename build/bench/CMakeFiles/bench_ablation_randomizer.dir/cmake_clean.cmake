@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_randomizer.dir/bench_ablation_randomizer.cc.o"
+  "CMakeFiles/bench_ablation_randomizer.dir/bench_ablation_randomizer.cc.o.d"
+  "bench_ablation_randomizer"
+  "bench_ablation_randomizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_randomizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

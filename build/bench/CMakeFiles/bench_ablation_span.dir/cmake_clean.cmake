@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_span.dir/bench_ablation_span.cc.o"
+  "CMakeFiles/bench_ablation_span.dir/bench_ablation_span.cc.o.d"
+  "bench_ablation_span"
+  "bench_ablation_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unique_timestamps.dir/bench_ablation_unique_timestamps.cc.o"
+  "CMakeFiles/bench_ablation_unique_timestamps.dir/bench_ablation_unique_timestamps.cc.o.d"
+  "bench_ablation_unique_timestamps"
+  "bench_ablation_unique_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unique_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_unordered.dir/bench_fig6_unordered.cc.o"
+  "CMakeFiles/bench_fig6_unordered.dir/bench_fig6_unordered.cc.o.d"
+  "bench_fig6_unordered"
+  "bench_fig6_unordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_unordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

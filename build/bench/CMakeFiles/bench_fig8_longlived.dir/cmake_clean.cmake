@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_longlived.dir/bench_fig8_longlived.cc.o"
+  "CMakeFiles/bench_fig8_longlived.dir/bench_fig8_longlived.cc.o.d"
+  "bench_fig8_longlived"
+  "bench_fig8_longlived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_longlived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sortedness.dir/bench_table2_sortedness.cc.o"
+  "CMakeFiles/bench_table2_sortedness.dir/bench_table2_sortedness.cc.o.d"
+  "bench_table2_sortedness"
+  "bench_table2_sortedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sortedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

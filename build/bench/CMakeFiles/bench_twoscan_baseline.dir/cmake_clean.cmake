@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twoscan_baseline.dir/bench_twoscan_baseline.cc.o"
+  "CMakeFiles/bench_twoscan_baseline.dir/bench_twoscan_baseline.cc.o.d"
+  "bench_twoscan_baseline"
+  "bench_twoscan_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twoscan_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_sessions.dir/net_sessions.cc.o"
+  "CMakeFiles/net_sessions.dir/net_sessions.cc.o.d"
+  "net_sessions"
+  "net_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_history.dir/payroll_history.cc.o"
+  "CMakeFiles/payroll_history.dir/payroll_history.cc.o.d"
+  "payroll_history"
+  "payroll_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

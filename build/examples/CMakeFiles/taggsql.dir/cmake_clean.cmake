@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taggsql.dir/taggsql.cc.o"
+  "CMakeFiles/taggsql.dir/taggsql.cc.o.d"
+  "taggsql"
+  "taggsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taggsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregates.cc" "src/CMakeFiles/tagg_core.dir/core/aggregates.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/aggregates.cc.o.d"
+  "/root/repo/src/core/analyze.cc" "src/CMakeFiles/tagg_core.dir/core/analyze.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/analyze.cc.o.d"
+  "/root/repo/src/core/constant_interval.cc" "src/CMakeFiles/tagg_core.dir/core/constant_interval.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/constant_interval.cc.o.d"
+  "/root/repo/src/core/multi_agg.cc" "src/CMakeFiles/tagg_core.dir/core/multi_agg.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/multi_agg.cc.o.d"
+  "/root/repo/src/core/node_arena.cc" "src/CMakeFiles/tagg_core.dir/core/node_arena.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/node_arena.cc.o.d"
+  "/root/repo/src/core/page_randomizer.cc" "src/CMakeFiles/tagg_core.dir/core/page_randomizer.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/page_randomizer.cc.o.d"
+  "/root/repo/src/core/partitioned_agg.cc" "src/CMakeFiles/tagg_core.dir/core/partitioned_agg.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/partitioned_agg.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/tagg_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/sortedness.cc" "src/CMakeFiles/tagg_core.dir/core/sortedness.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/sortedness.cc.o.d"
+  "/root/repo/src/core/span_agg.cc" "src/CMakeFiles/tagg_core.dir/core/span_agg.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/span_agg.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/tagg_core.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/tagg_core.dir/core/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

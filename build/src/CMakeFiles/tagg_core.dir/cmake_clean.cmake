@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagg_core.dir/core/aggregates.cc.o"
+  "CMakeFiles/tagg_core.dir/core/aggregates.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/analyze.cc.o"
+  "CMakeFiles/tagg_core.dir/core/analyze.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/constant_interval.cc.o"
+  "CMakeFiles/tagg_core.dir/core/constant_interval.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/multi_agg.cc.o"
+  "CMakeFiles/tagg_core.dir/core/multi_agg.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/node_arena.cc.o"
+  "CMakeFiles/tagg_core.dir/core/node_arena.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/page_randomizer.cc.o"
+  "CMakeFiles/tagg_core.dir/core/page_randomizer.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/partitioned_agg.cc.o"
+  "CMakeFiles/tagg_core.dir/core/partitioned_agg.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/planner.cc.o"
+  "CMakeFiles/tagg_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/sortedness.cc.o"
+  "CMakeFiles/tagg_core.dir/core/sortedness.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/span_agg.cc.o"
+  "CMakeFiles/tagg_core.dir/core/span_agg.cc.o.d"
+  "CMakeFiles/tagg_core.dir/core/workload.cc.o"
+  "CMakeFiles/tagg_core.dir/core/workload.cc.o.d"
+  "libtagg_core.a"
+  "libtagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/analyzer.cc" "src/CMakeFiles/tagg_query.dir/query/analyzer.cc.o" "gcc" "src/CMakeFiles/tagg_query.dir/query/analyzer.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/tagg_query.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/tagg_query.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/tagg_query.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/tagg_query.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/tagg_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/tagg_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/token.cc" "src/CMakeFiles/tagg_query.dir/query/token.cc.o" "gcc" "src/CMakeFiles/tagg_query.dir/query/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagg_query.dir/query/analyzer.cc.o"
+  "CMakeFiles/tagg_query.dir/query/analyzer.cc.o.d"
+  "CMakeFiles/tagg_query.dir/query/executor.cc.o"
+  "CMakeFiles/tagg_query.dir/query/executor.cc.o.d"
+  "CMakeFiles/tagg_query.dir/query/lexer.cc.o"
+  "CMakeFiles/tagg_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/tagg_query.dir/query/parser.cc.o"
+  "CMakeFiles/tagg_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/tagg_query.dir/query/token.cc.o"
+  "CMakeFiles/tagg_query.dir/query/token.cc.o.d"
+  "libtagg_query.a"
+  "libtagg_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagg_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

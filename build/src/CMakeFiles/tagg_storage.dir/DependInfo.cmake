@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tagg_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tagg_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/external_sort.cc" "src/CMakeFiles/tagg_storage.dir/storage/external_sort.cc.o" "gcc" "src/CMakeFiles/tagg_storage.dir/storage/external_sort.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/tagg_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/tagg_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/record_codec.cc" "src/CMakeFiles/tagg_storage.dir/storage/record_codec.cc.o" "gcc" "src/CMakeFiles/tagg_storage.dir/storage/record_codec.cc.o.d"
+  "/root/repo/src/storage/relation_io.cc" "src/CMakeFiles/tagg_storage.dir/storage/relation_io.cc.o" "gcc" "src/CMakeFiles/tagg_storage.dir/storage/relation_io.cc.o.d"
+  "/root/repo/src/storage/table_scan.cc" "src/CMakeFiles/tagg_storage.dir/storage/table_scan.cc.o" "gcc" "src/CMakeFiles/tagg_storage.dir/storage/table_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

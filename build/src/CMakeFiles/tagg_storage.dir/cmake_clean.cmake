@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagg_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/tagg_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/tagg_storage.dir/storage/external_sort.cc.o"
+  "CMakeFiles/tagg_storage.dir/storage/external_sort.cc.o.d"
+  "CMakeFiles/tagg_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/tagg_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/tagg_storage.dir/storage/record_codec.cc.o"
+  "CMakeFiles/tagg_storage.dir/storage/record_codec.cc.o.d"
+  "CMakeFiles/tagg_storage.dir/storage/relation_io.cc.o"
+  "CMakeFiles/tagg_storage.dir/storage/relation_io.cc.o.d"
+  "CMakeFiles/tagg_storage.dir/storage/table_scan.cc.o"
+  "CMakeFiles/tagg_storage.dir/storage/table_scan.cc.o.d"
+  "libtagg_storage.a"
+  "libtagg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/algebra.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/algebra.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/algebra.cc.o.d"
+  "/root/repo/src/temporal/catalog.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/catalog.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/catalog.cc.o.d"
+  "/root/repo/src/temporal/csv.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/csv.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/csv.cc.o.d"
+  "/root/repo/src/temporal/period.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/period.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/period.cc.o.d"
+  "/root/repo/src/temporal/relation.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/relation.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/relation.cc.o.d"
+  "/root/repo/src/temporal/schema.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/schema.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/schema.cc.o.d"
+  "/root/repo/src/temporal/tuple.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/tuple.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/tuple.cc.o.d"
+  "/root/repo/src/temporal/value.cc" "src/CMakeFiles/tagg_temporal.dir/temporal/value.cc.o" "gcc" "src/CMakeFiles/tagg_temporal.dir/temporal/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

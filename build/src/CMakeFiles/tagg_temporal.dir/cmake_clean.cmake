@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagg_temporal.dir/temporal/algebra.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/algebra.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/catalog.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/catalog.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/csv.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/csv.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/period.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/period.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/relation.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/relation.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/schema.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/schema.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/tuple.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/tuple.cc.o.d"
+  "CMakeFiles/tagg_temporal.dir/temporal/value.cc.o"
+  "CMakeFiles/tagg_temporal.dir/temporal/value.cc.o.d"
+  "libtagg_temporal.a"
+  "libtagg_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagg_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

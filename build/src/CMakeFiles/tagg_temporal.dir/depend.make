@@ -1,0 +1,2 @@
+# Empty dependencies file for tagg_temporal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagg_util.dir/util/logging.cc.o"
+  "CMakeFiles/tagg_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/tagg_util.dir/util/random.cc.o"
+  "CMakeFiles/tagg_util.dir/util/random.cc.o.d"
+  "CMakeFiles/tagg_util.dir/util/status.cc.o"
+  "CMakeFiles/tagg_util.dir/util/status.cc.o.d"
+  "CMakeFiles/tagg_util.dir/util/str.cc.o"
+  "CMakeFiles/tagg_util.dir/util/str.cc.o.d"
+  "libtagg_util.a"
+  "libtagg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

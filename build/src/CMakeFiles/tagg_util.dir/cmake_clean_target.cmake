@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtagg_util.a"
+)

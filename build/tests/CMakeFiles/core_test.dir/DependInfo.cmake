@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregates_test.cc" "tests/CMakeFiles/core_test.dir/core/aggregates_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aggregates_test.cc.o.d"
+  "/root/repo/tests/core/aggregation_tree_test.cc" "tests/CMakeFiles/core_test.dir/core/aggregation_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aggregation_tree_test.cc.o.d"
+  "/root/repo/tests/core/analyze_test.cc" "tests/CMakeFiles/core_test.dir/core/analyze_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analyze_test.cc.o.d"
+  "/root/repo/tests/core/balanced_tree_test.cc" "tests/CMakeFiles/core_test.dir/core/balanced_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/balanced_tree_test.cc.o.d"
+  "/root/repo/tests/core/complexity_test.cc" "tests/CMakeFiles/core_test.dir/core/complexity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/complexity_test.cc.o.d"
+  "/root/repo/tests/core/constant_interval_test.cc" "tests/CMakeFiles/core_test.dir/core/constant_interval_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/constant_interval_test.cc.o.d"
+  "/root/repo/tests/core/duplicate_timestamps_test.cc" "tests/CMakeFiles/core_test.dir/core/duplicate_timestamps_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/duplicate_timestamps_test.cc.o.d"
+  "/root/repo/tests/core/employed_example_test.cc" "tests/CMakeFiles/core_test.dir/core/employed_example_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/employed_example_test.cc.o.d"
+  "/root/repo/tests/core/flat_tree_test.cc" "tests/CMakeFiles/core_test.dir/core/flat_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/flat_tree_test.cc.o.d"
+  "/root/repo/tests/core/k_ordered_gc_invariant_test.cc" "tests/CMakeFiles/core_test.dir/core/k_ordered_gc_invariant_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/k_ordered_gc_invariant_test.cc.o.d"
+  "/root/repo/tests/core/k_ordered_tree_test.cc" "tests/CMakeFiles/core_test.dir/core/k_ordered_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/k_ordered_tree_test.cc.o.d"
+  "/root/repo/tests/core/linked_list_test.cc" "tests/CMakeFiles/core_test.dir/core/linked_list_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/linked_list_test.cc.o.d"
+  "/root/repo/tests/core/multi_agg_test.cc" "tests/CMakeFiles/core_test.dir/core/multi_agg_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multi_agg_test.cc.o.d"
+  "/root/repo/tests/core/node_arena_test.cc" "tests/CMakeFiles/core_test.dir/core/node_arena_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/node_arena_test.cc.o.d"
+  "/root/repo/tests/core/page_randomizer_test.cc" "tests/CMakeFiles/core_test.dir/core/page_randomizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/page_randomizer_test.cc.o.d"
+  "/root/repo/tests/core/partitioned_agg_test.cc" "tests/CMakeFiles/core_test.dir/core/partitioned_agg_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/partitioned_agg_test.cc.o.d"
+  "/root/repo/tests/core/planner_test.cc" "tests/CMakeFiles/core_test.dir/core/planner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/planner_test.cc.o.d"
+  "/root/repo/tests/core/property_test.cc" "tests/CMakeFiles/core_test.dir/core/property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/property_test.cc.o.d"
+  "/root/repo/tests/core/sortedness_test.cc" "tests/CMakeFiles/core_test.dir/core/sortedness_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sortedness_test.cc.o.d"
+  "/root/repo/tests/core/span_agg_test.cc" "tests/CMakeFiles/core_test.dir/core/span_agg_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/span_agg_test.cc.o.d"
+  "/root/repo/tests/core/two_scan_test.cc" "tests/CMakeFiles/core_test.dir/core/two_scan_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/two_scan_test.cc.o.d"
+  "/root/repo/tests/core/workload_test.cc" "tests/CMakeFiles/core_test.dir/core/workload_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/analyzer_test.cc" "tests/CMakeFiles/query_test.dir/query/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/analyzer_test.cc.o.d"
+  "/root/repo/tests/query/executor_test.cc" "tests/CMakeFiles/query_test.dir/query/executor_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/executor_test.cc.o.d"
+  "/root/repo/tests/query/lexer_test.cc" "tests/CMakeFiles/query_test.dir/query/lexer_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/lexer_test.cc.o.d"
+  "/root/repo/tests/query/parser_fuzz_test.cc" "tests/CMakeFiles/query_test.dir/query/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/query/parser_test.cc" "tests/CMakeFiles/query_test.dir/query/parser_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/external_sort_test.cc" "tests/CMakeFiles/storage_test.dir/storage/external_sort_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/external_sort_test.cc.o.d"
+  "/root/repo/tests/storage/heap_file_test.cc" "tests/CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o.d"
+  "/root/repo/tests/storage/page_test.cc" "tests/CMakeFiles/storage_test.dir/storage/page_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/page_test.cc.o.d"
+  "/root/repo/tests/storage/pipeline_test.cc" "tests/CMakeFiles/storage_test.dir/storage/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/pipeline_test.cc.o.d"
+  "/root/repo/tests/storage/record_codec_test.cc" "tests/CMakeFiles/storage_test.dir/storage/record_codec_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/record_codec_test.cc.o.d"
+  "/root/repo/tests/storage/relation_io_test.cc" "tests/CMakeFiles/storage_test.dir/storage/relation_io_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/relation_io_test.cc.o.d"
+  "/root/repo/tests/storage/table_scan_test.cc" "tests/CMakeFiles/storage_test.dir/storage/table_scan_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/table_scan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/external_sort_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/external_sort_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/page_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/page_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/pipeline_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/pipeline_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/record_codec_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/record_codec_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/relation_io_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/relation_io_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/table_scan_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/table_scan_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/temporal/algebra_property_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/algebra_property_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/algebra_property_test.cc.o.d"
+  "/root/repo/tests/temporal/algebra_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/algebra_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/algebra_test.cc.o.d"
+  "/root/repo/tests/temporal/catalog_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/catalog_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/catalog_test.cc.o.d"
+  "/root/repo/tests/temporal/csv_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/csv_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/csv_test.cc.o.d"
+  "/root/repo/tests/temporal/period_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/period_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/period_test.cc.o.d"
+  "/root/repo/tests/temporal/relation_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/relation_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/relation_test.cc.o.d"
+  "/root/repo/tests/temporal/schema_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/schema_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/schema_test.cc.o.d"
+  "/root/repo/tests/temporal/value_test.cc" "tests/CMakeFiles/temporal_test.dir/temporal/value_test.cc.o" "gcc" "tests/CMakeFiles/temporal_test.dir/temporal/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_test.dir/temporal/algebra_property_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/algebra_property_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/algebra_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/algebra_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/catalog_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/catalog_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/csv_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/csv_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/period_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/period_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/relation_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/relation_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/schema_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/schema_test.cc.o.d"
+  "CMakeFiles/temporal_test.dir/temporal/value_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal/value_test.cc.o.d"
+  "temporal_test"
+  "temporal_test.pdb"
+  "temporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/util_test.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/result_test.cc" "tests/CMakeFiles/util_test.dir/util/result_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/result_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/str_test.cc" "tests/CMakeFiles/util_test.dir/util/str_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/str_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tagg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+add_test(taggsql_smoke "sh" "-c" "printf 'analyze employed\\nSELECT COUNT(name) FROM employed\\nEXPLAIN SELECT COUNT(*) FROM employed\\nquit\\n' | /root/repo/build/examples/taggsql | grep -q '\\[18, 20\\]'")
+set_tests_properties(taggsql_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(taggsql_rejects_bad_input "sh" "-c" "echo 'SELECT bogus(' | /root/repo/build/examples/taggsql; test \$? -eq 1")
+set_tests_properties(taggsql_rejects_bad_input PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
