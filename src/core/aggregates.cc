@@ -42,6 +42,8 @@ std::string_view AlgorithmKindToString(AlgorithmKind kind) {
       return "two-scan";
     case AlgorithmKind::kReference:
       return "reference";
+    case AlgorithmKind::kLiveIndex:
+      return "live-index";
   }
   return "?";
 }
@@ -127,6 +129,11 @@ Result<std::unique_ptr<TemporalAggregator>> MakeForOp(
     case AlgorithmKind::kReference:
       return std::unique_ptr<TemporalAggregator>(
           new ErasedAggregator<Op, ReferenceAggregator<Op>>());
+    case AlgorithmKind::kLiveIndex:
+      return Status::InvalidArgument(
+          "live-index is a resident serving structure, not a batch "
+          "algorithm; build a LiveAggregateIndex (live/live_index.h) or "
+          "register one with a LiveService");
   }
   return Status::InvalidArgument("unknown algorithm kind");
 }

@@ -165,6 +165,10 @@ enum class AlgorithmKind : uint8_t {
   kTwoScan,
   /// Testing oracle: brute-force per-constant-interval evaluation.
   kReference,
+  /// Serving layer (src/live): a resident tree answering queries without
+  /// a rebuild.  Not constructible through MakeAggregator — the executor
+  /// reports this kind when a query was routed to a live index.
+  kLiveIndex,
 };
 
 std::string_view AggregateKindToString(AggregateKind kind);

@@ -205,6 +205,10 @@ Result<MultiSeries> ComputeMultiAggregate(
       return Drive(TwoScanAggregator<MultiOp>(op), relation, op, options);
     case AlgorithmKind::kReference:
       return Drive(ReferenceAggregator<MultiOp>(op), relation, op, options);
+    case AlgorithmKind::kLiveIndex:
+      return Status::InvalidArgument(
+          "live-index is not a batch algorithm; the executor routes to a "
+          "registered LiveAggregateIndex before reaching this path");
   }
   return Status::InvalidArgument("unknown algorithm kind");
 }

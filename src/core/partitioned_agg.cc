@@ -153,10 +153,9 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
 
   // Pass 2: one small tree per region; regions are independent, so with
   // parallel_workers > 1 they are evaluated concurrently and stitched in
-  // region order afterwards.
-  const size_t workers =
-      options.spill_to_disk ? 1 : std::max<size_t>(options.parallel_workers,
-                                                   1);
+  // region order afterwards.  The spill + parallel combination was
+  // rejected up front, so no clamping is needed here.
+  const size_t workers = std::max<size_t>(options.parallel_workers, 1);
   std::vector<std::vector<TypedInterval<typename Op::State>>> per_region(
       regions);
   std::vector<ExecutionStats> per_region_stats(regions);
@@ -249,7 +248,9 @@ Result<AggregateSeries> ComputePartitionedAggregate(
   }
   if (options.spill_to_disk && options.parallel_workers > 1) {
     return Status::InvalidArgument(
-        "parallel evaluation is incompatible with spill_to_disk");
+        "parallel_workers > 1 is incompatible with spill_to_disk: the "
+        "spill replay file is a shared cursor; run sequentially or keep "
+        "region buffers in memory");
   }
   const bool needs_attribute =
       options.aggregate != AggregateKind::kCount ||

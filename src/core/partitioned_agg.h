@@ -46,7 +46,8 @@ struct PartitionedOptions {
   /// bibliography); results are stitched in region order and are
   /// byte-identical to the sequential evaluation.  1 = sequential.
   /// Incompatible with spill_to_disk (the replay file is a shared
-  /// cursor).
+  /// cursor): ComputePartitionedAggregate rejects parallel_workers > 1
+  /// together with spill_to_disk with an InvalidArgument error.
   size_t parallel_workers = 1;
 };
 

@@ -1,0 +1,73 @@
+#include "live/live_index.h"
+
+#include "util/str.h"
+
+namespace tagg {
+
+std::string LiveIndexStats::ToString() const {
+  return StringPrintf(
+      "epoch=%llu absorbed=%llu queries=%llu age=%.3fs depth=%zu "
+      "nodes=%zu bytes=%zu (paper %zu)",
+      static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(inserts_absorbed),
+      static_cast<unsigned long long>(queries_served),
+      snapshot_age_seconds, tree_depth, live_nodes, live_bytes,
+      paper_bytes);
+}
+
+Status LiveAggregateIndex::InsertTuple(const Tuple& tuple) {
+  const LiveIndexOptions& opts = options();
+  const bool needs_attribute =
+      opts.aggregate != AggregateKind::kCount ||
+      opts.attribute != AggregateOptions::kNoAttribute;
+  double input = 0.0;
+  if (needs_attribute) {
+    if (opts.attribute >= tuple.arity()) {
+      return Status::InvalidArgument(StringPrintf(
+          "live index aggregates attribute %zu but tuple has arity %zu",
+          opts.attribute, tuple.arity()));
+    }
+    const Value& v = tuple.value(opts.attribute);
+    // SQL semantics, matching ComputeTemporalAggregate: aggregates skip
+    // NULL inputs, and COUNT(attr) counts only non-null values.  The
+    // epoch still advances so freshness checks see the tuple.
+    if (v.is_null()) {
+      NoteSkippedTuple();
+      return Status::OK();
+    }
+    if (opts.aggregate != AggregateKind::kCount) {
+      TAGG_ASSIGN_OR_RETURN(input, v.ToNumeric());
+    }
+  }
+  return Insert(tuple.valid(), input);
+}
+
+Result<std::unique_ptr<LiveAggregateIndex>> LiveAggregateIndex::Create(
+    const LiveIndexOptions& options) {
+  if (options.aggregate != AggregateKind::kCount &&
+      options.attribute == AggregateOptions::kNoAttribute) {
+    return Status::InvalidArgument(
+        std::string(AggregateKindToString(options.aggregate)) +
+        " live index requires an attribute to aggregate");
+  }
+  switch (options.aggregate) {
+    case AggregateKind::kCount:
+      return std::unique_ptr<LiveAggregateIndex>(
+          new internal::LiveIndexImpl<CountOp>(options));
+    case AggregateKind::kSum:
+      return std::unique_ptr<LiveAggregateIndex>(
+          new internal::LiveIndexImpl<SumOp>(options));
+    case AggregateKind::kMin:
+      return std::unique_ptr<LiveAggregateIndex>(
+          new internal::LiveIndexImpl<MinOp>(options));
+    case AggregateKind::kMax:
+      return std::unique_ptr<LiveAggregateIndex>(
+          new internal::LiveIndexImpl<MaxOp>(options));
+    case AggregateKind::kAvg:
+      return std::unique_ptr<LiveAggregateIndex>(
+          new internal::LiveIndexImpl<AvgOp>(options));
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+}  // namespace tagg

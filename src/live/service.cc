@@ -1,0 +1,134 @@
+#include "live/service.h"
+
+#include "util/str.h"
+
+namespace tagg {
+
+std::string LiveIndexKey::ToString() const {
+  std::string arg = attribute == AggregateOptions::kNoAttribute
+                        ? "*"
+                        : "#" + std::to_string(attribute);
+  return relation + "/" + std::string(AggregateKindToString(aggregate)) +
+         "(" + arg + ")";
+}
+
+std::string LiveServiceStats::ToString() const {
+  std::string out = "live service: " + std::to_string(indexes.size()) +
+                    " index(es), " + std::to_string(tuples_ingested) +
+                    " tuple(s) ingested\n";
+  for (const auto& [key, stats] : indexes) {
+    out += "  " + key.ToString() + ": " + stats.ToString() + "\n";
+  }
+  return out;
+}
+
+Status LiveService::RegisterIndex(const Catalog& catalog,
+                                  std::string_view relation_name,
+                                  AggregateKind aggregate,
+                                  std::string_view attribute_name) {
+  TAGG_ASSIGN_OR_RETURN(std::shared_ptr<Relation> relation,
+                        catalog.Get(relation_name));
+
+  size_t attribute = AggregateOptions::kNoAttribute;
+  if (!attribute_name.empty()) {
+    const auto index = relation->schema().IndexOf(attribute_name);
+    if (!index.has_value()) {
+      return Status::NotFound("relation '" + relation->name() +
+                              "' has no attribute '" +
+                              std::string(attribute_name) + "'");
+    }
+    attribute = *index;
+  }
+  if (aggregate != AggregateKind::kCount) {
+    if (attribute == AggregateOptions::kNoAttribute) {
+      return Status::InvalidArgument(
+          std::string(AggregateKindToString(aggregate)) +
+          " live index requires an attribute to aggregate");
+    }
+    const ValueType type = relation->schema().attribute(attribute).type;
+    if (type != ValueType::kInt && type != ValueType::kDouble) {
+      return Status::NotSupported(
+          std::string(AggregateKindToString(aggregate)) +
+          " over non-numeric attribute '" +
+          relation->schema().attribute(attribute).name + "'");
+    }
+  }
+
+  LiveIndexKey key{ToLower(relation_name), aggregate, attribute};
+
+  LiveIndexOptions options;
+  options.aggregate = aggregate;
+  options.attribute = attribute;
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<LiveAggregateIndex> index,
+                        LiveAggregateIndex::Create(options));
+
+  // Bulk-load outside the registry lock: the index is not yet published.
+  for (const Tuple& t : *relation) {
+    TAGG_RETURN_IF_ERROR(index->InsertTuple(t));
+  }
+
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (entries_.contains(key)) {
+    return Status::AlreadyExists("live index " + key.ToString() +
+                                 " already registered");
+  }
+  entries_.emplace(key, Entry{std::move(relation), std::move(index)});
+  return Status::OK();
+}
+
+const LiveAggregateIndex* LiveService::Find(std::string_view relation_name,
+                                            AggregateKind aggregate,
+                                            size_t attribute) const {
+  const LiveIndexKey key{ToLower(relation_name), aggregate, attribute};
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.index.get();
+}
+
+Status LiveService::Ingest(std::string_view relation_name, Tuple tuple) {
+  const std::string lowered = ToLower(relation_name);
+  std::lock_guard<std::mutex> guard(mutex_);
+
+  // Collect every index over this relation; they share one Relation.
+  std::shared_ptr<Relation> relation;
+  std::vector<LiveAggregateIndex*> indexes;
+  for (auto& [key, entry] : entries_) {
+    if (key.relation != lowered) continue;
+    relation = entry.relation;
+    indexes.push_back(entry.index.get());
+  }
+  if (relation == nullptr) {
+    return Status::NotFound("no live index registered for relation '" +
+                            std::string(relation_name) + "'");
+  }
+
+  // Validate + append once; then fold into every index so their epochs
+  // stay equal to the relation's size.
+  TAGG_RETURN_IF_ERROR(relation->Append(tuple));
+  for (LiveAggregateIndex* index : indexes) {
+    TAGG_RETURN_IF_ERROR(index->InsertTuple(tuple));
+  }
+  ++tuples_ingested_;
+  return Status::OK();
+}
+
+std::vector<LiveIndexKey> LiveService::Keys() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<LiveIndexKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+LiveServiceStats LiveService::Stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  LiveServiceStats stats;
+  stats.tuples_ingested = tuples_ingested_;
+  stats.indexes.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    stats.indexes.emplace_back(key, entry.index->Stats());
+  }
+  return stats;
+}
+
+}  // namespace tagg

@@ -1,0 +1,97 @@
+// LiveService: the serving façade over live aggregate indexes.
+//
+// A service owns one LiveAggregateIndex per (relation, aggregate,
+// attribute) registration.  Registration resolves the attribute against
+// the relation's schema in the temporal/catalog, type-checks it exactly
+// like the batch path, bulk-loads the relation's current contents, and
+// from then on Ingest() keeps the relation and every index over it in
+// step — so the query executor can route repeated aggregate queries to
+// the resident tree instead of rebuilding one per query
+// (ExecutorOptions::live_service).
+//
+// Threading model: the registry itself is mutex-protected; each index is
+// single-writer/multi-reader safe (live/live_index.h).  Ingest() appends
+// to the *relation* as well, and Relation is not a concurrent structure —
+// run one ingest thread, and route concurrent reads through the live
+// indexes (the executor's fallback path scans the relation and is only
+// safe when no ingest is running).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "live/live_index.h"
+#include "temporal/catalog.h"
+
+namespace tagg {
+
+/// Identity of one registered index.
+struct LiveIndexKey {
+  std::string relation;  // lowercased
+  AggregateKind aggregate = AggregateKind::kCount;
+  size_t attribute = AggregateOptions::kNoAttribute;
+
+  bool operator<(const LiveIndexKey& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    if (aggregate != other.aggregate) return aggregate < other.aggregate;
+    return attribute < other.attribute;
+  }
+
+  /// "employed/COUNT(#1)"-style rendering.
+  std::string ToString() const;
+};
+
+/// Service-wide counters plus the per-index stats snapshot.
+struct LiveServiceStats {
+  uint64_t tuples_ingested = 0;
+  std::vector<std::pair<LiveIndexKey, LiveIndexStats>> indexes;
+
+  std::string ToString() const;
+};
+
+/// Registry and ingest point for live aggregate indexes.
+class LiveService {
+ public:
+  /// Registers a live index for `aggregate` over `attribute_name` of
+  /// `relation_name` (empty attribute name = COUNT(*)).  Resolves and
+  /// type-checks against the catalog, then bulk-loads every tuple the
+  /// relation currently holds.  Fails on duplicates, unknown names, and
+  /// non-numeric value aggregates.
+  Status RegisterIndex(const Catalog& catalog, std::string_view relation_name,
+                       AggregateKind aggregate,
+                       std::string_view attribute_name = {});
+
+  /// The index registered for (relation, aggregate, attribute), or
+  /// nullptr.  The pointer stays valid for the service's lifetime —
+  /// indexes are never dropped, only the whole service.
+  const LiveAggregateIndex* Find(std::string_view relation_name,
+                                 AggregateKind aggregate,
+                                 size_t attribute) const;
+
+  /// Appends `tuple` to the registered relation and folds it into every
+  /// index over that relation, so index epochs stay equal to the
+  /// relation's size.  Fails when no index was registered for the
+  /// relation or the tuple does not match its schema.
+  Status Ingest(std::string_view relation_name, Tuple tuple);
+
+  /// All registrations, sorted.
+  std::vector<LiveIndexKey> Keys() const;
+
+  LiveServiceStats Stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Relation> relation;
+    std::unique_ptr<LiveAggregateIndex> index;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<LiveIndexKey, Entry> entries_;
+  uint64_t tuples_ingested_ = 0;
+};
+
+}  // namespace tagg

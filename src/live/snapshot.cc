@@ -1,0 +1,68 @@
+#include "live/snapshot.h"
+
+#include <thread>
+
+namespace tagg {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SnapshotGate::SnapshotGate() : published_at_ns_(NowNs()) {}
+
+SnapshotGate::ReadSnapshot::ReadSnapshot(SnapshotGate& gate) {
+  // Writer preference: glibc's rwlock admits new readers while a writer
+  // waits, so a spinning reader pool can starve the single ingest thread
+  // for milliseconds per insert.  Readers therefore stand aside while a
+  // writer is queued; writer sections are O(tree depth), so the pause is
+  // microscopic.
+  while (gate.writers_waiting_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  lock_ = std::shared_lock<std::shared_mutex>(gate.mutex_);
+  // Under the shared lock no writer can publish, so epoch and publication
+  // time describe exactly the version this reader will traverse.
+  epoch_ = gate.epoch_.load(std::memory_order_acquire);
+  const int64_t published =
+      gate.published_at_ns_.load(std::memory_order_acquire);
+  age_seconds_ = static_cast<double>(NowNs() - published) * 1e-9;
+  if (age_seconds_ < 0.0) age_seconds_ = 0.0;
+}
+
+SnapshotGate::WriteTicket::WriteTicket(SnapshotGate& gate) : gate_(gate) {
+  gate.writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  lock_ = std::unique_lock<std::shared_mutex>(gate.mutex_);
+  gate.writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  publishing_epoch_ = gate.epoch_.load(std::memory_order_relaxed) + 1;
+}
+
+SnapshotGate::WriteTicket::~WriteTicket() {
+  // Publish while still holding the exclusive lock: readers entering after
+  // the unlock observe the new epoch together with the mutated structure.
+  gate_.published_at_ns_.store(NowNs(), std::memory_order_release);
+  gate_.epoch_.store(publishing_epoch_, std::memory_order_release);
+}
+
+SnapshotGate::ReadSnapshot SnapshotGate::EnterReader() const {
+  return ReadSnapshot(const_cast<SnapshotGate&>(*this));
+}
+
+SnapshotGate::WriteTicket SnapshotGate::EnterWriter() {
+  return WriteTicket(*this);
+}
+
+double SnapshotGate::SnapshotAgeSeconds() const {
+  const double age =
+      static_cast<double>(
+          NowNs() - published_at_ns_.load(std::memory_order_acquire)) *
+      1e-9;
+  return age < 0.0 ? 0.0 : age;
+}
+
+}  // namespace tagg

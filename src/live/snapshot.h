@@ -1,0 +1,114 @@
+// Epoch-based snapshot isolation for the live aggregate index.
+//
+// The live subsystem keeps one aggregation tree resident and mutates it in
+// place while reader threads query it.  SnapshotGate is the publication
+// point between the two sides:
+//
+//   * a writer enters an exclusive section, mutates the structure, and on
+//     leaving *publishes* a new version: the epoch counter advances and
+//     the publication time is recorded;
+//   * readers enter shared sections; everything a reader observes inside
+//     one section belongs to a single published epoch (the writer cannot
+//     run concurrently), so every read is a consistent snapshot, stamped
+//     with the epoch it saw.
+//
+// v1 synchronization is a std::shared_mutex with a versioned epoch handoff
+// — simple, fair to the single-writer/many-reader shape the serving layer
+// targets, and clean under ThreadSanitizer.  The documented upgrade path
+// when reader counts grow is RCU-style: make the tree nodes immutable
+// (path-copying insert), publish the root through an atomic
+// std::shared_ptr swap, and retire old versions when their last reader
+// drops them — readers then never block the writer and vice versa.  The
+// SnapshotGate interface (enter-read / enter-write / epoch) is deliberately
+// shaped so that swap can happen behind it without touching callers.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+namespace tagg {
+
+/// Single-writer / multi-reader publication gate with epoch versioning.
+/// Multiple concurrent writers are also safe (they serialize), but the
+/// intended deployment is one ingest thread and many query threads.
+class SnapshotGate {
+ public:
+  SnapshotGate();
+
+  SnapshotGate(const SnapshotGate&) = delete;
+  SnapshotGate& operator=(const SnapshotGate&) = delete;
+
+  /// RAII shared section.  While alive, the structure behind the gate is
+  /// frozen at `epoch()`.
+  class ReadSnapshot {
+   public:
+    /// The version this reader is pinned to: the number of writer sections
+    /// published before this snapshot was taken.
+    uint64_t epoch() const { return epoch_; }
+
+    /// Seconds between the pinned version's publication and the moment the
+    /// snapshot was taken (how stale the served data is).
+    double age_seconds() const { return age_seconds_; }
+
+   private:
+    friend class SnapshotGate;
+    explicit ReadSnapshot(SnapshotGate& gate);
+
+    std::shared_lock<std::shared_mutex> lock_;
+    uint64_t epoch_;
+    double age_seconds_;
+  };
+
+  /// RAII exclusive section.  Publication (epoch advance + timestamp)
+  /// happens on destruction, after the mutation completed.
+  class WriteTicket {
+   public:
+    ~WriteTicket();
+
+    WriteTicket(const WriteTicket&) = delete;
+    WriteTicket& operator=(const WriteTicket&) = delete;
+
+    /// The epoch the mutation will publish as.
+    uint64_t publishing_epoch() const { return publishing_epoch_; }
+
+   private:
+    friend class SnapshotGate;
+    explicit WriteTicket(SnapshotGate& gate);
+
+    SnapshotGate& gate_;
+    std::unique_lock<std::shared_mutex> lock_;
+    uint64_t publishing_epoch_;
+  };
+
+  /// Pins the current version for reading.
+  ReadSnapshot EnterReader() const;
+
+  /// Starts an exclusive mutation; publishes when the ticket is destroyed.
+  WriteTicket EnterWriter();
+
+  /// Lock-free peek at the latest published epoch (monitoring only — a
+  /// reader that needs a *consistent* epoch must use EnterReader()).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Seconds since the latest version was published.
+  double SnapshotAgeSeconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::shared_mutex mutex_;
+  /// Writers queued for the exclusive lock.  New readers yield while this
+  /// is non-zero: the default (reader-preferring) rwlock would otherwise
+  /// let a busy reader pool starve the single ingest thread.
+  std::atomic<uint32_t> writers_waiting_{0};
+  std::atomic<uint64_t> epoch_{0};
+  /// Publication time of the current epoch, as nanoseconds of the steady
+  /// clock; atomic so SnapshotAgeSeconds() needs no lock.
+  std::atomic<int64_t> published_at_ns_;
+};
+
+}  // namespace tagg

@@ -118,6 +118,42 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
                                   const ExecutorOptions& options) {
   const Relation& relation = *query.relation;
 
+  // 0. Live-index routing: when the service holds a registered index that
+  // is exactly as fresh as the relation, a single-aggregate instant-grouped
+  // query without WHERE or GROUP BY is answered from the resident tree
+  // instead of rebuilding one (src/live).  Anything else falls through to
+  // the batch path below.
+  if (options.live_service != nullptr && query.where == nullptr &&
+      query.group_attributes.empty() && query.aggregates.size() == 1 &&
+      query.temporal.kind == TemporalGrouping::Kind::kInstant) {
+    const BoundAggregate& agg = query.aggregates[0];
+    const LiveAggregateIndex* index =
+        options.live_service->Find(relation.name(), agg.kind, agg.attribute);
+    if (index != nullptr && index->epoch() == relation.size()) {
+      QueryResult routed;
+      for (const BoundOutputColumn& col : query.columns) {
+        routed.column_names.push_back(col.name);
+      }
+      routed.plan.algorithm = AlgorithmKind::kLiveIndex;
+      routed.plan.rationale =
+          "served from the live index registered for '" + relation.name() +
+          "' at epoch " + std::to_string(index->epoch()) +
+          " (no per-query tree rebuild)";
+      if (query.explain) return routed;
+      uint64_t epoch = 0;
+      TAGG_ASSIGN_OR_RETURN(
+          AggregateSeries series,
+          index->AggregateOver(Period::All(), options.coalesce, &epoch));
+      const Value empty = EmptyValueOf(agg.kind);
+      routed.rows.reserve(series.intervals.size());
+      for (ResultInterval& ri : series.intervals) {
+        if (options.drop_empty && ri.value == empty) continue;
+        routed.rows.push_back({{std::move(ri.value)}, ri.period});
+      }
+      return routed;
+    }
+  }
+
   // 1. Filter.
   Relation filtered(relation.schema(), relation.name());
   if (query.where == nullptr) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/planner.h"
+#include "live/service.h"
 #include "query/analyzer.h"
 #include "util/result.h"
 
@@ -30,6 +31,11 @@ struct ExecutorOptions {
   std::optional<AlgorithmKind> force_algorithm;
   /// Memory budget handed to the planner.
   size_t memory_budget_bytes = static_cast<size_t>(-1);
+  /// When set, single-aggregate instant-grouped queries without WHERE or
+  /// GROUP BY are served from a registered, up-to-date live index instead
+  /// of rebuilding an aggregation tree per query (src/live).  Queries the
+  /// service cannot serve fall back to the batch path transparently.
+  const LiveService* live_service = nullptr;
 };
 
 /// One result row: the select-list values plus the implicit valid period.

@@ -145,8 +145,32 @@ TEST(PartitionedAggTest, ParallelIncompatibleWithSpill) {
   PartitionedOptions options;
   options.spill_to_disk = true;
   options.parallel_workers = 4;
-  EXPECT_TRUE(
-      ComputePartitionedAggregate(r, options).status().IsInvalidArgument());
+  const Status st = ComputePartitionedAggregate(r, options).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  // The error must name the conflicting options — callers should not have
+  // to read the header comment to diagnose it.
+  EXPECT_NE(st.ToString().find("parallel_workers"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("spill_to_disk"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(PartitionedAggTest, SpillWithSingleWorkerIsAllowed) {
+  // Only the *combination* is invalid: spilling sequentially works, and
+  // parallel_workers = 1 (or the 0 "default" a caller might pass) must
+  // not trip the validation.
+  Relation r = testutil::MakeRelation({{0, 9, 1}, {5, 14, 1}});
+  for (size_t workers : {size_t{0}, size_t{1}}) {
+    PartitionedOptions options;
+    options.spill_to_disk = true;
+    options.parallel_workers = workers;
+    auto got = ComputePartitionedAggregate(r, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    PartitionedOptions in_memory;
+    auto want = ComputePartitionedAggregate(r, in_memory);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got->intervals, want->intervals);
+  }
 }
 
 TEST(PartitionedAggTest, BoundaryExactlyOnTupleEndpointIsReal) {

@@ -1,0 +1,201 @@
+#include "live/service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/workload.h"
+#include "tests/core/test_util.h"
+
+namespace tagg {
+namespace {
+
+/// A catalog holding the Figure 1 Employed relation.
+Catalog MakeEmployedCatalog() {
+  Catalog catalog;
+  auto relation =
+      std::make_shared<Relation>(MakeFigure1EmployedRelation());
+  EXPECT_TRUE(catalog.Register(std::move(relation)).ok());
+  return catalog;
+}
+
+TEST(LiveServiceTest, RegisterBulkLoadsAndServes) {
+  Catalog catalog = MakeEmployedCatalog();
+  LiveService service;
+  ASSERT_TRUE(service
+                  .RegisterIndex(catalog, "employed", AggregateKind::kCount)
+                  .ok());
+
+  const LiveAggregateIndex* index = service.Find(
+      "employed", AggregateKind::kCount, AggregateOptions::kNoAttribute);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->epoch(), 4u);  // Figure 1 has four tuples
+
+  auto at = index->AggregateAt(18);
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ(*at, Value::Int(3));
+}
+
+TEST(LiveServiceTest, FindIsCaseInsensitiveOnRelationName) {
+  Catalog catalog = MakeEmployedCatalog();
+  LiveService service;
+  ASSERT_TRUE(service
+                  .RegisterIndex(catalog, "Employed", AggregateKind::kCount)
+                  .ok());
+  EXPECT_NE(service.Find("EMPLOYED", AggregateKind::kCount,
+                         AggregateOptions::kNoAttribute),
+            nullptr);
+  EXPECT_EQ(service.Find("employed", AggregateKind::kSum, 1), nullptr);
+  EXPECT_EQ(service.Find("nobody", AggregateKind::kCount,
+                         AggregateOptions::kNoAttribute),
+            nullptr);
+}
+
+TEST(LiveServiceTest, RegisterResolvesAttributeByName) {
+  Catalog catalog = MakeEmployedCatalog();
+  LiveService service;
+  ASSERT_TRUE(service
+                  .RegisterIndex(catalog, "employed", AggregateKind::kMax,
+                                 "salary")
+                  .ok());
+  // Figure 1's salary attribute is index 1.
+  const LiveAggregateIndex* index =
+      service.Find("employed", AggregateKind::kMax, 1);
+  ASSERT_NE(index, nullptr);
+
+  std::vector<LiveIndexKey> keys = service.Keys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].relation, "employed");
+  EXPECT_EQ(keys[0].aggregate, AggregateKind::kMax);
+  EXPECT_EQ(keys[0].attribute, 1u);
+  EXPECT_FALSE(keys[0].ToString().empty());
+}
+
+TEST(LiveServiceTest, RegistrationErrors) {
+  Catalog catalog = MakeEmployedCatalog();
+  LiveService service;
+
+  // Unknown relation.
+  EXPECT_TRUE(service.RegisterIndex(catalog, "ghost", AggregateKind::kCount)
+                  .IsNotFound());
+  // Unknown attribute.
+  EXPECT_TRUE(service
+                  .RegisterIndex(catalog, "employed", AggregateKind::kSum,
+                                 "wage")
+                  .IsNotFound());
+  // Non-numeric attribute under a value aggregate.
+  EXPECT_TRUE(service
+                  .RegisterIndex(catalog, "employed", AggregateKind::kSum,
+                                 "name")
+                  .IsNotSupported());
+  // Duplicate registration.
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog, "employed", AggregateKind::kCount).ok());
+  EXPECT_TRUE(service.RegisterIndex(catalog, "employed", AggregateKind::kCount)
+                  .IsAlreadyExists());
+}
+
+TEST(LiveServiceTest, IngestUpdatesRelationAndEveryIndex) {
+  Catalog catalog = MakeEmployedCatalog();
+  LiveService service;
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog, "employed", AggregateKind::kCount).ok());
+  ASSERT_TRUE(service
+                  .RegisterIndex(catalog, "employed", AggregateKind::kMax,
+                                 "salary")
+                  .ok());
+
+  auto relation = catalog.Get("employed");
+  ASSERT_TRUE(relation.ok());
+  const size_t before = (*relation)->size();
+
+  ASSERT_TRUE(service
+                  .Ingest("employed",
+                          Tuple({Value::String("Paula"), Value::Int(90000)},
+                                Period(19, 25)))
+                  .ok());
+
+  // The shared relation grew...
+  EXPECT_EQ((*relation)->size(), before + 1);
+  // ...and both indexes absorbed the tuple and stayed fresh.
+  const LiveAggregateIndex* count = service.Find(
+      "employed", AggregateKind::kCount, AggregateOptions::kNoAttribute);
+  const LiveAggregateIndex* max =
+      service.Find("employed", AggregateKind::kMax, 1);
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(max, nullptr);
+  EXPECT_EQ(count->epoch(), before + 1);
+  EXPECT_EQ(max->epoch(), before + 1);
+  auto at = count->AggregateAt(19);
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ(*at, Value::Int(4));  // Richard, Karen, Nathan, Paula
+  auto top = max->AggregateAt(20);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(*top, Value::Double(90000.0));
+
+  LiveServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.tuples_ingested, 1u);
+  ASSERT_EQ(stats.indexes.size(), 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(LiveServiceTest, IngestErrors) {
+  Catalog catalog = MakeEmployedCatalog();
+  LiveService service;
+  // No registration for the relation at all.
+  EXPECT_TRUE(service
+                  .Ingest("employed",
+                          Tuple({Value::String("x"), Value::Int(1)},
+                                Period(0, 1)))
+                  .IsNotFound());
+
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog, "employed", AggregateKind::kCount).ok());
+  // Schema mismatch: Relation::Append validates arity.
+  EXPECT_FALSE(
+      service.Ingest("employed", Tuple({Value::Int(1)}, Period(0, 1))).ok());
+}
+
+TEST(LiveServiceTest, IngestKeepsIndexEqualToRebuild) {
+  // Register over an empty-ish relation, stream in a workload, and check
+  // the served series equals a reference computation over the final
+  // relation contents.
+  Catalog catalog;
+  auto relation = std::make_shared<Relation>(EmployedSchema(), "employed");
+  ASSERT_TRUE(catalog.Register(relation).ok());
+
+  LiveService service;
+  ASSERT_TRUE(service
+                  .RegisterIndex(catalog, "employed", AggregateKind::kAvg,
+                                 "salary")
+                  .ok());
+
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.lifespan = 5000;
+  spec.long_lived_fraction = 0.3;
+  spec.seed = 11;
+  auto workload = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(workload.ok());
+  for (const Tuple& t : *workload) {
+    ASSERT_TRUE(service.Ingest("employed", t).ok());
+  }
+
+  const LiveAggregateIndex* index =
+      service.Find("employed", AggregateKind::kAvg, 1);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->epoch(), relation->size());
+
+  auto got = index->AggregateOver(Period::All(), /*coalesce=*/false);
+  ASSERT_TRUE(got.ok());
+  AggregateOptions reference;
+  reference.aggregate = AggregateKind::kAvg;
+  reference.algorithm = AlgorithmKind::kReference;
+  reference.attribute = 1;
+  auto want = ComputeTemporalAggregate(*relation, reference);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got->intervals, want->intervals);
+}
+
+}  // namespace
+}  // namespace tagg

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/workload.h"
+#include "live/service.h"
 
 namespace tagg {
 namespace {
@@ -311,6 +312,136 @@ TEST_F(ExecutorTest, LargerWorkloadThroughFullStack) {
     EXPECT_EQ(via_query->rows[i].valid, oracle->intervals[i].period);
     EXPECT_EQ(via_query->rows[i].values[0], oracle->intervals[i].value);
   }
+}
+
+void ExpectSameRows(const QueryResult& got, const QueryResult& want) {
+  EXPECT_EQ(got.column_names, want.column_names);
+  ASSERT_EQ(got.rows.size(), want.rows.size());
+  for (size_t i = 0; i < want.rows.size(); ++i) {
+    EXPECT_EQ(got.rows[i].valid, want.rows[i].valid) << "row " << i;
+    EXPECT_EQ(got.rows[i].values, want.rows[i].values) << "row " << i;
+  }
+}
+
+TEST_F(ExecutorTest, LiveIndexServesFreshCountStar) {
+  LiveService service;
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog_, "employed", AggregateKind::kCount)
+          .ok());
+  ExecutorOptions options;
+  options.live_service = &service;
+
+  auto routed = RunQuery("SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(routed->plan.algorithm, AlgorithmKind::kLiveIndex);
+  EXPECT_NE(routed->plan.rationale.find("live index"), std::string::npos);
+
+  // Byte-identical rows to the batch path it replaced.
+  auto batch = RunQuery("SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_NE(batch->plan.algorithm, AlgorithmKind::kLiveIndex);
+  ExpectSameRows(*routed, *batch);
+
+  // The service's counters show the query was actually absorbed there.
+  LiveServiceStats stats = service.Stats();
+  ASSERT_EQ(stats.indexes.size(), 1u);
+  EXPECT_EQ(stats.indexes[0].second.queries_served, 1u);
+}
+
+TEST_F(ExecutorTest, LiveIndexFallsBackWhenStale) {
+  LiveService service;
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog_, "employed", AggregateKind::kCount)
+          .ok());
+  // Grow the relation behind the service's back: the epoch check must
+  // notice and fall back to the batch path rather than serve stale rows.
+  auto relation = catalog_.Get("employed");
+  ASSERT_TRUE(relation.ok());
+  ASSERT_TRUE((*relation)
+                  ->Append(Tuple({Value::String("Paula"), Value::Int(50000)},
+                                 Period(18, 20)))
+                  .ok());
+
+  ExecutorOptions options;
+  options.live_service = &service;
+  auto result = RunQuery("SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->plan.algorithm, AlgorithmKind::kLiveIndex);
+  // Four employed over [18, 20] now — the fresh answer.
+  bool found = false;
+  for (const auto& row : result->rows) {
+    if (row.valid == Period(18, 20)) {
+      EXPECT_EQ(row.values[0], Value::Int(4));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExecutorTest, LiveIndexStaysFreshThroughServiceIngest) {
+  LiveService service;
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog_, "employed", AggregateKind::kCount)
+          .ok());
+  ASSERT_TRUE(service
+                  .Ingest("employed",
+                          Tuple({Value::String("Paula"), Value::Int(50000)},
+                                Period(18, 20)))
+                  .ok());
+
+  ExecutorOptions options;
+  options.live_service = &service;
+  auto result = RunQuery("SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kLiveIndex);
+  bool found = false;
+  for (const auto& row : result->rows) {
+    if (row.valid == Period(18, 20)) {
+      EXPECT_EQ(row.values[0], Value::Int(4));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExecutorTest, LiveIndexSkipsQueriesItCannotServe) {
+  LiveService service;
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog_, "employed", AggregateKind::kCount)
+          .ok());
+  ExecutorOptions options;
+  options.live_service = &service;
+
+  // WHERE, GROUP BY, a different aggregate, and a different attribute all
+  // fall back to the batch path.
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM employed WHERE salary >= 40000",
+        "SELECT name, COUNT(*) FROM employed GROUP BY name",
+        "SELECT MAX(salary) FROM employed",
+        "SELECT COUNT(name) FROM employed"}) {
+    auto result = RunQuery(sql, catalog_, options);
+    ASSERT_TRUE(result.ok()) << sql;
+    EXPECT_NE(result->plan.algorithm, AlgorithmKind::kLiveIndex) << sql;
+    // And each still produces the batch path's rows.
+    auto batch = RunQuery(sql, catalog_);
+    ASSERT_TRUE(batch.ok());
+    ExpectSameRows(*result, *batch);
+  }
+}
+
+TEST_F(ExecutorTest, ExplainReportsLiveIndexPlan) {
+  LiveService service;
+  ASSERT_TRUE(
+      service.RegisterIndex(catalog_, "employed", AggregateKind::kCount)
+          .ok());
+  ExecutorOptions options;
+  options.live_service = &service;
+  auto result =
+      RunQuery("EXPLAIN SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kLiveIndex);
+  EXPECT_NE(result->plan.rationale.find("live index"), std::string::npos);
+  EXPECT_TRUE(result->rows.empty());
 }
 
 }  // namespace
