@@ -58,4 +58,4 @@ BENCHMARK(BM_Aggregate_Avg)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -77,4 +77,4 @@ BENCHMARK(BM_Unbalanced_Random)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

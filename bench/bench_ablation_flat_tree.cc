@@ -61,4 +61,4 @@ BENCHMARK(BM_FlatTree_Reserved)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

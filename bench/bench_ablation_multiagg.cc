@@ -87,4 +87,4 @@ BENCHMARK(BM_FiveAggregates_FusedSinglePass)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -114,4 +114,4 @@ BENCHMARK(BM_Partitioned_LongLived80)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -65,4 +65,4 @@ BENCHMARK(BM_Randomizer_FullyRandom)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -61,4 +61,4 @@ BENCHMARK(BM_Span_InstantGroupingLinkedList)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -59,4 +59,4 @@ BENCHMARK(BM_UniqueTs_LinkedList)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

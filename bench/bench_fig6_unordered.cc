@@ -46,4 +46,4 @@ BENCHMARK(BM_Fig6_AggregationTree)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

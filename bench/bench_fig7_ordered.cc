@@ -79,4 +79,4 @@ BENCHMARK(BM_Fig7_Ktree_Sorted_K1)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

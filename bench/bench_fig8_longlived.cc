@@ -75,4 +75,4 @@ BENCHMARK(BM_Fig8_Ktree_Sorted_K1)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -95,4 +95,4 @@ BENCHMARK(BM_Fig9_Memory_Ktree_LongLived80)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

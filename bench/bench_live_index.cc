@@ -228,4 +228,4 @@ BENCHMARK(BM_Live_Concurrent_RangeReads)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -116,4 +116,4 @@ BENCHMARK(BM_MeasureSortedness_Workload)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

@@ -57,4 +57,4 @@ BENCHMARK(BM_SingleScan_LinkedList)
 }  // namespace
 }  // namespace tagg
 
-BENCHMARK_MAIN();
+TAGG_BENCH_MAIN()

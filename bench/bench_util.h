@@ -10,11 +10,16 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/aggregates.h"
 #include "core/workload.h"
+#include "obs/metrics.h"
 #include "temporal/period.h"
 
 namespace tagg {
@@ -99,5 +104,59 @@ void RunCountBench(benchmark::State& state,
   state.counters["intervals"] = static_cast<double>(intervals);
 }
 
+/// Drop-in replacement for BENCHMARK_MAIN() that always produces
+/// machine-readable output: unless the caller passed --benchmark_out
+/// themselves, timings are written as google-benchmark JSON to
+/// bench_results/<bench>.json, and a snapshot of the obs metrics
+/// registry is written alongside as bench_results/<bench>.metrics.json
+/// (both validated by tools/check_bench_json.py in CI).
+inline int BenchMain(int argc, char** argv, const char* source_file) {
+  std::string base = source_file;
+  const size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+
+  bool caller_controls_output = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      caller_controls_output = true;
+    }
+  }
+  const std::string out_dir = "bench_results";
+  ::mkdir(out_dir.c_str(), 0755);
+  std::vector<std::string> extra;
+  if (!caller_controls_output) {
+    extra.push_back("--benchmark_out=" + out_dir + "/" + base + ".json");
+    extra.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + extra.size());
+  for (int i = 0; i < argc; ++i) args.push_back(argv[i]);
+  for (std::string& s : extra) args.push_back(s.data());
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::string metrics_path = out_dir + "/" + base + ".metrics.json";
+  if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+    const std::string json = obs::MetricsRegistry::Global().ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace tagg
+
+/// Use in place of BENCHMARK_MAIN() in every bench/*.cc target.
+#define TAGG_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                         \
+    return tagg::bench::BenchMain(argc, argv, __FILE__);    \
+  }

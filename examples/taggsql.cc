@@ -15,7 +15,8 @@
 //   analyze <relation>       profile sortedness and declare it
 //   tables                   list registered relations
 //   show <relation>          print the first tuples of a relation
-//   [EXPLAIN] SELECT ...     run (or just plan) a query
+//   [EXPLAIN [ANALYZE]] SELECT ...
+//                            run (plan, or run-and-profile) a query
 //   help | quit
 
 #include <cstdio>
@@ -42,7 +43,9 @@ void PrintHelp() {
       "  tables                   list registered relations\n"
       "  show <relation>          print the first tuples of a relation\n"
       "  save <relation> <path>   export a relation to CSV\n"
-      "  [EXPLAIN] SELECT ...     run (or just plan) a temporal aggregate\n"
+      "  [EXPLAIN [ANALYZE]] SELECT ...\n"
+      "                           run (or plan, or run-and-profile) a "
+      "temporal aggregate\n"
       "  help                     this text\n"
       "  quit                     exit\n");
 }
@@ -104,6 +107,11 @@ Status ShowCommand(const Catalog& catalog, const std::string& name) {
 
 Status RunStatement(const Catalog& catalog, const std::string& sql) {
   TAGG_ASSIGN_OR_RETURN(QueryResult result, RunQuery(sql, catalog));
+  if (result.analyzed) {
+    std::printf("%s(%zu rows)\n", result.ExplainAnalyzeString().c_str(),
+                result.rows.size());
+    return Status::OK();
+  }
   std::printf("plan: %s%s (k=%lld) — %s\n",
               std::string(AlgorithmKindToString(result.plan.algorithm))
                   .c_str(),

@@ -194,6 +194,10 @@ struct ExecutionStats {
   size_t peak_paper_bytes = 0;
   size_t nodes_allocated = 0;
   size_t intervals_emitted = 0;
+  /// Final depth of the structure, for the tree-based algorithms (0 for
+  /// the list/scan algorithms, which have no depth to report).  Surfaces
+  /// the sorted-input degeneration in EXPLAIN ANALYZE output.
+  size_t tree_depth = 0;
   /// Elementary algorithm steps (node/cell visits during insertion):
   /// a machine-independent view of the O(n^2) / O(n log n) behaviour the
   /// paper's figures show in wall-clock time.

@@ -264,6 +264,7 @@ class AggregationTreeAggregator {
     stats_.peak_paper_bytes = tree_.arena.peak_paper_bytes();
     stats_.nodes_allocated = tree_.arena.total_allocated_nodes();
     stats_.intervals_emitted = emitted;
+    stats_.tree_depth = tree_.Depth();
     stats_.work_steps = tree_.work_steps;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace tagg {
@@ -24,6 +25,18 @@ void* NodeArena::Allocate() {
       blocks_.push_back(
           std::make_unique<char[]>(slot_size_ * slots_per_block_));
       next_in_block_ = 0;
+      // Published on the block carve (once per `slots_per_block_` nodes),
+      // keeping the per-node path free of registry traffic.
+      static obs::Counter& blocks =
+          obs::MetricsRegistry::Global().GetCounter(
+              "tagg_arena_blocks_allocated_total",
+              "Node-arena blocks carved from the system allocator");
+      blocks.Increment();
+      static obs::Counter& block_bytes =
+          obs::MetricsRegistry::Global().GetCounter(
+              "tagg_arena_block_bytes_total",
+              "Bytes of node-arena blocks carved");
+      block_bytes.Increment(slot_size_ * slots_per_block_);
     }
     slot = blocks_.back().get() + next_in_block_ * slot_size_;
     ++next_in_block_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/aggregation_tree.h"
+#include "obs/metrics.h"
 
 namespace tagg {
 namespace {
@@ -151,6 +152,19 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     }
   }
 
+  if (options.spill_to_disk) {
+    uint64_t spilled = 0;
+    for (const RegionBuffer& b : buffers) spilled += b.count();
+    obs::MetricsRegistry::Global()
+        .GetCounter("tagg_partitioned_spill_entries_total",
+                    "Clipped tuples written to spill files")
+        .Increment(spilled);
+    obs::MetricsRegistry::Global()
+        .GetCounter("tagg_partitioned_spill_bytes_total",
+                    "Bytes written to spill files")
+        .Increment(spilled * sizeof(Entry));
+  }
+
   // Pass 2: one small tree per region; regions are independent, so with
   // parallel_workers > 1 they are evaluated concurrently and stitched in
   // region order afterwards.  The spill + parallel combination was
@@ -161,7 +175,19 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   std::vector<ExecutionStats> per_region_stats(regions);
   std::vector<Status> per_region_status(regions);
 
+  // Per-region build latency: with parallel_workers > 1 each sample is one
+  // worker's unit of work, so the histogram is the per-worker time
+  // breakdown of phase 2.
+  obs::Histogram& region_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "tagg_partitioned_region_build_seconds",
+          "Phase-2 tree build time per region");
+  obs::Counter& regions_built = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_regions_total", "Regions evaluated in phase 2");
+
   auto evaluate_region = [&](size_t r) {
+    obs::ScopedLatencyTimer timer(region_seconds);
+    regions_built.Increment();
     AggregationTreeAggregator<Op> tree;
     per_region_status[r] =
         buffers[r].ForEach([&](const Entry& entry) {

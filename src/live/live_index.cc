@@ -4,6 +4,31 @@
 
 namespace tagg {
 
+namespace internal {
+
+obs::Histogram& LiveProbeSeconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tagg_live_probe_seconds",
+      "Latency of live-index point, range, and fold queries");
+  return h;
+}
+
+obs::Counter& LiveInsertsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_inserts_total",
+      "Tuples folded into live indexes (ingest rate source)");
+  return c;
+}
+
+obs::Counter& LiveProbesTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_probes_total",
+      "Live-index queries served (point + range + fold)");
+  return c;
+}
+
+}  // namespace internal
+
 std::string LiveIndexStats::ToString() const {
   return StringPrintf(
       "epoch=%llu absorbed=%llu queries=%llu age=%.3fs depth=%zu "

@@ -45,9 +45,21 @@
 
 #include "core/aggregation_tree.h"
 #include "live/snapshot.h"
+#include "obs/metrics.h"
 #include "temporal/tuple.h"
 
 namespace tagg {
+
+namespace internal {
+
+// Registry instruments shared by every live index, defined once in
+// live_index.cc so the template methods below can publish without each
+// instantiation re-resolving the name.
+obs::Histogram& LiveProbeSeconds();
+obs::Counter& LiveInsertsTotal();
+obs::Counter& LiveProbesTotal();
+
+}  // namespace internal
 
 /// What a live index aggregates.
 struct LiveIndexOptions {
@@ -160,6 +172,7 @@ class LiveIndexImpl final : public LiveAggregateIndex {
     auto ticket = gate_.EnterWriter();
     tree_.Add(valid.start(), valid.end(), input);
     ++inserts_absorbed_;
+    LiveInsertsTotal().Increment();
     return Status::OK();
   }
 
@@ -169,6 +182,8 @@ class LiveIndexImpl final : public LiveAggregateIndex {
       return Status::InvalidArgument("instant " + std::to_string(t) +
                                      " outside the time-line");
     }
+    obs::ScopedLatencyTimer probe_timer(LiveProbeSeconds());
+    LiveProbesTotal().Increment();
     auto snapshot = gate_.EnterReader();
     if (snapshot_epoch != nullptr) *snapshot_epoch = snapshot.epoch();
     queries_served_.fetch_add(1, std::memory_order_relaxed);
@@ -189,6 +204,8 @@ class LiveIndexImpl final : public LiveAggregateIndex {
   Result<AggregateSeries> AggregateOver(
       const Period& query, bool coalesce,
       uint64_t* snapshot_epoch) const override {
+    obs::ScopedLatencyTimer probe_timer(LiveProbeSeconds());
+    LiveProbesTotal().Increment();
     AggregateSeries series;
     {
       auto snapshot = gate_.EnterReader();
@@ -217,6 +234,8 @@ class LiveIndexImpl final : public LiveAggregateIndex {
 
   Result<Value> FoldOver(const Period& query,
                          uint64_t* snapshot_epoch) const override {
+    obs::ScopedLatencyTimer probe_timer(LiveProbeSeconds());
+    LiveProbesTotal().Increment();
     auto snapshot = gate_.EnterReader();
     if (snapshot_epoch != nullptr) *snapshot_epoch = snapshot.epoch();
     queries_served_.fetch_add(1, std::memory_order_relaxed);

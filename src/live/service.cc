@@ -109,6 +109,10 @@ Status LiveService::Ingest(std::string_view relation_name, Tuple tuple) {
     TAGG_RETURN_IF_ERROR(index->InsertTuple(tuple));
   }
   ++tuples_ingested_;
+  static obs::Counter& ingested = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_ingest_total",
+      "Tuples ingested through LiveService (ingest rate source)");
+  ingested.Increment();
   return Status::OK();
 }
 

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace tagg {
 
 namespace {
@@ -12,11 +14,43 @@ int64_t NowNs() {
       .count();
 }
 
+obs::Histogram& ReaderWaitSeconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tagg_live_reader_wait_seconds",
+      "Time a reader spent entering its shared section (yield loop + "
+      "shared-lock acquisition)");
+  return h;
+}
+
+obs::Histogram& WriterWaitSeconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tagg_live_writer_wait_seconds",
+      "Time a writer spent acquiring the exclusive lock");
+  return h;
+}
+
+obs::Gauge& SnapshotAgeGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tagg_live_snapshot_age_seconds",
+      "Staleness of the published version as observed by the most recent "
+      "reader");
+  return g;
+}
+
+obs::Gauge& EpochGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tagg_live_published_epoch",
+      "Latest epoch published through any SnapshotGate");
+  return g;
+}
+
 }  // namespace
 
 SnapshotGate::SnapshotGate() : published_at_ns_(NowNs()) {}
 
 SnapshotGate::ReadSnapshot::ReadSnapshot(SnapshotGate& gate) {
+  const bool instrument = obs::Enabled();
+  const int64_t wait_begin = instrument ? NowNs() : 0;
   // Writer preference: glibc's rwlock admits new readers while a writer
   // waits, so a spinning reader pool can starve the single ingest thread
   // for milliseconds per insert.  Readers therefore stand aside while a
@@ -26,6 +60,10 @@ SnapshotGate::ReadSnapshot::ReadSnapshot(SnapshotGate& gate) {
     std::this_thread::yield();
   }
   lock_ = std::shared_lock<std::shared_mutex>(gate.mutex_);
+  if (instrument) {
+    ReaderWaitSeconds().Observe(static_cast<double>(NowNs() - wait_begin) *
+                                1e-9);
+  }
   // Under the shared lock no writer can publish, so epoch and publication
   // time describe exactly the version this reader will traverse.
   epoch_ = gate.epoch_.load(std::memory_order_acquire);
@@ -33,12 +71,19 @@ SnapshotGate::ReadSnapshot::ReadSnapshot(SnapshotGate& gate) {
       gate.published_at_ns_.load(std::memory_order_acquire);
   age_seconds_ = static_cast<double>(NowNs() - published) * 1e-9;
   if (age_seconds_ < 0.0) age_seconds_ = 0.0;
+  if (instrument) SnapshotAgeGauge().Set(age_seconds_);
 }
 
 SnapshotGate::WriteTicket::WriteTicket(SnapshotGate& gate) : gate_(gate) {
+  const bool instrument = obs::Enabled();
+  const int64_t wait_begin = instrument ? NowNs() : 0;
   gate.writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
   lock_ = std::unique_lock<std::shared_mutex>(gate.mutex_);
   gate.writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  if (instrument) {
+    WriterWaitSeconds().Observe(static_cast<double>(NowNs() - wait_begin) *
+                                1e-9);
+  }
   publishing_epoch_ = gate.epoch_.load(std::memory_order_relaxed) + 1;
 }
 
@@ -47,6 +92,9 @@ SnapshotGate::WriteTicket::~WriteTicket() {
   // the unlock observe the new epoch together with the mutated structure.
   gate_.published_at_ns_.store(NowNs(), std::memory_order_release);
   gate_.epoch_.store(publishing_epoch_, std::memory_order_release);
+  if (obs::Enabled()) {
+    EpochGauge().Set(static_cast<double>(publishing_epoch_));
+  }
 }
 
 SnapshotGate::ReadSnapshot SnapshotGate::EnterReader() const {

@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace tagg {
+namespace obs {
+namespace {
+
+/// TAGG_OBS=0 (or "off") starts the process with instrumentation
+/// disabled — how EXPERIMENTS.md measures the on-vs-off overhead with
+/// stock binaries.
+bool InitialEnabled() {
+  const char* v = std::getenv("TAGG_OBS");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  return s != "0" && s != "off";
+}
+
+std::atomic<bool> g_enabled{InitialEnabled()};
+
+/// Renders a double the way Prometheus clients do: shortest round-trip
+/// representation, no locale surprises.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that still round-trips exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Out-of-alphabet
+/// characters are folded to '_' so a sloppy caller cannot corrupt the
+/// exposition.
+std::string SanitizeName(std::string_view name) {
+  std::string out(name);
+  if (out.empty()) out = "_";
+  auto ok = [](char c, bool first) {
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    return alpha || (!first && c >= '0' && c <= '9');
+  };
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!ok(out[i], i == 0)) out[i] = '_';
+  }
+  return out;
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+template <typename Map, typename Make>
+auto& GetOrCreate(std::mutex& mutex, Map& map, std::string_view name,
+                  std::string_view help, Make&& make) {
+  const std::string key = SanitizeName(name);
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(key, typename Map::mapped_type{std::string(help),
+                                                    make()})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ThreadShard() {
+  // One hashed slot per thread, computed once: the thread_local read is a
+  // couple of instructions on the hot path.
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      kCounterShards;
+  return shard;
+}
+
+}  // namespace internal
+
+std::vector<double> DefaultLatencyBoundsSeconds() {
+  // Powers of four from 250ns to 4s: live-index point probes land in the
+  // first buckets, full batch builds in the last.
+  return {250e-9, 1e-6, 4e-6,  16e-6, 64e-6, 256e-6,
+          1e-3,   4e-3, 16e-3, 64e-3, 256e-3, 1.0,   4.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  // lower_bound keeps the upper bounds inclusive, matching Prometheus
+  // `le` semantics: an observation equal to a bound lands in its bucket.
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].v.fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add; relaxed — the sum is monitoring data.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const internal::AtomicCell& b : buckets_) {
+    total += b.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return GetOrCreate(mutex_, counters_, name, help,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  return GetOrCreate(mutex_, gauges_, name, help,
+                     [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds) {
+  return GetOrCreate(mutex_, histograms_, name, help, [&] {
+    return bounds.empty() ? std::make_unique<Histogram>()
+                          : std::make_unique<Histogram>(std::move(bounds));
+  });
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  auto header = [&](const std::string& name, const std::string& help,
+                    const char* type) {
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+  for (const auto& [name, entry] : counters_) {
+    header(name, entry.help, "counter");
+    out += name + " " + std::to_string(entry.instrument->Value()) + "\n";
+  }
+  for (const auto& [name, entry] : gauges_) {
+    header(name, entry.help, "gauge");
+    out += name + " " + FormatDouble(entry.instrument->Value()) + "\n";
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.instrument;
+    header(name, entry.help, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += h.BucketCount(i);
+      out += name + "_bucket{le=\"" + FormatDouble(h.bounds()[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.BucketCount(h.bounds().size());
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += name + "_sum " + FormatDouble(h.Sum()) + "\n";
+    out += name + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(name) +
+           "\":" + std::to_string(entry.instrument->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(name) +
+           "\":" + FormatDouble(entry.instrument->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.instrument;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(name) + "\":{\"count\":" +
+           std::to_string(h.Count()) + ",\"sum\":" + FormatDouble(h.Sum()) +
+           ",\"buckets\":[";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= h.bounds().size(); ++i) {
+      cumulative += h.BucketCount(i);
+      if (i > 0) out += ",";
+      out += "{\"le\":";
+      out += i < h.bounds().size()
+                 ? FormatDouble(h.bounds()[i])
+                 : std::string("\"+Inf\"");
+      out += ",\"count\":" + std::to_string(cumulative) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tagg

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace tagg {
+namespace obs {
+namespace {
+
+std::string FormatMs(int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f ms",
+                static_cast<double>(ns) * 1e-6);
+  return buf;
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const SpanNode* FindIn(const SpanNode& node, std::string_view name) {
+  if (node.name == name) return &node;
+  for (const auto& child : node.children) {
+    if (const SpanNode* found = FindIn(*child, name)) return found;
+  }
+  return nullptr;
+}
+
+void RenderInto(const SpanNode& node, size_t depth, int64_t total_ns,
+                std::string* out) {
+  std::string line(depth * 2, ' ');
+  line += node.name;
+  if (line.size() < 28) line.append(28 - line.size(), ' ');
+  const int64_t duration = std::max<int64_t>(node.duration_ns, 0);
+  line += "  " + FormatMs(duration);
+  if (total_ns > 0) {
+    char pct[24];
+    std::snprintf(pct, sizeof(pct), "  (%5.1f%%)",
+                  100.0 * static_cast<double>(duration) /
+                      static_cast<double>(total_ns));
+    line += pct;
+  }
+  for (const auto& [key, value] : node.annotations) {
+    line += "  " + key + "=" + value;
+  }
+  *out += line + "\n";
+  for (const auto& child : node.children) {
+    RenderInto(*child, depth + 1, total_ns, out);
+  }
+}
+
+void JsonInto(const SpanNode& node, std::string* out) {
+  *out += "{\"name\":\"" + EscapeJson(node.name) + "\"";
+  *out += ",\"start_ns\":" + std::to_string(node.start_ns);
+  *out += ",\"duration_ns\":" + std::to_string(node.duration_ns);
+  *out += ",\"annotations\":{";
+  for (size_t i = 0; i < node.annotations.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"" + EscapeJson(node.annotations[i].first) + "\":\"" +
+            EscapeJson(node.annotations[i].second) + "\"";
+  }
+  *out += "},\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ",";
+    JsonInto(*node.children[i], out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+QueryProfile::QueryProfile()
+    : origin_(std::chrono::steady_clock::now()), current_(&root_) {
+  root_.name = "query";
+  root_.start_ns = 0;
+}
+
+int64_t QueryProfile::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void QueryProfile::Finish() {
+  if (root_.duration_ns < 0) root_.duration_ns = NowNs();
+}
+
+int64_t QueryProfile::total_ns() const {
+  return root_.duration_ns >= 0 ? root_.duration_ns : NowNs();
+}
+
+const SpanNode* QueryProfile::Find(std::string_view name) const {
+  return FindIn(root_, name);
+}
+
+std::string QueryProfile::Render() const {
+  std::string out;
+  const int64_t total = total_ns();
+  // Render the root with its effective duration even while open.
+  SpanNode root_view;
+  root_view.name = root_.name;
+  root_view.start_ns = root_.start_ns;
+  root_view.duration_ns = total;
+  root_view.annotations = root_.annotations;
+  RenderInto(root_view, 0, total, &out);
+  for (const auto& child : root_.children) {
+    RenderInto(*child, 1, total, &out);
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out;
+  JsonInto(root_, &out);
+  return out;
+}
+
+Span::Span(QueryProfile* profile, std::string_view name)
+    : profile_(profile) {
+  if (profile_ == nullptr) return;
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::string(name);
+  node->start_ns = profile_->NowNs();
+  parent_ = profile_->current_;
+  node_ = node.get();
+  parent_->children.push_back(std::move(node));
+  profile_->current_ = node_;
+}
+
+void Span::Annotate(std::string_view key, std::string_view value) {
+  if (node_ == nullptr) return;
+  node_->annotations.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::End() {
+  if (node_ == nullptr) return;
+  node_->duration_ns = profile_->NowNs() - node_->start_ns;
+  // Pop back to the parent only if this span is still the innermost one —
+  // out-of-order End() calls (possible with manual End) must not corrupt
+  // the stack discipline.
+  if (profile_->current_ == node_) profile_->current_ = parent_;
+  node_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace tagg

@@ -1,0 +1,124 @@
+// Per-query tracing: RAII Span scopes forming a trace tree, collected
+// into a QueryProfile the executor attaches to every result.
+//
+// A profile records one tree of timed spans (parse -> analyze -> plan ->
+// execute -> ...) with steady-clock timings and key/value annotations.
+// Spans nest lexically: constructing a Span opens a child of the
+// currently-open span, destroying it (or calling End()) closes it.  A
+// profile is written by one thread at a time — the executor's query path
+// is single-threaded — and read only after the query finishes, so no
+// synchronization is needed or provided.
+//
+// QueryProfile::Render() is the EXPLAIN ANALYZE view: the span tree with
+// per-span wall time, percent of total, and annotations (tuple counts,
+// algorithm, tree depth, arena stats).  ToJson() is the machine-readable
+// twin for bench tooling.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tagg {
+namespace obs {
+
+/// One timed scope in the trace tree.
+struct SpanNode {
+  std::string name;
+  /// Nanoseconds since the profile's origin.
+  int64_t start_ns = 0;
+  /// Wall time of the scope; -1 while the span is still open.
+  int64_t duration_ns = -1;
+  std::vector<std::pair<std::string, std::string>> annotations;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+class Span;
+
+/// A query's trace tree.  Created by the executor (or RunQuery), carried
+/// on the QueryResult, finished once when execution completes.
+class QueryProfile {
+ public:
+  QueryProfile();
+  QueryProfile(const QueryProfile&) = delete;
+  QueryProfile& operator=(const QueryProfile&) = delete;
+
+  /// Closes the root span.  Idempotent; called by the executor when the
+  /// result is assembled.  Spans opened after Finish still record, but the
+  /// root duration stays fixed.
+  void Finish();
+
+  /// Root wall time: fixed after Finish(), elapsed-so-far before.
+  int64_t total_ns() const;
+
+  const SpanNode& root() const { return root_; }
+
+  /// Depth-first search for the first span with this name; nullptr when
+  /// absent.  Test and tooling convenience.
+  const SpanNode* Find(std::string_view name) const;
+
+  /// The EXPLAIN ANALYZE rendering: an indented span tree with wall
+  /// times, percent-of-total, and annotations.
+  std::string Render() const;
+
+  /// {"name":...,"duration_ns":...,"annotations":{...},"children":[...]}.
+  std::string ToJson() const;
+
+ private:
+  friend class Span;
+
+  int64_t NowNs() const;
+
+  std::chrono::steady_clock::time_point origin_;
+  SpanNode root_;
+  /// Innermost open span; children of the next Span land here.
+  SpanNode* current_;
+};
+
+/// RAII span scope.  A null profile makes every operation a no-op, so
+/// call sites need no branching when profiling is off.
+class Span {
+ public:
+  Span(QueryProfile* profile, std::string_view name);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void Annotate(std::string_view key, std::string_view value);
+  void Annotate(std::string_view key, const char* value) {
+    Annotate(key, std::string_view(value));
+  }
+  /// Numeric annotations format through one template so size_t/int64_t/
+  /// int literals all resolve without overload ambiguity.
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  void Annotate(std::string_view key, T value) {
+    if (node_ == nullptr) return;
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(value));
+      Annotate(key, std::string_view(buf));
+    } else {
+      Annotate(key, std::string_view(std::to_string(value)));
+    }
+  }
+
+  /// Closes the span early (idempotent; the destructor calls it too).
+  void End();
+
+ private:
+  QueryProfile* profile_ = nullptr;
+  SpanNode* node_ = nullptr;
+  SpanNode* parent_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace tagg

@@ -66,6 +66,7 @@ Result<std::unique_ptr<BoundPredicate>> BindPredicate(
 Result<BoundQuery> Analyze(const SelectStmt& stmt, const Catalog& catalog) {
   BoundQuery query;
   query.explain = stmt.explain;
+  query.analyze = stmt.analyze;
   TAGG_ASSIGN_OR_RETURN(query.relation, catalog.Get(stmt.relation));
   TAGG_ASSIGN_OR_RETURN(query.stats, catalog.GetStats(stmt.relation));
   const Schema& schema = query.relation->schema();

@@ -47,6 +47,8 @@ struct BoundOutputColumn {
 struct BoundQuery {
   /// Plan only; do not execute (EXPLAIN).
   bool explain = false;
+  /// Execute and report the profiled operator tree (EXPLAIN ANALYZE).
+  bool analyze = false;
   std::shared_ptr<Relation> relation;
   RelationStats stats;
   std::vector<BoundAggregate> aggregates;

@@ -86,6 +86,9 @@ struct TemporalGrouping {
 struct SelectStmt {
   /// EXPLAIN prefix: plan the query but do not execute it.
   bool explain = false;
+  /// EXPLAIN ANALYZE prefix: execute the query and report the profiled
+  /// operator tree (span timings, tuple counts, tree/arena stats).
+  bool analyze = false;
   std::vector<SelectItem> items;
   std::string relation;
   std::unique_ptr<Predicate> where;  // null when absent

@@ -5,6 +5,7 @@
 
 #include "core/multi_agg.h"
 #include "core/span_agg.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "util/str.h"
 
@@ -74,6 +75,26 @@ Value EmptyValueOf(AggregateKind kind) {
   return kind == AggregateKind::kCount ? Value::Int(0) : Value::Null();
 }
 
+obs::Counter& QueriesTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_query_executions_total", "SELECT statements executed");
+  return c;
+}
+
+obs::Counter& LiveRoutedTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_query_live_routed_total",
+      "queries answered from a resident live index instead of the batch "
+      "path");
+  return c;
+}
+
+obs::Histogram& QuerySeconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tagg_query_seconds", "end-to-end ExecuteSelect latency");
+  return h;
+}
+
 }  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
@@ -114,9 +135,29 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
+std::string QueryResult::ExplainAnalyzeString() const {
+  std::string out = "Plan: ";
+  out += AlgorithmKindToString(plan.algorithm);
+  if (plan.algorithm == AlgorithmKind::kKOrderedTree) {
+    out += " (k=" + std::to_string(plan.k) +
+           (plan.presort ? ", presort" : "") + ")";
+  }
+  out += "\n  " + plan.rationale + "\n";
+  if (profile != nullptr) {
+    out += profile->Render();
+  }
+  return out;
+}
+
 Result<QueryResult> ExecuteSelect(const BoundQuery& query,
                                   const ExecutorOptions& options) {
   const Relation& relation = *query.relation;
+  QueriesTotal().Increment();
+  obs::ScopedLatencyTimer latency_timer(QuerySeconds());
+  obs::QueryProfile* profile = options.profile;
+  obs::Span exec_span(profile, "execute");
+  exec_span.Annotate("relation", relation.name());
+  exec_span.Annotate("input_tuples", relation.size());
 
   // 0. Live-index routing: when the service holds a registered index that
   // is exactly as fresh as the relation, a single-aggregate instant-grouped
@@ -131,6 +172,7 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
         options.live_service->Find(relation.name(), agg.kind, agg.attribute);
     if (index != nullptr && index->epoch() == relation.size()) {
       QueryResult routed;
+      routed.analyzed = query.analyze;
       for (const BoundOutputColumn& col : query.columns) {
         routed.column_names.push_back(col.name);
       }
@@ -139,11 +181,16 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
           "served from the live index registered for '" + relation.name() +
           "' at epoch " + std::to_string(index->epoch()) +
           " (no per-query tree rebuild)";
-      if (query.explain) return routed;
+      if (query.explain && !query.analyze) return routed;
+      LiveRoutedTotal().Increment();
+      obs::Span probe_span(profile, "live_probe");
+      probe_span.Annotate("epoch", index->epoch());
       uint64_t epoch = 0;
       TAGG_ASSIGN_OR_RETURN(
           AggregateSeries series,
           index->AggregateOver(Period::All(), options.coalesce, &epoch));
+      probe_span.Annotate("intervals", series.intervals.size());
+      probe_span.End();
       const Value empty = EmptyValueOf(agg.kind);
       routed.rows.reserve(series.intervals.size());
       for (ResultInterval& ri : series.intervals) {
@@ -155,6 +202,7 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
   }
 
   // 1. Filter.
+  obs::Span filter_span(profile, "filter");
   Relation filtered(relation.schema(), relation.name());
   if (query.where == nullptr) {
     filtered = relation;
@@ -164,8 +212,12 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
       if (keep) filtered.AppendUnchecked(t);
     }
   }
+  filter_span.Annotate("tuples_in", relation.size());
+  filter_span.Annotate("tuples_out", filtered.size());
+  filter_span.End();
 
   // 2. Plan (Section 6.3 rules, unless overridden).
+  obs::Span plan_span(profile, "plan");
   PlannerInput planner_input;
   planner_input.num_tuples = filtered.size();
   planner_input.sorted =
@@ -184,9 +236,15 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
     plan.algorithm = *options.force_algorithm;
     plan.rationale = "forced by executor options";
   }
+  plan_span.Annotate("algorithm", AlgorithmKindToString(plan.algorithm));
+  if (plan.algorithm == AlgorithmKind::kKOrderedTree) {
+    plan_span.Annotate("k", plan.k);
+  }
+  plan_span.End();
 
-  // EXPLAIN: report the chosen plan without executing.
-  if (query.explain) {
+  // EXPLAIN: report the chosen plan without executing.  EXPLAIN ANALYZE
+  // falls through and executes so the profile carries real timings.
+  if (query.explain && !query.analyze) {
     QueryResult explained;
     explained.plan = plan;
     for (const BoundOutputColumn& col : query.columns) {
@@ -197,6 +255,7 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
 
   // 3. Group by value (Section 4.1's aggregation sets), preserving tuple
   // order within each group so sortedness properties survive.
+  obs::Span group_span(profile, "group");
   std::map<std::vector<Value>, std::vector<size_t>, GroupKeyLess> groups;
   for (size_t i = 0; i < filtered.size(); ++i) {
     std::vector<Value> key;
@@ -206,6 +265,8 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
     }
     groups[std::move(key)].push_back(i);
   }
+  group_span.Annotate("groups", groups.size());
+  group_span.End();
 
   // Span grouping shares one window across groups: explicit bounds, or the
   // filtered relation's lifespan.
@@ -227,11 +288,16 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
 
   QueryResult result;
   result.plan = plan;
+  result.analyzed = query.analyze;
   for (const BoundOutputColumn& col : query.columns) {
     result.column_names.push_back(col.name);
   }
 
   // 4. Aggregate each group and zip the per-aggregate series.
+  obs::Span agg_span(profile, "aggregate");
+  ExecutionStats agg_stats;  // accumulated across groups
+  agg_stats.relation_scans = 0;
+  size_t intervals_total = 0;
   for (const auto& [key, indices] : groups) {
     Relation group_relation(filtered.schema(), filtered.name());
     group_relation.Reserve(indices.size());
@@ -254,6 +320,8 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
         TAGG_ASSIGN_OR_RETURN(
             AggregateSeries series,
             ComputeSpanAggregate(group_relation, span_options));
+        agg_stats.work_steps += series.stats.work_steps;
+        agg_stats.nodes_allocated += series.stats.nodes_allocated;
         per_aggregate.push_back(std::move(series));
       }
       for (size_t i = 0; i < per_aggregate[0].intervals.size(); ++i) {
@@ -288,7 +356,16 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
       }
       if (!series.ok()) return series.status();
       zipped = std::move(series).value();
+      agg_stats.work_steps += zipped.stats.work_steps;
+      agg_stats.nodes_allocated += zipped.stats.nodes_allocated;
+      agg_stats.peak_live_nodes =
+          std::max(agg_stats.peak_live_nodes, zipped.stats.peak_live_nodes);
+      agg_stats.peak_paper_bytes = std::max(agg_stats.peak_paper_bytes,
+                                            zipped.stats.peak_paper_bytes);
+      agg_stats.tree_depth =
+          std::max(agg_stats.tree_depth, zipped.stats.tree_depth);
     }
+    intervals_total += zipped.periods.size();
 
     for (size_t i = 0; i < zipped.periods.size(); ++i) {
       if (options.drop_empty) {
@@ -315,11 +392,20 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
       result.rows.push_back(std::move(row));
     }
   }
+  agg_span.Annotate("intervals", intervals_total);
+  agg_span.Annotate("work_steps", agg_stats.work_steps);
+  agg_span.Annotate("nodes_allocated", agg_stats.nodes_allocated);
+  agg_span.Annotate("peak_live_nodes", agg_stats.peak_live_nodes);
+  agg_span.Annotate("paper_bytes", agg_stats.peak_paper_bytes);
+  agg_span.Annotate("tree_depth", agg_stats.tree_depth);
+  agg_span.End();
 
   // 5. Optional TSQL2 coalescing of adjacent identical rows.  Rows of one
   // group are consecutive and different groups differ in their grouping
   // values, so a single pass cannot merge across groups.
   if (options.coalesce && !result.rows.empty()) {
+    obs::Span coalesce_span(profile, "coalesce");
+    const size_t rows_in = result.rows.size();
     std::vector<QueryResultRow> coalesced;
     for (QueryResultRow& row : result.rows) {
       if (!coalesced.empty() && coalesced.back().values == row.values &&
@@ -331,16 +417,39 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
       }
     }
     result.rows = std::move(coalesced);
+    coalesce_span.Annotate("rows_in", rows_in);
+    coalesce_span.Annotate("rows_out", result.rows.size());
   }
 
+  exec_span.Annotate("rows_out", result.rows.size());
   return result;
 }
 
 Result<QueryResult> RunQuery(std::string_view sql, const Catalog& catalog,
                              const ExecutorOptions& options) {
-  TAGG_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
-  TAGG_ASSIGN_OR_RETURN(BoundQuery bound, Analyze(stmt, catalog));
-  return ExecuteSelect(bound, options);
+  // Every result carries its trace tree; the spans cost two clock reads
+  // each and are recorded per query, not per tuple.
+  auto profile = std::make_shared<obs::QueryProfile>();
+  obs::Span parse_span(profile.get(), "parse");
+  auto stmt = ParseSelect(sql);
+  parse_span.End();
+  if (!stmt.ok()) return stmt.status();
+
+  obs::Span analyze_span(profile.get(), "analyze");
+  auto bound = Analyze(stmt.value(), catalog);
+  analyze_span.End();
+  if (!bound.ok()) return bound.status();
+
+  ExecutorOptions traced = options;
+  if (traced.profile == nullptr) traced.profile = profile.get();
+  auto result = ExecuteSelect(bound.value(), traced);
+  profile->Finish();
+  if (!result.ok()) return result.status();
+  QueryResult out = std::move(result).value();
+  if (out.profile == nullptr && traced.profile == profile.get()) {
+    out.profile = std::move(profile);
+  }
+  return out;
 }
 
 }  // namespace tagg

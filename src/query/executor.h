@@ -10,12 +10,14 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/planner.h"
 #include "live/service.h"
+#include "obs/trace.h"
 #include "query/analyzer.h"
 #include "util/result.h"
 
@@ -36,6 +38,10 @@ struct ExecutorOptions {
   /// of rebuilding an aggregation tree per query (src/live).  Queries the
   /// service cannot serve fall back to the batch path transparently.
   const LiveService* live_service = nullptr;
+  /// When set, the executor records a span per pipeline stage (filter,
+  /// plan, group, aggregate, coalesce) into this profile.  Null disables
+  /// tracing at zero cost; RunQuery supplies one automatically.
+  obs::QueryProfile* profile = nullptr;
 };
 
 /// One result row: the select-list values plus the implicit valid period.
@@ -50,9 +56,20 @@ struct QueryResult {
   std::vector<QueryResultRow> rows;
   /// The plan the optimizer chose (or the forced override).
   Plan plan;
+  /// True when the statement was EXPLAIN ANALYZE: the query ran and
+  /// callers should present ExplainAnalyzeString() rather than the rows.
+  bool analyzed = false;
+  /// The query's trace tree; set by RunQuery (always) or when
+  /// ExecutorOptions::profile was supplied.  Shared so results stay
+  /// copyable.
+  std::shared_ptr<obs::QueryProfile> profile;
 
   /// Aligned tabular rendering.
   std::string ToString(size_t max_rows = 64) const;
+
+  /// EXPLAIN ANALYZE rendering: the chosen plan followed by the profiled
+  /// operator tree with per-stage timings and annotations.
+  std::string ExplainAnalyzeString() const;
 };
 
 /// Executes a bound query.

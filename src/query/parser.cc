@@ -50,7 +50,10 @@ std::string SelectItem::ToString() const {
 }
 
 std::string SelectStmt::ToString() const {
-  std::string out = explain ? "EXPLAIN SELECT " : "SELECT ";
+  std::string out = explain
+                        ? (analyze ? "EXPLAIN ANALYZE SELECT "
+                                   : "EXPLAIN SELECT ")
+                        : "SELECT ";
   for (size_t i = 0; i < items.size(); ++i) {
     if (i > 0) out += ", ";
     out += items[i].ToString();
@@ -87,6 +90,10 @@ class Parser {
     if (Peek().IsWord("EXPLAIN")) {
       Advance();
       stmt.explain = true;
+      if (Peek().IsWord("ANALYZE")) {
+        Advance();
+        stmt.analyze = true;
+      }
     }
     TAGG_RETURN_IF_ERROR(ExpectWord("SELECT"));
     TAGG_RETURN_IF_ERROR(ParseSelectList(&stmt));

@@ -2,7 +2,7 @@
 //
 // Grammar (keywords case-insensitive):
 //
-//   select     := [EXPLAIN] SELECT item (',' item)* FROM identifier
+//   select     := [EXPLAIN [ANALYZE]] SELECT item (',' item)* FROM identifier
 //                 [WHERE or_expr] [GROUP BY group_item (',' group_item)*]
 //                 [';']
 //   item       := agg_name '(' (identifier | '*') ')' | identifier

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace tagg {
+namespace {
+
+// Process-wide pool counters (summed across BufferPool instances); the
+// per-instance atomics keep the per-pool view.
+obs::Counter& PoolHits() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_buffer_pool_hits_total", "Page fetches served from the pool");
+  return c;
+}
+
+obs::Counter& PoolMisses() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_buffer_pool_misses_total", "Page fetches that read from disk");
+  return c;
+}
+
+obs::Counter& PoolEvictions() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_buffer_pool_evictions_total", "Unpinned frames evicted (LRU)");
+  return c;
+}
+
+}  // namespace
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
@@ -32,7 +56,8 @@ BufferPool::BufferPool(HeapFile* file, size_t capacity_pages)
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    PoolHits().Increment();
     Frame& frame = it->second;
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
@@ -55,7 +80,8 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     frames_.erase(id);
     return read;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  PoolMisses().Increment();
   frame.pins = 1;
   frame.in_lru = false;
   return PageGuard(this, id, &frame.page);
@@ -78,7 +104,8 @@ bool BufferPool::EvictOne() {
   const PageId victim = lru_.front();
   lru_.pop_front();
   frames_.erase(victim);
-  ++evictions_;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  PoolEvictions().Increment();
   return true;
 }
 

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -59,9 +60,13 @@ class BufferPool {
 
   size_t capacity() const { return capacity_; }
   size_t cached_pages() const { return frames_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class PageGuard;
@@ -81,9 +86,11 @@ class BufferPool {
   size_t capacity_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = least recently used, unpinned only
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  // Relaxed atomics: a monitoring thread may read the ratio while a scan
+  // is fetching.  (The frame table itself is still single-threaded.)
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace tagg

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/record_codec.h"
 #include "util/str.h"
 
@@ -151,6 +152,19 @@ Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
   }
 
   TAGG_RETURN_IF_ERROR(output->Sync());
+  obs::MetricsRegistry::Global()
+      .GetCounter("tagg_external_sort_sorts_total",
+                  "External sorts completed")
+      .Increment();
+  obs::MetricsRegistry::Global()
+      .GetCounter("tagg_external_sort_runs_total",
+                  "Sorted run files generated")
+      .Increment(run_paths.size());
+  obs::MetricsRegistry::Global()
+      .GetCounter("tagg_external_sort_spill_bytes_total",
+                  "Bytes written to run files before the merge")
+      .Increment(static_cast<uint64_t>(output->record_count()) *
+                 kRecordSize);
   return output;
 }
 

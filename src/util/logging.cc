@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace tagg {
 namespace {
 
@@ -48,6 +50,9 @@ void LogMessage::Emit() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    static obs::Counter& lines = obs::MetricsRegistry::Global().GetCounter(
+        "tagg_log_lines_total", "Log lines emitted to stderr");
+    lines.Increment();
   }
 }
 

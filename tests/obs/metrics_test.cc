@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tagg {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndRead) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+  g.Set(-7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -7.0);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (le 1)
+  h.Observe(1.0);    // bucket 0: upper bounds are inclusive
+  h.Observe(5.0);    // bucket 1 (le 10)
+  h.Observe(1000.0); // +Inf bucket
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1006.5);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // the implicit +Inf bucket
+}
+
+TEST(HistogramTest, DefaultBoundsAreAscending) {
+  const std::vector<double> bounds = DefaultLatencyBoundsSeconds();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests_total", "help one");
+  Counter& b = registry.GetCounter("requests_total", "a different help");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+
+  Histogram& h1 = registry.GetHistogram("lat_seconds", "", {1.0, 2.0});
+  Histogram& h2 =
+      registry.GetHistogram("lat_seconds", "", {9.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h2.bounds()[0], 1.0);
+}
+
+TEST(RegistryTest, NamesOutsideThePrometheusAlphabetAreFolded) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("weird-name.with space");
+  Counter& b = registry.GetCounter("weird_name_with_space");
+  EXPECT_EQ(&a, &b);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("weird_name_with_space"), std::string::npos);
+  EXPECT_EQ(text.find("weird-name"), std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("events_total", "things that happened").Increment(3);
+  registry.GetGauge("pool_size").Set(8.0);
+  Histogram& h = registry.GetHistogram("probe_seconds", "probe latency",
+                                       {0.1, 1.0});
+  h.Observe(0.05);
+  h.Observe(0.5);
+  h.Observe(5.0);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP events_total things that happened\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE events_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("events_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_size gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pool_size 8\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE probe_seconds histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative.
+  EXPECT_NE(text.find("probe_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("probe_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("probe_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("probe_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("events_total").Increment(7);
+  registry.GetGauge("epoch").Set(12.0);
+  Histogram& h = registry.GetHistogram("lat_seconds", "", {1.0});
+  h.Observe(0.5);
+  h.Observe(2.0);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"events_total\":7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"epoch\":12}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_seconds\":{\"count\":2,\"sum\":2.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"+Inf\",\"count\":2}"), std::string::npos);
+}
+
+TEST(RegistryTest, GlobalIsTheSameRegistryEverywhere) {
+  Counter& a = MetricsRegistry::Global().GetCounter("obs_test_global");
+  Counter& b = MetricsRegistry::Global().GetCounter("obs_test_global");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ScopedLatencyTimerTest, ObservesOnceOnScopeExit) {
+  Histogram h({1e9});  // everything lands in the first bucket
+  {
+    ScopedLatencyTimer timer(h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GE(h.Sum(), 0.0);
+}
+
+TEST(ScopedLatencyTimerTest, DisabledSwitchSkipsObservation) {
+  Histogram h;
+  SetEnabled(false);
+  {
+    ScopedLatencyTimer timer(h);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tagg

@@ -1,0 +1,105 @@
+// Multi-threaded stress test for the metrics layer: writers hammer one
+// counter, one gauge, and one histogram through the global registry while
+// a reader thread continuously renders both expositions.  Built with
+// -fsanitize=thread in CI (obs_tsan_test target); lock misuse in the
+// registry or a non-atomic cell update shows up as a race here, and the
+// final counts prove no increment was lost.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tagg {
+namespace obs {
+namespace {
+
+constexpr size_t kWriters = 8;
+constexpr size_t kIncrementsPerWriter = 50'000;
+
+TEST(ObsStressTest, ConcurrentWritersLoseNothing) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      // Each writer resolves the instruments itself, so registration
+      // races through GetOrCreate are exercised too.
+      Counter& hits = registry.GetCounter("stress_hits_total");
+      Gauge& epoch = registry.GetGauge("stress_epoch");
+      Histogram& lat = registry.GetHistogram("stress_seconds", "",
+                                             {1e-6, 1e-3, 1.0});
+      for (size_t i = 0; i < kIncrementsPerWriter; ++i) {
+        hits.Increment();
+        epoch.Set(static_cast<double>(w * kIncrementsPerWriter + i));
+        lat.Observe(static_cast<double>(i % 3) * 1e-4);
+      }
+    });
+  }
+
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string text = registry.PrometheusText();
+      const std::string json = registry.ToJson();
+      ASSERT_FALSE(text.empty());
+      ASSERT_FALSE(json.empty());
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(registry.GetCounter("stress_hits_total").Value(),
+            kWriters * kIncrementsPerWriter);
+  EXPECT_EQ(registry.GetHistogram("stress_seconds").Count(),
+            kWriters * kIncrementsPerWriter);
+  const double last_epoch = registry.GetGauge("stress_epoch").Value();
+  EXPECT_GE(last_epoch, 0.0);
+  EXPECT_LT(last_epoch,
+            static_cast<double>(kWriters * kIncrementsPerWriter));
+}
+
+TEST(ObsStressTest, ConcurrentRegistrationYieldsOneInstrumentPerName) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kWriters, nullptr);
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&registry, &seen, w] {
+      seen[w] = &registry.GetCounter("registration_race_total");
+      seen[w]->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t w = 1; w < kWriters; ++w) EXPECT_EQ(seen[w], seen[0]);
+  EXPECT_EQ(registry.GetCounter("registration_race_total").Value(),
+            kWriters);
+}
+
+TEST(ObsStressTest, EnableSwitchFlippedUnderLoad) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::thread flipper([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      SetEnabled(false);
+      SetEnabled(true);
+    }
+  });
+  for (size_t i = 0; i < 10'000; ++i) {
+    ScopedLatencyTimer timer(h);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+  SetEnabled(true);
+  EXPECT_LE(h.Count(), 10'000u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tagg

@@ -1,0 +1,140 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tagg {
+namespace obs {
+namespace {
+
+TEST(TraceTest, SpansNestLexically) {
+  QueryProfile profile;
+  {
+    Span outer(&profile, "execute");
+    {
+      Span inner(&profile, "filter");
+    }
+    {
+      Span inner(&profile, "aggregate");
+      Span innermost(&profile, "tree_build");
+    }
+  }
+  profile.Finish();
+
+  const SpanNode& root = profile.root();
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& execute = *root.children[0];
+  EXPECT_EQ(execute.name, "execute");
+  ASSERT_EQ(execute.children.size(), 2u);
+  EXPECT_EQ(execute.children[0]->name, "filter");
+  EXPECT_EQ(execute.children[1]->name, "aggregate");
+  ASSERT_EQ(execute.children[1]->children.size(), 1u);
+  EXPECT_EQ(execute.children[1]->children[0]->name, "tree_build");
+}
+
+TEST(TraceTest, DurationsAreClosedAndOrdered) {
+  QueryProfile profile;
+  {
+    Span outer(&profile, "outer");
+    Span inner(&profile, "inner");
+  }
+  profile.Finish();
+
+  const SpanNode* outer = profile.Find("outer");
+  const SpanNode* inner = profile.Find("inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->duration_ns, 0);
+  EXPECT_GE(inner->duration_ns, 0);
+  // A child starts no earlier and runs no longer than its parent.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->duration_ns, outer->duration_ns);
+  EXPECT_GE(profile.total_ns(), outer->duration_ns);
+}
+
+TEST(TraceTest, AnnotationsRecordStringsAndNumbers) {
+  QueryProfile profile;
+  {
+    Span span(&profile, "plan");
+    span.Annotate("algorithm", "aggregation_tree");
+    span.Annotate("tuples", size_t{1024});
+    span.Annotate("k", int64_t{-3});
+    span.Annotate("fraction", 0.25);
+  }
+  profile.Finish();
+
+  const SpanNode* plan = profile.Find("plan");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->annotations.size(), 4u);
+  EXPECT_EQ(plan->annotations[0].first, "algorithm");
+  EXPECT_EQ(plan->annotations[0].second, "aggregation_tree");
+  EXPECT_EQ(plan->annotations[1].second, "1024");
+  EXPECT_EQ(plan->annotations[2].second, "-3");
+  EXPECT_EQ(plan->annotations[3].second, "0.25");
+}
+
+TEST(TraceTest, NullProfileIsANoOp) {
+  Span span(nullptr, "ignored");
+  span.Annotate("key", "value");
+  span.Annotate("n", 7);
+  span.End();  // must not crash
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  QueryProfile profile;
+  Span span(&profile, "stage");
+  span.End();
+  const int64_t first = profile.Find("stage")->duration_ns;
+  span.End();
+  EXPECT_EQ(profile.Find("stage")->duration_ns, first);
+}
+
+TEST(TraceTest, FinishIsIdempotent) {
+  QueryProfile profile;
+  { Span span(&profile, "stage"); }
+  profile.Finish();
+  const int64_t total = profile.total_ns();
+  profile.Finish();
+  EXPECT_EQ(profile.total_ns(), total);
+}
+
+TEST(TraceTest, RenderShowsTreeAndAnnotations) {
+  QueryProfile profile;
+  {
+    Span outer(&profile, "execute");
+    Span inner(&profile, "filter");
+    inner.Annotate("tuples_out", 10);
+  }
+  profile.Finish();
+
+  const std::string text = profile.Render();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("execute"), std::string::npos);
+  EXPECT_NE(text.find("filter"), std::string::npos);
+  EXPECT_NE(text.find("tuples_out=10"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+  // The child is indented deeper than its parent.
+  EXPECT_LT(text.find("execute"), text.find("filter"));
+}
+
+TEST(TraceTest, ToJsonIsWellFormedEnoughToGrep) {
+  QueryProfile profile;
+  {
+    Span span(&profile, "execute");
+    span.Annotate("rows", 3);
+  }
+  profile.Finish();
+
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":\"3\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tagg

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable benchmark output in bench_results/.
+
+Every bench target built on TAGG_BENCH_MAIN() writes two files per run:
+
+  bench_results/<bench>.json          google-benchmark timing output
+  bench_results/<bench>.metrics.json  obs::MetricsRegistry snapshot
+
+This script is the CI schema check: it parses both files and verifies the
+minimal structure downstream tooling relies on.  No third-party
+dependencies — stdlib json only.
+
+Usage: tools/check_bench_json.py [bench_results_dir]
+"""
+
+import json
+import pathlib
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_timings(path: pathlib.Path) -> int:
+    with path.open() as f:
+        doc = json.load(f)
+    for key in ("context", "benchmarks"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    if not isinstance(doc["benchmarks"], list) or not doc["benchmarks"]:
+        fail(f"{path}: 'benchmarks' must be a non-empty list")
+    for bench in doc["benchmarks"]:
+        for key in ("name", "real_time", "time_unit"):
+            if key not in bench:
+                fail(f"{path}: benchmark entry missing '{key}': {bench}")
+        if bench["real_time"] < 0:
+            fail(f"{path}: negative real_time in {bench['name']}")
+    return len(doc["benchmarks"])
+
+
+def check_metrics(path: pathlib.Path) -> int:
+    with path.open() as f:
+        doc = json.load(f)
+    for key in ("counters", "gauges", "histograms"):
+        if key not in doc or not isinstance(doc[key], dict):
+            fail(f"{path}: missing or non-object '{key}'")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter '{name}' must be a non-negative int")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: gauge '{name}' must be numeric")
+    for name, hist in doc["histograms"].items():
+        for key in ("count", "sum", "buckets"):
+            if key not in hist:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        last = 0
+        for bucket in hist["buckets"]:
+            if "le" not in bucket or "count" not in bucket:
+                fail(f"{path}: histogram '{name}' has a malformed bucket")
+            if bucket["count"] < last:
+                fail(f"{path}: histogram '{name}' buckets not cumulative")
+            last = bucket["count"]
+        if hist["buckets"] and hist["buckets"][-1]["le"] != "+Inf":
+            fail(f"{path}: histogram '{name}' must end with a +Inf bucket")
+        if hist["buckets"] and hist["buckets"][-1]["count"] != hist["count"]:
+            fail(f"{path}: histogram '{name}' +Inf count != total count")
+    return sum(len(doc[k]) for k in ("counters", "gauges", "histograms"))
+
+
+def main() -> None:
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                           else "bench_results")
+    if not results.is_dir():
+        fail(f"{results} does not exist — did the bench run?")
+    timing_files = sorted(p for p in results.glob("*.json")
+                          if not p.name.endswith(".metrics.json"))
+    if not timing_files:
+        fail(f"no timing JSON found in {results}")
+    for timing in timing_files:
+        n = check_timings(timing)
+        metrics = timing.parent / (timing.stem + ".metrics.json")
+        if not metrics.exists():
+            fail(f"{metrics} missing next to {timing}")
+        m = check_metrics(metrics)
+        print(f"check_bench_json: OK: {timing.name} "
+              f"({n} benchmarks, {m} instruments)")
+
+
+if __name__ == "__main__":
+    main()
