@@ -1,13 +1,27 @@
 // Ablation (Sections 5.1 and 7): limited-memory partitioned evaluation.
 //
-// Sweeps the partition count for a fixed random relation.  The
-// peak_bytes16 counter shows the working set shrinking roughly linearly
-// with partitions (short-lived tuples rarely straddle regions) while the
-// run time stays near the single-tree cost — the trade the paper's
-// future-work section anticipates.  The spill variant additionally pushes
-// the clipped tuple buffers to temporary files.
+// Three sweeps over a fixed random relation:
+//
+//   * InMemory/LongLived80: the PR-1 baselines — partition count vs. the
+//     peak_bytes16 working set, and the replication cost of long-lived
+//     tuples.
+//   * ParallelSpill: parallel_workers in {1, 2, 4, hw_concurrency} X
+//     spill_to_disk in {false, true} at 16K and 1M tuples.  Both phases
+//     (sharded routing, per-region builds) parallelize; per-region spill
+//     files make the spill X parallel combination legal.
+//   * Kernel: the phase-2 kernel ablation — the Section 5.1 aggregation
+//     tree vs. the endpoint-event delta sweep for the invertible
+//     aggregates (COUNT/SUM).
+//
+// Results land in bench_results/ as JSON via TAGG_BENCH_MAIN; CI diffs
+// them against bench_results/baseline with tools/bench_compare.py.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -26,10 +40,23 @@ Relation MakeWorkload(size_t n, double long_lived) {
   return GenerateEmployedRelation(spec).value();
 }
 
+/// Workload generation at 1M tuples dwarfs a benchmark iteration; cache
+/// per (n, long_lived) so every case reuses one relation.  Benchmarks run
+/// sequentially, so plain statics are safe.
+const Relation& CachedWorkload(size_t n, double long_lived) {
+  static std::map<std::pair<size_t, int>, Relation> cache;
+  const auto key = std::make_pair(n, static_cast<int>(long_lived * 100));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, MakeWorkload(n, long_lived)).first;
+  }
+  return it->second;
+}
+
 void RunPartitioned(benchmark::State& state, bool spill) {
   const auto n = static_cast<size_t>(state.range(0));
   const auto partitions = static_cast<size_t>(state.range(1));
-  const Relation relation = MakeWorkload(n, 0.0);
+  const Relation& relation = CachedWorkload(n, 0.0);
   size_t peak_bytes = 0;
   for (auto _ : state) {
     PartitionedOptions options;
@@ -56,17 +83,20 @@ void BM_Partitioned_SpillToDisk(benchmark::State& state) {
   RunPartitioned(state, /*spill=*/true);
 }
 
-// Regions are independent: parallel workers cut wall time while the
-// result stays identical (tested); the paper's bibliography includes
-// Bitton et al.'s parallel relational algorithms.
-void BM_Partitioned_Parallel(benchmark::State& state) {
+// The tentpole sweep: workers X spill.  Regions are disjoint time-line
+// ranges, so routing shards and region builds parallelize (the paper's
+// bibliography includes Bitton et al.'s parallel algorithms); per-region
+// spill files keep the combination race-free.
+void BM_Partitioned_ParallelSpill(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   const auto workers = static_cast<size_t>(state.range(1));
-  const Relation relation = MakeWorkload(n, 0.0);
+  const bool spill = state.range(2) != 0;
+  const Relation& relation = CachedWorkload(n, 0.0);
   for (auto _ : state) {
     PartitionedOptions options;
     options.partitions = 64;
     options.parallel_workers = workers;
+    options.spill_to_disk = spill;
     auto series = ComputePartitionedAggregate(relation, options);
     if (!series.ok()) {
       state.SkipWithError(series.status().ToString().c_str());
@@ -74,6 +104,50 @@ void BM_Partitioned_Parallel(benchmark::State& state) {
     }
     bench::KeepAlive(series->intervals);
   }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["spill"] = spill ? 1 : 0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void ParallelSpillArgs(benchmark::internal::Benchmark* b) {
+  std::vector<int64_t> workers{1, 2, 4};
+  const auto hw =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  if (hw > 0 &&
+      std::find(workers.begin(), workers.end(), hw) == workers.end()) {
+    workers.push_back(hw);
+  }
+  b->ArgsProduct({{1 << 14, 1 << 20}, workers, {0, 1}});
+}
+
+// Phase-2 kernel ablation: sorting 2n endpoint events and delta-sweeping
+// (kSweep) vs. building the Section 5.1 tree (kTree), for the
+// group-invertible aggregates.
+void BM_Partitioned_Kernel(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const PartitionKernel kernel = state.range(1) != 0
+                                     ? PartitionKernel::kSweep
+                                     : PartitionKernel::kTree;
+  const AggregateKind kind = state.range(2) != 0 ? AggregateKind::kSum
+                                                 : AggregateKind::kCount;
+  const Relation& relation = CachedWorkload(n, 0.0);
+  for (auto _ : state) {
+    PartitionedOptions options;
+    options.partitions = 64;
+    options.kernel = kernel;
+    options.aggregate = kind;
+    options.attribute =
+        kind == AggregateKind::kCount ? AggregateOptions::kNoAttribute : 1;
+    auto series = ComputePartitionedAggregate(relation, options);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series->intervals);
+  }
+  state.SetLabel(std::string(PartitionKernelToString(kernel)) + "/" +
+                 std::string(AggregateKindToString(kind)));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
@@ -83,7 +157,7 @@ void BM_Partitioned_Parallel(benchmark::State& state) {
 void BM_Partitioned_LongLived80(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   const auto partitions = static_cast<size_t>(state.range(1));
-  const Relation relation = MakeWorkload(n, 0.8);
+  const Relation& relation = CachedWorkload(n, 0.8);
   for (auto _ : state) {
     PartitionedOptions options;
     options.partitions = partitions;
@@ -104,8 +178,11 @@ BENCHMARK(BM_Partitioned_InMemory)
 BENCHMARK(BM_Partitioned_SpillToDisk)
     ->ArgsProduct({{1 << 14, 1 << 16}, {4, 16}})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Partitioned_Parallel)
-    ->ArgsProduct({{1 << 16}, {1, 2, 4, 8}})
+BENCHMARK(BM_Partitioned_ParallelSpill)
+    ->Apply(ParallelSpillArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partitioned_Kernel)
+    ->ArgsProduct({{1 << 14, 1 << 20}, {0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Partitioned_LongLived80)
     ->ArgsProduct({{1 << 14}, {1, 16}})

@@ -20,6 +20,7 @@
 //   help | quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -43,6 +44,8 @@ void PrintHelp() {
       "  tables                   list registered relations\n"
       "  show <relation>          print the first tuples of a relation\n"
       "  save <relation> <path>   export a relation to CSV\n"
+      "  set workers <n>          parallel workers for eligible queries\n"
+      "                           (0 = from TAGG_WORKERS, default 1)\n"
       "  [EXPLAIN [ANALYZE]] SELECT ...\n"
       "                           run (or plan, or run-and-profile) a "
       "temporal aggregate\n"
@@ -105,8 +108,9 @@ Status ShowCommand(const Catalog& catalog, const std::string& name) {
   return Status::OK();
 }
 
-Status RunStatement(const Catalog& catalog, const std::string& sql) {
-  TAGG_ASSIGN_OR_RETURN(QueryResult result, RunQuery(sql, catalog));
+Status RunStatement(const Catalog& catalog, const std::string& sql,
+                    const ExecutorOptions& options) {
+  TAGG_ASSIGN_OR_RETURN(QueryResult result, RunQuery(sql, catalog, options));
   if (result.analyzed) {
     std::printf("%s(%zu rows)\n", result.ExplainAnalyzeString().c_str(),
                 result.rows.size());
@@ -125,7 +129,8 @@ Status RunStatement(const Catalog& catalog, const std::string& sql) {
   return Status::OK();
 }
 
-Status Dispatch(Catalog& catalog, const std::string& line, bool* quit) {
+Status Dispatch(Catalog& catalog, ExecutorOptions& session,
+                const std::string& line, bool* quit) {
   const std::string_view trimmed = Trim(line);
   if (trimmed.empty()) return Status::OK();
   const std::vector<std::string> words = Split(std::string(trimmed), ' ');
@@ -170,8 +175,22 @@ Status Dispatch(Catalog& catalog, const std::string& line, bool* quit) {
     }
     return SaveCommand(catalog, words[1], words[2]);
   }
+  if (EqualsIgnoreCase(cmd, "set")) {
+    if (words.size() != 3 || !EqualsIgnoreCase(words[1], "workers")) {
+      return Status::InvalidArgument("usage: set workers <n>");
+    }
+    char* end = nullptr;
+    const long n = std::strtol(words[2].c_str(), &end, 10);
+    if (end == words[2].c_str() || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("workers must be a number >= 0");
+    }
+    session.parallel_workers = static_cast<size_t>(n);
+    std::printf("workers = %ld%s\n", n,
+                n == 0 ? " (resolve from TAGG_WORKERS, default 1)" : "");
+    return Status::OK();
+  }
   if (EqualsIgnoreCase(cmd, "select") || EqualsIgnoreCase(cmd, "explain")) {
-    return RunStatement(catalog, std::string(trimmed));
+    return RunStatement(catalog, std::string(trimmed), session);
   }
   return Status::InvalidArgument("unknown command '" + cmd +
                                  "' (try: help)");
@@ -201,6 +220,7 @@ int main(int argc, char** argv) {
   if (interactive) {
     std::printf("taggsql — temporal aggregates shell (type 'help')\n");
   }
+  ExecutorOptions session;
   std::string line;
   bool quit = false;
   while (!quit) {
@@ -209,7 +229,7 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
     if (!std::getline(std::cin, line)) break;
-    if (Status st = Dispatch(catalog, line, &quit); !st.ok()) {
+    if (Status st = Dispatch(catalog, session, line, &quit); !st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       if (!interactive) return 1;
     }

@@ -44,6 +44,8 @@ std::string_view AlgorithmKindToString(AlgorithmKind kind) {
       return "reference";
     case AlgorithmKind::kLiveIndex:
       return "live-index";
+    case AlgorithmKind::kPartitioned:
+      return "partitioned";
   }
   return "?";
 }
@@ -134,6 +136,11 @@ Result<std::unique_ptr<TemporalAggregator>> MakeForOp(
           "live-index is a resident serving structure, not a batch "
           "algorithm; build a LiveAggregateIndex (live/live_index.h) or "
           "register one with a LiveService");
+    case AlgorithmKind::kPartitioned:
+      return Status::InvalidArgument(
+          "partitioned evaluation is whole-relation, not incremental; "
+          "call ComputePartitionedAggregate (core/partitioned_agg.h) or "
+          "set parallel workers on the executor");
   }
   return Status::InvalidArgument("unknown algorithm kind");
 }

@@ -169,6 +169,12 @@ enum class AlgorithmKind : uint8_t {
   /// a rebuild.  Not constructible through MakeAggregator — the executor
   /// reports this kind when a query was routed to a live index.
   kLiveIndex,
+  /// Partitioned parallel evaluation (core/partitioned_agg.h): the
+  /// time-line is split into regions built concurrently.  Not
+  /// constructible through MakeAggregator — it is a whole-relation
+  /// evaluation, not an incremental one; the executor reports this kind
+  /// when it routed the query through ComputePartitionedAggregate.
+  kPartitioned,
 };
 
 std::string_view AggregateKindToString(AggregateKind kind);

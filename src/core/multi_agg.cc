@@ -209,6 +209,11 @@ Result<MultiSeries> ComputeMultiAggregate(
       return Status::InvalidArgument(
           "live-index is not a batch algorithm; the executor routes to a "
           "registered LiveAggregateIndex before reaching this path");
+    case AlgorithmKind::kPartitioned:
+      return Status::InvalidArgument(
+          "partitioned evaluation does not fuse multiple aggregates; the "
+          "executor routes single-aggregate queries to "
+          "ComputePartitionedAggregate before reaching this path");
   }
   return Status::InvalidArgument("unknown algorithm kind");
 }

@@ -2,15 +2,34 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
-#include <set>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/aggregation_tree.h"
+#include "core/node_arena.h"
 #include "obs/metrics.h"
+#include "storage/external_sort.h"
+#include "storage/spill_file.h"
 
 namespace tagg {
+
+std::string_view PartitionKernelToString(PartitionKernel kernel) {
+  switch (kernel) {
+    case PartitionKernel::kAuto:
+      return "auto";
+    case PartitionKernel::kTree:
+      return "tree";
+    case PartitionKernel::kSweep:
+      return "sweep";
+  }
+  return "?";
+}
+
 namespace {
 
 /// One clipped tuple routed to a region.
@@ -19,77 +38,128 @@ struct Entry {
   Instant end;
   double input;
 };
+static_assert(std::is_trivially_copyable_v<Entry>);
 
-/// Holds a region's clipped tuples, in memory or in a temporary file.
-class RegionBuffer {
+/// One endpoint event of the sweep kernel: at a tuple's start, +input and
+/// +1 active; at end+1, the inverse.
+struct Event {
+  Instant at;
+  double dv;
+  int64_t dn;
+};
+static_assert(std::is_trivially_copyable_v<Event>);
+
+bool EventLess(const void* a, const void* b) {
+  return static_cast<const Event*>(a)->at < static_cast<const Event*>(b)->at;
+}
+
+/// Whether Op's state forms a group (has an inverse), and how to rebuild a
+/// state from the sweep's running (sum, active-count) accumulator.  The
+/// sum is reset to exactly 0.0 whenever the active count returns to zero,
+/// so an emptied interval reproduces Op::Identity() bit for bit.
+template <typename Op>
+struct SweepTraits {
+  static constexpr bool kInvertible = false;
+};
+
+template <>
+struct SweepTraits<CountOp> {
+  static constexpr bool kInvertible = true;
+  static CountOp::State Make(double /*sum*/, int64_t n) { return n; }
+};
+
+template <>
+struct SweepTraits<SumOp> {
+  static constexpr bool kInvertible = true;
+  static SumOp::State Make(double sum, int64_t n) {
+    return {n > 0 ? sum : 0.0, n > 0};
+  }
+};
+
+template <>
+struct SweepTraits<AvgOp> {
+  static constexpr bool kInvertible = true;
+  static AvgOp::State Make(double sum, int64_t n) {
+    return {n > 0 ? sum : 0.0, n};
+  }
+};
+
+/// Consumes endpoint events in time order and emits the region's constant
+/// intervals over [lo, hi].  Events past hi (a clipped tuple ending at the
+/// region edge contributes an end event at hi+1) are ignored.
+template <typename Op>
+class SweepEmitter {
  public:
-  explicit RegionBuffer(bool spill) : spill_(spill) {}
+  using State = typename Op::State;
 
-  RegionBuffer(RegionBuffer&& other) noexcept
-      : spill_(other.spill_),
-        entries_(std::move(other.entries_)),
-        file_(other.file_),
-        count_(other.count_) {
-    other.file_ = nullptr;
+  SweepEmitter(Instant lo, Instant hi,
+               std::vector<TypedInterval<State>>* out)
+      : cur_(lo), hi_(hi), out_(out) {}
+
+  void Feed(Instant at, double dv, int64_t dn) {
+    if (at > hi_) return;
+    if (at > cur_) {
+      out_->push_back({cur_, at - 1, SweepTraits<Op>::Make(sum_, n_)});
+      cur_ = at;
+    }
+    sum_ += dv;
+    n_ += dn;
+    if (n_ == 0) sum_ = 0.0;  // exact return to Identity()
   }
 
-  ~RegionBuffer() {
-    if (file_ != nullptr) std::fclose(file_);
+  void Finish() {
+    out_->push_back({cur_, hi_, SweepTraits<Op>::Make(sum_, n_)});
   }
-
-  Status Add(const Entry& entry) {
-    if (!spill_) {
-      entries_.push_back(entry);
-      ++count_;
-      return Status::OK();
-    }
-    if (file_ == nullptr) {
-      file_ = std::tmpfile();
-      if (file_ == nullptr) {
-        return Status::IOError("cannot create spill file");
-      }
-    }
-    if (std::fwrite(&entry, sizeof(Entry), 1, file_) != 1) {
-      return Status::IOError("cannot write spill entry");
-    }
-    ++count_;
-    return Status::OK();
-  }
-
-  /// Replays every entry through `fn` (Status(const Entry&)).
-  template <typename Fn>
-  Status ForEach(Fn&& fn) {
-    if (!spill_) {
-      for (const Entry& e : entries_) TAGG_RETURN_IF_ERROR(fn(e));
-      return Status::OK();
-    }
-    if (file_ == nullptr) return Status::OK();  // empty region
-    if (std::fseek(file_, 0, SEEK_SET) != 0) {
-      return Status::IOError("cannot rewind spill file");
-    }
-    Entry e;
-    for (size_t i = 0; i < count_; ++i) {
-      if (std::fread(&e, sizeof(Entry), 1, file_) != 1) {
-        return Status::IOError("short read from spill file");
-      }
-      TAGG_RETURN_IF_ERROR(fn(e));
-    }
-    return Status::OK();
-  }
-
-  size_t count() const { return count_; }
 
  private:
-  bool spill_;
-  std::vector<Entry> entries_;
-  std::FILE* file_ = nullptr;
-  size_t count_ = 0;
+  Instant cur_;
+  Instant hi_;
+  double sum_ = 0.0;
+  int64_t n_ = 0;
+  std::vector<TypedInterval<State>>* out_;
+};
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Phase-1 state of one routing worker: per-region buffers (or spill
+/// staging batches), real-boundary marks, and bookkeeping.  Workers touch
+/// only their own shard, so the routing hot path shares nothing mutable;
+/// shards are merged on the coordinating thread after the join.
+struct RouteShard {
+  std::vector<std::vector<Entry>> mem;    // per region (in-memory mode)
+  std::vector<std::vector<Entry>> stage;  // per region (spill staging)
+  std::vector<char> real;                 // per region: boundary is real
+  size_t tuples = 0;
+  int64_t elapsed_ns = 0;
+  Status status;
+};
+
+/// Phase-2 bookkeeping of one build worker, annotated after the join.
+struct BuildSlot {
+  size_t regions_built = 0;
+  int64_t elapsed_ns = 0;
 };
 
 template <typename Op>
 Result<AggregateSeries> RunPartitioned(const Relation& relation,
                                        const PartitionedOptions& options) {
   using State = typename Op::State;
+  constexpr bool kInvertible = SweepTraits<Op>::kInvertible;
+
+  const bool use_sweep =
+      options.kernel == PartitionKernel::kSweep ||
+      (options.kernel == PartitionKernel::kAuto && kInvertible);
+  const bool spill = options.spill_to_disk;
+  const size_t workers = std::max<size_t>(options.parallel_workers, 1);
+
+  obs::Span part_span(options.profile, "partitioned");
+  part_span.Annotate("workers", workers);
+  part_span.Annotate("kernel", use_sweep ? "sweep" : "tree");
+  part_span.Annotate("spill", spill ? "true" : "false");
 
   // Region boundaries: uniform over the bounded lifespan, then the
   // open-ended tail.  boundaries[i] begins region i.
@@ -106,6 +176,7 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     }
   }
   const size_t regions = boundaries.size();
+  part_span.Annotate("regions", regions);
 
   auto region_end = [&](size_t r) {
     return r + 1 < regions ? boundaries[r + 1] - 1 : kForever;
@@ -116,45 +187,137 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
         boundaries.begin() - 1);
   };
 
-  // Pass 1: route clipped tuples; record which interior boundaries are
-  // *real* (some tuple starts at b or ends at b-1).
-  std::vector<RegionBuffer> buffers;
-  buffers.reserve(regions);
-  for (size_t r = 0; r < regions; ++r) {
-    buffers.emplace_back(options.spill_to_disk);
-  }
-  std::set<Instant> real_boundaries;
+  auto run_on_workers = [&](const std::function<void(size_t)>& fn) {
+    if (workers <= 1) {
+      fn(0);
+      return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&fn, w] { fn(w); });
+    }
+    for (std::thread& th : pool) th.join();
+  };
 
+  // Per-region spill files, created up front so workers never race on
+  // lazy construction.
+  std::vector<std::unique_ptr<SpillFile>> files;
+  if (spill) {
+    files.reserve(regions);
+    for (size_t r = 0; r < regions; ++r) {
+      TAGG_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> f,
+                            SpillFile::Create(sizeof(Entry)));
+      files.push_back(std::move(f));
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase 1: sharded routing of clipped tuples.
+  // ---------------------------------------------------------------------
   const bool needs_attribute =
       options.aggregate != AggregateKind::kCount ||
       options.attribute != AggregateOptions::kNoAttribute;
-  size_t tuples_processed = 0;
-  for (const Tuple& t : relation) {
-    double input = 0.0;
-    if (needs_attribute) {
-      const Value& v = t.value(options.attribute);
-      if (v.is_null()) continue;
-      if (options.aggregate != AggregateKind::kCount) {
-        TAGG_ASSIGN_OR_RETURN(input, v.ToNumeric());
+  const size_t n = relation.size();
+  std::vector<RouteShard> shards(workers);
+
+  obs::Histogram& route_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "tagg_partitioned_route_seconds",
+      "Phase-1 routing time per worker shard");
+
+  obs::Span route_span(options.profile, "route");
+  auto route_chunk = [&](size_t w) {
+    obs::ScopedLatencyTimer timer(route_seconds);
+    const auto t0 = std::chrono::steady_clock::now();
+    RouteShard& shard = shards[w];
+    if (spill) {
+      shard.stage.resize(regions);
+    } else {
+      shard.mem.resize(regions);
+    }
+    shard.real.assign(regions, 0);
+    auto mark_real = [&](Instant b) {
+      const size_t rb = region_of(b);
+      if (boundaries[rb] == b) shard.real[rb] = 1;
+    };
+    const size_t begin = n * w / workers;
+    const size_t end = n * (w + 1) / workers;
+    for (size_t i = begin; i < end; ++i) {
+      const Tuple& t = relation.tuple(i);
+      double input = 0.0;
+      if (needs_attribute) {
+        const Value& v = t.value(options.attribute);
+        if (v.is_null()) continue;
+        if (options.aggregate != AggregateKind::kCount) {
+          auto num = v.ToNumeric();
+          if (!num.ok()) {
+            shard.status = num.status();
+            return;
+          }
+          input = num.value();
+        }
+      }
+      ++shard.tuples;
+      const Instant s = t.start();
+      const Instant e = t.end();
+      mark_real(s);
+      if (e < kForever) mark_real(e + 1);
+      const size_t first = region_of(s);
+      const size_t last = region_of(e);
+      for (size_t r = first; r <= last; ++r) {
+        const Entry entry{std::max(s, boundaries[r]),
+                          std::min(e, region_end(r)), input};
+        if (!spill) {
+          shard.mem[r].push_back(entry);
+          continue;
+        }
+        std::vector<Entry>& batch = shard.stage[r];
+        batch.push_back(entry);
+        if (batch.size() >= SpillFile::kDefaultChunkRecords) {
+          if (Status st = files[r]->Append(batch.data(), batch.size());
+              !st.ok()) {
+            shard.status = st;
+            return;
+          }
+          batch.clear();
+        }
       }
     }
-    ++tuples_processed;
-    const Instant s = t.start();
-    const Instant e = t.end();
-    real_boundaries.insert(s);
-    if (e < kForever) real_boundaries.insert(e + 1);
-    const size_t first = region_of(s);
-    const size_t last = region_of(e);
-    for (size_t r = first; r <= last; ++r) {
-      const Instant cs = std::max(s, boundaries[r]);
-      const Instant ce = std::min(e, region_end(r));
-      TAGG_RETURN_IF_ERROR(buffers[r].Add({cs, ce, input}));
+    if (spill) {
+      for (size_t r = 0; r < regions; ++r) {
+        std::vector<Entry>& batch = shard.stage[r];
+        if (batch.empty()) continue;
+        if (Status st = files[r]->Append(batch.data(), batch.size());
+            !st.ok()) {
+          shard.status = st;
+          return;
+        }
+        batch.clear();
+        batch.shrink_to_fit();
+      }
     }
-  }
+    shard.elapsed_ns = ElapsedNs(t0);
+  };
+  run_on_workers(route_chunk);
 
-  if (options.spill_to_disk) {
+  size_t tuples_processed = 0;
+  std::vector<char> real(regions, 0);
+  for (size_t w = 0; w < workers; ++w) {
+    TAGG_RETURN_IF_ERROR(shards[w].status);
+    tuples_processed += shards[w].tuples;
+    for (size_t r = 0; r < regions; ++r) {
+      real[r] = static_cast<char>(real[r] | shards[w].real[r]);
+    }
+    route_span.Annotate("w" + std::to_string(w) + "_ns",
+                        shards[w].elapsed_ns);
+  }
+  route_span.Annotate("tuples", tuples_processed);
+
+  if (spill) {
     uint64_t spilled = 0;
-    for (const RegionBuffer& b : buffers) spilled += b.count();
+    for (const std::unique_ptr<SpillFile>& f : files) {
+      spilled += f->record_count();
+    }
     obs::MetricsRegistry::Global()
         .GetCounter("tagg_partitioned_spill_entries_total",
                     "Clipped tuples written to spill files")
@@ -163,17 +326,19 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
         .GetCounter("tagg_partitioned_spill_bytes_total",
                     "Bytes written to spill files")
         .Increment(spilled * sizeof(Entry));
+    route_span.Annotate("spill_entries", spilled);
   }
+  route_span.End();
 
-  // Pass 2: one small tree per region; regions are independent, so with
-  // parallel_workers > 1 they are evaluated concurrently and stitched in
-  // region order afterwards.  The spill + parallel combination was
-  // rejected up front, so no clamping is needed here.
-  const size_t workers = std::max<size_t>(options.parallel_workers, 1);
-  std::vector<std::vector<TypedInterval<typename Op::State>>> per_region(
-      regions);
+  // ---------------------------------------------------------------------
+  // Phase 2: per-region builds (sweep or tree kernel), work-stealing over
+  // an atomic region counter.
+  // ---------------------------------------------------------------------
+  std::vector<std::vector<TypedInterval<State>>> per_region(regions);
   std::vector<ExecutionStats> per_region_stats(regions);
   std::vector<Status> per_region_status(regions);
+  std::vector<BuildSlot> slots(workers);
+  std::atomic<uint64_t> sort_runs{0};
 
   // Per-region build latency: with parallel_workers > 1 each sample is one
   // worker's unit of work, so the histogram is the per-worker time
@@ -181,19 +346,44 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   obs::Histogram& region_seconds =
       obs::MetricsRegistry::Global().GetHistogram(
           "tagg_partitioned_region_build_seconds",
-          "Phase-2 tree build time per region");
+          "Phase-2 build time per region");
   obs::Counter& regions_built = obs::MetricsRegistry::Global().GetCounter(
       "tagg_partitioned_regions_total", "Regions evaluated in phase 2");
+  obs::Counter& sweep_regions = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_sweep_regions_total",
+      "Regions built with the endpoint-sweep kernel");
+  obs::Counter& tree_regions = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_tree_regions_total",
+      "Regions built with the aggregation-tree kernel");
 
-  auto evaluate_region = [&](size_t r) {
-    obs::ScopedLatencyTimer timer(region_seconds);
-    regions_built.Increment();
+  auto build_tree_region = [&](size_t r) {
     AggregationTreeAggregator<Op> tree;
-    per_region_status[r] =
-        buffers[r].ForEach([&](const Entry& entry) {
-          return tree.Add(Period(entry.start, entry.end), entry.input);
-        });
-    if (!per_region_status[r].ok()) return;
+    Status st;
+    if (!spill) {
+      for (size_t w = 0; w < workers && st.ok(); ++w) {
+        for (const Entry& e : shards[w].mem[r]) {
+          st = tree.Add(Period(e.start, e.end), e.input);
+          if (!st.ok()) break;
+        }
+      }
+    } else {
+      SpillFile::Reader reader(*files[r]);
+      while (st.ok()) {
+        auto rec = reader.Next();
+        if (!rec.ok()) {
+          st = rec.status();
+          break;
+        }
+        if (rec.value() == nullptr) break;
+        Entry e;
+        std::memcpy(&e, rec.value(), sizeof(Entry));
+        st = tree.Add(Period(e.start, e.end), e.input);
+      }
+    }
+    if (!st.ok()) {
+      per_region_status[r] = st;
+      return;
+    }
     auto typed = tree.FinishTyped();
     if (!typed.ok()) {
       per_region_status[r] = typed.status();
@@ -201,42 +391,148 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     }
     per_region[r] = std::move(typed).value();
     per_region_stats[r] = tree.stats();
+    tree_regions.Increment();
   };
 
-  if (workers <= 1) {
-    for (size_t r = 0; r < regions; ++r) evaluate_region(r);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    std::atomic<size_t> next{0};
-    for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          const size_t r = next.fetch_add(1);
-          if (r >= regions) return;
-          evaluate_region(r);
+  auto build_sweep_region = [&](size_t r) {
+    if constexpr (kInvertible) {
+      const Instant rlo = boundaries[r];
+      const Instant rhi = region_end(r);
+      std::vector<TypedInterval<State>> out;
+      SweepEmitter<Op> emitter(rlo, rhi, &out);
+      ExecutionStats st;
+      size_t events_total = 0;
+      size_t peak_events = 0;
+      if (!spill) {
+        size_t entries = 0;
+        for (size_t w = 0; w < workers; ++w) entries += shards[w].mem[r].size();
+        std::vector<Event> events;
+        events.reserve(2 * entries);
+        for (size_t w = 0; w < workers; ++w) {
+          for (const Entry& e : shards[w].mem[r]) {
+            events.push_back({e.start, e.input, 1});
+            if (e.end < rhi) events.push_back({e.end + 1, -e.input, -1});
+          }
         }
-      });
+        std::sort(events.begin(), events.end(),
+                  [](const Event& a, const Event& b) { return a.at < b.at; });
+        for (const Event& ev : events) emitter.Feed(ev.at, ev.dv, ev.dn);
+        emitter.Finish();
+        events_total = events.size();
+        peak_events = events.size();
+      } else {
+        PodRunSorter sorter(sizeof(Event), EventLess,
+                            options.spill_sort_budget_records);
+        SpillFile::Reader reader(*files[r]);
+        Status status;
+        while (status.ok()) {
+          auto rec = reader.Next();
+          if (!rec.ok()) {
+            status = rec.status();
+            break;
+          }
+          if (rec.value() == nullptr) break;
+          Entry e;
+          std::memcpy(&e, rec.value(), sizeof(Entry));
+          const Event open{e.start, e.input, 1};
+          status = sorter.Add(&open);
+          if (status.ok() && e.end < rhi) {
+            const Event close{e.end + 1, -e.input, -1};
+            status = sorter.Add(&close);
+          }
+          events_total += e.end < rhi ? 2 : 1;
+        }
+        if (status.ok()) {
+          status = sorter.Merge([&](const void* rec) {
+            Event ev;
+            std::memcpy(&ev, rec, sizeof(Event));
+            emitter.Feed(ev.at, ev.dv, ev.dn);
+            return Status::OK();
+          });
+        }
+        if (!status.ok()) {
+          per_region_status[r] = status;
+          return;
+        }
+        emitter.Finish();
+        peak_events = sorter.peak_buffered_records();
+        sort_runs.fetch_add(sorter.runs_generated(),
+                            std::memory_order_relaxed);
+      }
+      st.relation_scans = 1;
+      st.peak_live_nodes = peak_events;
+      st.peak_live_bytes = peak_events * sizeof(Event);
+      st.peak_paper_bytes = peak_events * kPaperNodeBytes;
+      st.nodes_allocated = events_total;
+      st.work_steps = events_total;
+      st.intervals_emitted = out.size();
+      per_region[r] = std::move(out);
+      per_region_stats[r] = st;
+      sweep_regions.Increment();
+    } else {
+      (void)r;  // unreachable: use_sweep is false for non-invertible ops
     }
-    for (std::thread& th : pool) th.join();
-  }
+  };
+
+  obs::Span build_span(options.profile, "build");
+  std::atomic<size_t> next{0};
+  auto build_worker = [&](size_t w) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (true) {
+      const size_t r = next.fetch_add(1);
+      if (r >= regions) break;
+      obs::ScopedLatencyTimer timer(region_seconds);
+      regions_built.Increment();
+      if (use_sweep) {
+        build_sweep_region(r);
+      } else {
+        build_tree_region(r);
+      }
+      ++slots[w].regions_built;
+    }
+    slots[w].elapsed_ns = ElapsedNs(t0);
+  };
+  run_on_workers(build_worker);
+
   for (const Status& st : per_region_status) {
     TAGG_RETURN_IF_ERROR(st);
   }
+  for (size_t w = 0; w < workers; ++w) {
+    build_span.Annotate("w" + std::to_string(w) + "_regions",
+                        slots[w].regions_built);
+    build_span.Annotate("w" + std::to_string(w) + "_ns",
+                        slots[w].elapsed_ns);
+  }
+  if (use_sweep && spill) {
+    const uint64_t runs = sort_runs.load(std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetCounter("tagg_partitioned_sort_runs_total",
+                    "Event-sort run files written by the spill sweep")
+        .Increment(runs);
+    build_span.Annotate("sort_runs", runs);
+  }
+  build_span.End();
 
+  // ---------------------------------------------------------------------
+  // Stitch: concatenate per-region intervals in region order, merging the
+  // two sides of every artificial boundary.
+  // ---------------------------------------------------------------------
+  obs::Span stitch_span(options.profile, "stitch");
   AggregateSeries series;
   ExecutionStats& stats = series.stats;
   stats.tuples_processed = tuples_processed;
   stats.relation_scans = 1;
+  size_t artificial_joins = 0;
   for (size_t r = 0; r < regions; ++r) {
     const auto& typed = per_region[r];
 
-    const bool artificial_join =
-        r > 0 && !real_boundaries.contains(boundaries[r]);
+    const bool artificial_join = r > 0 && !real[r];
+    if (artificial_join) ++artificial_joins;
     bool first_in_region = true;
     for (const TypedInterval<State>& ti : typed) {
-      // The fresh tree covers [kOrigin, kForever]; only the region's
-      // range is meaningful.
+      // A tree kernel's output covers [kOrigin, kForever]; only the
+      // region's range is meaningful.  (The sweep emits exactly the
+      // region's range, so the clamp is a no-op there.)
       const Instant lo = std::max(ti.start, boundaries[r]);
       const Instant hi = std::min(ti.end, region_end(r));
       if (lo > hi) continue;
@@ -262,6 +558,9 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     stats.work_steps += per_region_stats[r].work_steps;
   }
   stats.intervals_emitted = series.intervals.size();
+  stitch_span.Annotate("intervals", series.intervals.size());
+  stitch_span.Annotate("artificial_joins", artificial_joins);
+  stitch_span.End();
   return series;
 }
 
@@ -272,11 +571,13 @@ Result<AggregateSeries> ComputePartitionedAggregate(
   if (options.partitions == 0) {
     return Status::InvalidArgument("partitions must be >= 1");
   }
-  if (options.spill_to_disk && options.parallel_workers > 1) {
+  if (options.kernel == PartitionKernel::kSweep &&
+      (options.aggregate == AggregateKind::kMin ||
+       options.aggregate == AggregateKind::kMax)) {
     return Status::InvalidArgument(
-        "parallel_workers > 1 is incompatible with spill_to_disk: the "
-        "spill replay file is a shared cursor; run sequentially or keep "
-        "region buffers in memory");
+        "the sweep kernel requires a group-invertible aggregate "
+        "(COUNT/SUM/AVG); MIN and MAX have no inverse — use kernel=tree "
+        "or kernel=auto");
   }
   const bool needs_attribute =
       options.aggregate != AggregateKind::kCount ||

@@ -1,4 +1,4 @@
-// Limited-memory (partitioned) temporal aggregation.
+// Limited-memory (partitioned) temporal aggregation — parallel end to end.
 //
 // Section 5.1's closing future-work remark: with an unbalanced tree "it is
 // simple to page portions of the tree to disk ... Simply accumulate the
@@ -8,9 +8,24 @@
 //
 // This module implements that proposal by partitioning the time-line into
 // consecutive regions, routing each tuple (clipped) into the regions it
-// overlaps — buffered in memory or spilled to temporary files — and then
-// building one small aggregation tree per region, in time order.  Peak
-// tree memory drops from O(whole relation) to O(largest region).
+// overlaps, and then building each region's constant intervals
+// independently.  Peak memory drops from O(whole relation) to O(largest
+// region) — and because regions are disjoint ranges of the time-line, both
+// phases parallelize (cf. Bitton et al. 1983, in the paper's bibliography):
+//
+//   * Phase 1 (route): the input scan is sharded across workers; each
+//     worker routes clipped tuples into its own per-region buffers, so the
+//     hot path shares no mutable state.  Within a region, entries end up
+//     concatenated in worker-shard order; the region result depends only on
+//     the multiset of entries, so the output is unaffected.
+//   * Spill: with spill_to_disk, every region gets its own temp file
+//     (storage/spill_file).  Workers append staged batches under the
+//     file's lock; in phase 2 each file is replayed by exactly one worker.
+//     There is no shared replay cursor, so spill_to_disk combines freely
+//     with parallel_workers.
+//   * Phase 2 (build): one worker per region (work-stealing over an atomic
+//     region counter) builds the region's constant intervals with one of
+//     two kernels — see PartitionKernel below.
 //
 // A region boundary that no tuple starts or ends at is *artificial*: both
 // sides belong to the same constant interval, so the per-region results
@@ -19,13 +34,32 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/aggregates.h"
+#include "obs/trace.h"
 #include "temporal/relation.h"
 #include "util/result.h"
 
 namespace tagg {
+
+/// How a region's constant intervals are computed in phase 2.
+enum class PartitionKernel : uint8_t {
+  /// Sweep for the group-invertible aggregates (COUNT, SUM, AVG — states
+  /// admit an inverse, so a closing endpoint can subtract what the opening
+  /// endpoint added), aggregation tree for MIN/MAX (not invertible: an
+  /// expiring maximum cannot be "subtracted" without the remaining set).
+  kAuto,
+  /// Always the Section 5.1 aggregation tree.
+  kTree,
+  /// Always the endpoint-event delta sweep: sort the region's 2n endpoint
+  /// events, then emit constant intervals in one linear pass over a
+  /// running (sum, active-count) state.  Rejected for MIN/MAX.
+  kSweep,
+};
+
+std::string_view PartitionKernelToString(PartitionKernel kernel);
 
 /// Options for partitioned evaluation.
 struct PartitionedOptions {
@@ -38,22 +72,39 @@ struct PartitionedOptions {
   size_t partitions = 8;
 
   /// Spill region buffers to temporary files instead of holding the
-  /// clipped tuples in memory — the honest limited-memory mode.
+  /// clipped tuples in memory — the honest limited-memory mode.  Each
+  /// region spills to its own file, so this combines with
+  /// parallel_workers > 1 (phase-1 workers append batches under the
+  /// file's lock; phase 2 replays each file from exactly one worker).
   bool spill_to_disk = false;
 
-  /// Worker threads for phase 2.  Regions are independent, so their trees
-  /// can be built concurrently (cf. Bitton et al. 1983, in the paper's
-  /// bibliography); results are stitched in region order and are
-  /// byte-identical to the sequential evaluation.  1 = sequential.
-  /// Incompatible with spill_to_disk (the replay file is a shared
-  /// cursor): ComputePartitionedAggregate rejects parallel_workers > 1
-  /// together with spill_to_disk with an InvalidArgument error.
+  /// Worker threads for both phases: the routing scan is sharded across
+  /// workers, and regions are built concurrently.  Results are stitched
+  /// in region order and are identical to the sequential evaluation
+  /// (bit-identical for exactly representable inputs, e.g. integer
+  /// attributes).  1 = sequential.
   size_t parallel_workers = 1;
+
+  /// Phase-2 kernel selection; kAuto picks the sweep for invertible
+  /// aggregates and the tree otherwise.
+  PartitionKernel kernel = PartitionKernel::kAuto;
+
+  /// Endpoint events held in memory while sorting one spilled region
+  /// (sweep kernel only); larger regions sort through temp-file runs via
+  /// storage/external_sort's PodRunSorter.
+  size_t spill_sort_budget_records = 1 << 18;
+
+  /// When set, the evaluation records route/build/stitch child spans with
+  /// per-worker timings and per-phase totals.  All spans are written from
+  /// the coordinating thread (per obs/trace.h's single-writer contract);
+  /// workers only fill plain per-worker slots that are annotated after
+  /// the join.
+  obs::QueryProfile* profile = nullptr;
 };
 
 /// Evaluates a temporal aggregate region by region.  The result equals
 /// ComputeTemporalAggregate with the aggregation tree; stats report the
-/// peak of the per-region trees (the point of the exercise).
+/// peak of the per-region working sets (the point of the exercise).
 Result<AggregateSeries> ComputePartitionedAggregate(
     const Relation& relation, const PartitionedOptions& options);
 

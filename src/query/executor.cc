@@ -1,9 +1,11 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "core/multi_agg.h"
+#include "core/partitioned_agg.h"
 #include "core/span_agg.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
@@ -93,6 +95,27 @@ obs::Histogram& QuerySeconds() {
   static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
       "tagg_query_seconds", "end-to-end ExecuteSelect latency");
   return h;
+}
+
+obs::Counter& PartitionedRoutedTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_query_partitioned_routed_total",
+      "queries evaluated through the parallel partitioned path");
+  return c;
+}
+
+/// Resolves the worker count: explicit option, else the TAGG_WORKERS
+/// environment variable, else 1 (sequential).
+size_t ResolveWorkers(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TAGG_WORKERS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return 1;
 }
 
 }  // namespace
@@ -236,7 +259,32 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
     plan.algorithm = *options.force_algorithm;
     plan.rationale = "forced by executor options";
   }
+  // Parallel partitioned routing: with workers > 1 (from the option or
+  // TAGG_WORKERS), a single-aggregate instant-grouped query is evaluated
+  // region by region with parallel routing and builds.  A forced
+  // algorithm other than kPartitioned is respected as-is.
+  const size_t workers = ResolveWorkers(options.parallel_workers);
+  const bool partitioned_eligible =
+      query.aggregates.size() == 1 &&
+      query.temporal.kind == TemporalGrouping::Kind::kInstant;
+  if (partitioned_eligible &&
+      (options.force_algorithm == AlgorithmKind::kPartitioned ||
+       (workers > 1 && !options.force_algorithm.has_value()))) {
+    plan.algorithm = AlgorithmKind::kPartitioned;
+    plan.rationale = "parallel partitioned evaluation with " +
+                     std::to_string(workers) +
+                     " worker(s): sharded routing, per-region builds, "
+                     "stitched result";
+  }
+  if (plan.algorithm == AlgorithmKind::kPartitioned &&
+      !partitioned_eligible) {
+    return Status::InvalidArgument(
+        "partitioned evaluation requires a single aggregate with instant "
+        "grouping; span grouping and fused multi-aggregates use the "
+        "sequential algorithms");
+  }
   plan_span.Annotate("algorithm", AlgorithmKindToString(plan.algorithm));
+  plan_span.Annotate("workers", workers);
   if (plan.algorithm == AlgorithmKind::kKOrderedTree) {
     plan_span.Annotate("k", plan.k);
   }
@@ -333,6 +381,33 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
         }
         zipped.values.push_back(std::move(row));
       }
+    } else if (plan.algorithm == AlgorithmKind::kPartitioned) {
+      // Parallel partitioned path: one aggregate, evaluated region by
+      // region with `workers` threads in both phases.
+      PartitionedRoutedTotal().Increment();
+      const BoundAggregate& agg = query.aggregates[0];
+      PartitionedOptions popts;
+      popts.aggregate = agg.kind;
+      popts.attribute = agg.attribute;
+      popts.parallel_workers = workers;
+      // Enough regions that work-stealing balances uneven tuple density.
+      popts.partitions = std::max<size_t>(8, workers * 4);
+      popts.profile = profile;
+      TAGG_ASSIGN_OR_RETURN(
+          AggregateSeries series,
+          ComputePartitionedAggregate(group_relation, popts));
+      zipped.periods.reserve(series.intervals.size());
+      zipped.values.reserve(series.intervals.size());
+      for (ResultInterval& ri : series.intervals) {
+        zipped.periods.push_back(ri.period);
+        zipped.values.push_back({std::move(ri.value)});
+      }
+      agg_stats.work_steps += series.stats.work_steps;
+      agg_stats.nodes_allocated += series.stats.nodes_allocated;
+      agg_stats.peak_live_nodes =
+          std::max(agg_stats.peak_live_nodes, series.stats.peak_live_nodes);
+      agg_stats.peak_paper_bytes = std::max(agg_stats.peak_paper_bytes,
+                                            series.stats.peak_paper_bytes);
     } else {
       // Instant grouping: all aggregates fused into one algorithm pass
       // (MultiOp), so the constant intervals are computed once per group

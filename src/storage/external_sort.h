@@ -11,9 +11,13 @@
 
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/heap_file.h"
+#include "storage/spill_file.h"
 #include "util/result.h"
 
 namespace tagg {
@@ -34,5 +38,52 @@ struct ExternalSortOptions {
 Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
     const HeapFile& input, const std::string& output_path,
     const ExternalSortOptions& options = {});
+
+/// Bounded-memory sort of fixed-size POD records: the same two-phase
+/// machinery as ExternalSortByTime (in-memory run generation, then a
+/// k-way index-heap merge) generalized over the record type, with
+/// anonymous SpillFiles as the run medium instead of named heap files.
+///
+/// The partitioned aggregation's sweep kernel uses this to sort a spilled
+/// region's endpoint events without materializing the region in memory:
+/// Add() every record, then Merge() exactly once to stream them back in
+/// sorted order.  While at most `memory_budget_records` records have been
+/// added, no run is written and Merge sorts and emits straight from the
+/// buffer — the common case for small regions.
+class PodRunSorter {
+ public:
+  using Less = std::function<bool(const void*, const void*)>;
+  using Emit = std::function<Status(const void*)>;
+
+  PodRunSorter(size_t record_size, Less less,
+               size_t memory_budget_records);
+
+  /// Buffers one record, flushing a sorted run when the budget is full.
+  Status Add(const void* record);
+
+  /// Streams every added record through `emit` in sorted order.  Call
+  /// once; the sorter is spent afterwards.
+  Status Merge(const Emit& emit);
+
+  /// Runs spilled to temp files (0 when everything fit in the budget).
+  /// Stable across Merge(), which releases the run files themselves.
+  size_t runs_generated() const { return runs_generated_; }
+
+  /// Largest number of records simultaneously held in memory.
+  size_t peak_buffered_records() const { return peak_buffered_; }
+
+ private:
+  Status FlushRun();
+  void SortBuffer(std::vector<const char*>& order) const;
+
+  size_t record_size_;
+  Less less_;
+  size_t budget_;
+  std::vector<char> buffer_;
+  size_t buffered_ = 0;
+  size_t peak_buffered_ = 0;
+  size_t runs_generated_ = 0;
+  std::vector<std::unique_ptr<SpillFile>> runs_;
+};
 
 }  // namespace tagg

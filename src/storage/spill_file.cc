@@ -1,0 +1,88 @@
+#include "storage/spill_file.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace tagg {
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(size_t record_size) {
+  if (record_size == 0) {
+    return Status::InvalidArgument("spill record size must be positive");
+  }
+  std::FILE* f = std::tmpfile();
+  if (f == nullptr) {
+    return Status::IOError("cannot create spill temp file");
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("tagg_spill_files_total", "Spill temp files created")
+      .Increment();
+  return std::unique_ptr<SpillFile>(new SpillFile(f, record_size));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillFile::Append(const void* records, size_t n) {
+  if (n == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::fwrite(records, record_size_, n, file_) != n) {
+    return Status::IOError("cannot write spill records");
+  }
+  count_ += n;
+  return Status::OK();
+}
+
+size_t SpillFile::record_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+uint64_t SpillFile::bytes_written() const {
+  return static_cast<uint64_t>(record_count()) * record_size_;
+}
+
+SpillFile::Reader::Reader(SpillFile& file, size_t chunk_records)
+    : file_(file),
+      buffer_(file.record_size() * std::max<size_t>(chunk_records, 1)) {}
+
+Status SpillFile::Reader::Fill() {
+  const size_t chunk = buffer_.size() / file_.record_size_;
+  const size_t want = std::min(remaining_, chunk);
+  if (want == 0) {
+    records_in_buffer_ = 0;
+    next_in_buffer_ = 0;
+    return Status::OK();
+  }
+  if (std::fread(buffer_.data(), file_.record_size_, want, file_.file_) !=
+      want) {
+    return Status::IOError("short read from spill file");
+  }
+  remaining_ -= want;
+  records_in_buffer_ = want;
+  next_in_buffer_ = 0;
+  return Status::OK();
+}
+
+Result<const void*> SpillFile::Reader::Next() {
+  if (!primed_) {
+    // Writers are quiescent by contract; snapshot the count and rewind.
+    remaining_ = file_.record_count();
+    if (std::fseek(file_.file_, 0, SEEK_SET) != 0) {
+      return Status::IOError("cannot rewind spill file");
+    }
+    primed_ = true;
+    TAGG_RETURN_IF_ERROR(Fill());
+  }
+  if (next_in_buffer_ == records_in_buffer_) {
+    if (remaining_ == 0) return static_cast<const void*>(nullptr);
+    TAGG_RETURN_IF_ERROR(Fill());
+    if (records_in_buffer_ == 0) return static_cast<const void*>(nullptr);
+  }
+  const char* rec = buffer_.data() + next_in_buffer_ * file_.record_size_;
+  ++next_in_buffer_;
+  return static_cast<const void*>(rec);
+}
+
+}  // namespace tagg

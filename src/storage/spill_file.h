@@ -1,0 +1,85 @@
+// SpillFile: an anonymous temporary file of fixed-size POD records.
+//
+// The limited-memory partitioned aggregation (core/partitioned_agg) spills
+// each time-line region's clipped tuples to its own temp file so that
+// phase-2 workers can replay regions independently — no shared cursor, and
+// therefore no restriction on combining spilling with parallel workers.
+//
+// Writers: Append is thread-safe (one mutex per file); routing workers
+// batch entries in private staging buffers and append a chunk at a time,
+// so the lock is taken once per ~kDefaultChunkRecords records, not once
+// per record.  Readers: a Reader is a single-threaded sequential cursor
+// with its own chunked read buffer; open one only after all writers have
+// finished (the partitioned build's phase barrier guarantees this).
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tagg {
+
+class SpillFile {
+ public:
+  /// Records per Reader buffer fill, and the staging-batch size writers
+  /// should target so the append lock stays cold.
+  static constexpr size_t kDefaultChunkRecords = 4096;
+
+  /// Creates an anonymous temp file (std::tmpfile: unlinked on creation,
+  /// reclaimed by the OS even on crash) holding `record_size`-byte records.
+  static Result<std::unique_ptr<SpillFile>> Create(size_t record_size);
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  ~SpillFile();
+
+  /// Appends `n` contiguous records.  Thread-safe; concurrent appends are
+  /// serialized per file, and records of one call stay contiguous.
+  Status Append(const void* records, size_t n);
+
+  size_t record_size() const { return record_size_; }
+
+  /// Records appended so far.  Takes the append lock; cheap, but intended
+  /// for after-the-write accounting, not per-record hot paths.
+  size_t record_count() const;
+
+  /// record_count() * record_size().
+  uint64_t bytes_written() const;
+
+  /// Sequential cursor over the file's records.  Construct after all
+  /// writers finished; exactly one Reader should be active per file.
+  class Reader {
+   public:
+    explicit Reader(SpillFile& file,
+                    size_t chunk_records = kDefaultChunkRecords);
+
+    /// The next record, or nullptr at end of file.  The pointer is valid
+    /// until the next call.
+    Result<const void*> Next();
+
+   private:
+    Status Fill();
+
+    SpillFile& file_;
+    std::vector<char> buffer_;
+    size_t records_in_buffer_ = 0;
+    size_t next_in_buffer_ = 0;
+    size_t remaining_ = 0;
+    bool primed_ = false;
+  };
+
+ private:
+  SpillFile(std::FILE* file, size_t record_size)
+      : file_(file), record_size_(record_size) {}
+
+  std::FILE* file_;
+  size_t record_size_;
+  mutable std::mutex mutex_;
+  size_t count_ = 0;
+};
+
+}  // namespace tagg

@@ -2,12 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/aggregation_tree.h"
 #include "core/workload.h"
 #include "tests/core/test_util.h"
 
 namespace tagg {
 namespace {
+
+constexpr AggregateKind kAllKinds[] = {
+    AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+    AggregateKind::kMax, AggregateKind::kAvg};
+
+size_t AttributeFor(AggregateKind kind) {
+  return kind == AggregateKind::kCount ? AggregateOptions::kNoAttribute : 1;
+}
 
 void ExpectMatchesSingleTree(const Relation& relation,
                              const PartitionedOptions& options) {
@@ -21,7 +31,9 @@ void ExpectMatchesSingleTree(const Relation& relation,
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_EQ(got->intervals, want->intervals)
       << "partitions=" << options.partitions
-      << " spill=" << options.spill_to_disk;
+      << " spill=" << options.spill_to_disk
+      << " workers=" << options.parallel_workers
+      << " kernel=" << PartitionKernelToString(options.kernel);
 }
 
 TEST(PartitionedAggTest, ValidatesOptions) {
@@ -35,6 +47,28 @@ TEST(PartitionedAggTest, ValidatesOptions) {
   options.attribute = 99;
   EXPECT_TRUE(
       ComputePartitionedAggregate(r, options).status().IsInvalidArgument());
+}
+
+TEST(PartitionedAggTest, SweepKernelRejectsMinMax) {
+  // MIN/MAX states have no inverse, so the sweep kernel cannot serve
+  // them; the error should come from validation, not a wrong answer.
+  Relation r = testutil::MakeRelation({{0, 9, 1}});
+  for (AggregateKind kind : {AggregateKind::kMin, AggregateKind::kMax}) {
+    PartitionedOptions options;
+    options.aggregate = kind;
+    options.attribute = 1;
+    options.kernel = PartitionKernel::kSweep;
+    const Status st = ComputePartitionedAggregate(r, options).status();
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+    EXPECT_NE(st.ToString().find("sweep"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST(PartitionedAggTest, KernelNames) {
+  EXPECT_EQ(PartitionKernelToString(PartitionKernel::kAuto), "auto");
+  EXPECT_EQ(PartitionKernelToString(PartitionKernel::kTree), "tree");
+  EXPECT_EQ(PartitionKernelToString(PartitionKernel::kSweep), "sweep");
 }
 
 TEST(PartitionedAggTest, SinglePartitionEqualsPlainTree) {
@@ -64,18 +98,34 @@ TEST(PartitionedAggTest, RandomWorkloadsMatch) {
     auto relation = GenerateEmployedRelation(spec);
     ASSERT_TRUE(relation.ok());
     for (size_t p : {2, 8, 32}) {
-      for (AggregateKind kind :
-           {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
-            AggregateKind::kMax, AggregateKind::kAvg}) {
+      for (AggregateKind kind : kAllKinds) {
         PartitionedOptions options;
         options.partitions = p;
         options.aggregate = kind;
-        options.attribute =
-            kind == AggregateKind::kCount ? AggregateOptions::kNoAttribute
-                                          : 1;
+        options.attribute = AttributeFor(kind);
         ExpectMatchesSingleTree(*relation, options);
       }
     }
+  }
+}
+
+TEST(PartitionedAggTest, TreeKernelForcedMatchesForAllKinds) {
+  // kAuto picks the sweep for COUNT/SUM/AVG; forcing the tree must give
+  // the same answer — both kernels are exact on integer inputs.
+  WorkloadSpec spec;
+  spec.num_tuples = 200;
+  spec.lifespan = 10000;
+  spec.long_lived_fraction = 0.3;
+  spec.seed = 77;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  for (AggregateKind kind : kAllKinds) {
+    PartitionedOptions options;
+    options.partitions = 8;
+    options.aggregate = kind;
+    options.attribute = AttributeFor(kind);
+    options.kernel = PartitionKernel::kTree;
+    ExpectMatchesSingleTree(*relation, options);
   }
 }
 
@@ -91,6 +141,30 @@ TEST(PartitionedAggTest, SpillToDiskMatches) {
   options.partitions = 8;
   options.spill_to_disk = true;
   ExpectMatchesSingleTree(*relation, options);
+}
+
+TEST(PartitionedAggTest, SpillSweepSortsThroughRuns) {
+  // A spill budget far below the region event counts forces the sweep's
+  // PodRunSorter into run generation + k-way merge; the answer must not
+  // change.
+  WorkloadSpec spec;
+  spec.num_tuples = 400;
+  spec.lifespan = 20000;
+  spec.long_lived_fraction = 0.5;
+  spec.seed = 4242;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kAvg}) {
+    PartitionedOptions options;
+    options.partitions = 4;
+    options.aggregate = kind;
+    options.attribute = AttributeFor(kind);
+    options.spill_to_disk = true;
+    options.kernel = PartitionKernel::kSweep;
+    options.spill_sort_budget_records = 8;
+    ExpectMatchesSingleTree(*relation, options);
+  }
 }
 
 TEST(PartitionedAggTest, PeakMemoryDropsWithPartitions) {
@@ -111,8 +185,8 @@ TEST(PartitionedAggTest, PeakMemoryDropsWithPartitions) {
   auto split = ComputePartitionedAggregate(*relation, sixteen);
   ASSERT_TRUE(split.ok());
 
-  // Short-lived tuples rarely straddle regions: peak tree memory should
-  // fall by roughly the partition count.
+  // Short-lived tuples rarely straddle regions: peak working-set size
+  // should fall by roughly the partition count.
   EXPECT_LT(split->stats.peak_live_nodes * 4,
             whole->stats.peak_live_nodes);
 }
@@ -140,25 +214,28 @@ TEST(PartitionedAggTest, ParallelWorkersMatchSequential) {
   }
 }
 
-TEST(PartitionedAggTest, ParallelIncompatibleWithSpill) {
-  Relation r = testutil::MakeRelation({{0, 9, 1}});
-  PartitionedOptions options;
-  options.spill_to_disk = true;
-  options.parallel_workers = 4;
-  const Status st = ComputePartitionedAggregate(r, options).status();
-  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
-  // The error must name the conflicting options — callers should not have
-  // to read the header comment to diagnose it.
-  EXPECT_NE(st.ToString().find("parallel_workers"), std::string::npos)
-      << st.ToString();
-  EXPECT_NE(st.ToString().find("spill_to_disk"), std::string::npos)
-      << st.ToString();
+TEST(PartitionedAggTest, SpillCombinesWithParallelWorkers) {
+  // PR 1 rejected this combination because all regions shared one replay
+  // file; per-region spill files (storage/spill_file) made it legal.
+  WorkloadSpec spec;
+  spec.num_tuples = 600;
+  spec.lifespan = 50000;
+  spec.long_lived_fraction = 0.4;
+  spec.seed = 808;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+  for (size_t workers : {2, 4}) {
+    PartitionedOptions options;
+    options.partitions = 16;
+    options.spill_to_disk = true;
+    options.parallel_workers = workers;
+    ExpectMatchesSingleTree(*relation, options);
+  }
 }
 
 TEST(PartitionedAggTest, SpillWithSingleWorkerIsAllowed) {
-  // Only the *combination* is invalid: spilling sequentially works, and
-  // parallel_workers = 1 (or the 0 "default" a caller might pass) must
-  // not trip the validation.
+  // parallel_workers = 1 (or the 0 "default" a caller might pass) with
+  // spilling enabled is the plain sequential limited-memory mode.
   Relation r = testutil::MakeRelation({{0, 9, 1}, {5, 14, 1}});
   for (size_t workers : {size_t{0}, size_t{1}}) {
     PartitionedOptions options;
@@ -179,27 +256,35 @@ TEST(PartitionedAggTest, BoundaryExactlyOnTupleEndpointIsReal) {
   // Lifespan [0, 99] with 2 partitions puts a boundary at 50.
   Relation r = testutil::MakeRelation(
       {{0, 49, 1}, {50, 99, 1}});  // endpoints exactly at the boundary
-  PartitionedOptions options;
-  options.partitions = 2;
-  auto got = ComputePartitionedAggregate(r, options);
-  ASSERT_TRUE(got.ok());
-  ASSERT_EQ(got->intervals.size(), 3u);
-  EXPECT_EQ(got->intervals[0].period, Period(0, 49));
-  EXPECT_EQ(got->intervals[1].period, Period(50, 99));
+  for (PartitionKernel kernel :
+       {PartitionKernel::kTree, PartitionKernel::kSweep}) {
+    PartitionedOptions options;
+    options.partitions = 2;
+    options.kernel = kernel;
+    auto got = ComputePartitionedAggregate(r, options);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->intervals.size(), 3u);
+    EXPECT_EQ(got->intervals[0].period, Period(0, 49));
+    EXPECT_EQ(got->intervals[1].period, Period(50, 99));
+  }
 }
 
 TEST(PartitionedAggTest, ArtificialBoundaryIsStitched) {
   // One tuple spanning the whole [0, 99] lifespan; the region boundary at
   // 50 is artificial, so the result must be a single interval across it.
   Relation r = testutil::MakeRelation({{0, 99, 1}});
-  PartitionedOptions options;
-  options.partitions = 2;
-  auto got = ComputePartitionedAggregate(r, options);
-  ASSERT_TRUE(got.ok());
-  ASSERT_EQ(got->intervals.size(), 2u);
-  EXPECT_EQ(got->intervals[0].period, Period(0, 99));
-  EXPECT_EQ(got->intervals[0].value, Value::Int(1));
-  EXPECT_EQ(got->intervals[1].period, Period(100, kForever));
+  for (PartitionKernel kernel :
+       {PartitionKernel::kTree, PartitionKernel::kSweep}) {
+    PartitionedOptions options;
+    options.partitions = 2;
+    options.kernel = kernel;
+    auto got = ComputePartitionedAggregate(r, options);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->intervals.size(), 2u);
+    EXPECT_EQ(got->intervals[0].period, Period(0, 99));
+    EXPECT_EQ(got->intervals[0].value, Value::Int(1));
+    EXPECT_EQ(got->intervals[1].period, Period(100, kForever));
+  }
 }
 
 TEST(PartitionedAggTest, MorePartitionsThanTuples) {
@@ -218,6 +303,65 @@ TEST(PartitionedAggTest, EmptyRelation) {
   ASSERT_EQ(got->intervals.size(), 1u);
   EXPECT_EQ(got->intervals[0].period, Period::All());
 }
+
+// ---------------------------------------------------------------------------
+// Parametrized oracle: every (workers, spill, aggregate) combination must
+// reproduce the sequential single-tree result on a workload with both
+// real and artificial region boundaries.  This suite also runs under
+// ThreadSanitizer in CI.
+// ---------------------------------------------------------------------------
+
+struct OracleParam {
+  size_t workers;
+  bool spill;
+  AggregateKind kind;
+};
+
+std::string OracleParamName(
+    const ::testing::TestParamInfo<OracleParam>& info) {
+  std::string name = "w" + std::to_string(info.param.workers);
+  name += info.param.spill ? "_spill_" : "_mem_";
+  name += AggregateKindToString(info.param.kind);
+  return name;
+}
+
+class PartitionedOracleTest : public ::testing::TestWithParam<OracleParam> {
+};
+
+TEST_P(PartitionedOracleTest, MatchesSequentialAggregate) {
+  const OracleParam& param = GetParam();
+  WorkloadSpec spec;
+  spec.num_tuples = 500;
+  spec.lifespan = 40000;
+  spec.long_lived_fraction = 0.5;  // plenty of region-straddling tuples
+  spec.seed = 2026;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  PartitionedOptions options;
+  options.partitions = 16;
+  options.aggregate = param.kind;
+  options.attribute = AttributeFor(param.kind);
+  options.parallel_workers = param.workers;
+  options.spill_to_disk = param.spill;
+  ExpectMatchesSingleTree(*relation, options);
+}
+
+std::vector<OracleParam> AllOracleParams() {
+  std::vector<OracleParam> params;
+  for (size_t workers : {2, 4}) {
+    for (bool spill : {false, true}) {
+      for (AggregateKind kind : kAllKinds) {
+        params.push_back({workers, spill, kind});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, PartitionedOracleTest,
+                         ::testing::ValuesIn(AllOracleParams()),
+                         OracleParamName);
 
 }  // namespace
 }  // namespace tagg

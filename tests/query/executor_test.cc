@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/workload.h"
 #include "live/service.h"
 
@@ -427,6 +429,105 @@ TEST_F(ExecutorTest, LiveIndexSkipsQueriesItCannotServe) {
     ASSERT_TRUE(batch.ok());
     ExpectSameRows(*result, *batch);
   }
+}
+
+TEST_F(ExecutorTest, ParallelWorkersRouteToPartitioned) {
+  ExecutorOptions options;
+  options.parallel_workers = 4;
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM employed", "SELECT SUM(salary) FROM employed",
+        "SELECT AVG(salary) FROM employed",
+        "SELECT MIN(salary) FROM employed",
+        "SELECT name, MAX(salary) FROM employed GROUP BY name",
+        "SELECT COUNT(*) FROM employed WHERE salary >= 40000"}) {
+    auto routed = RunQuery(sql, catalog_, options);
+    ASSERT_TRUE(routed.ok()) << sql << ": " << routed.status().ToString();
+    EXPECT_EQ(routed->plan.algorithm, AlgorithmKind::kPartitioned) << sql;
+    EXPECT_NE(routed->plan.rationale.find("4 worker"), std::string::npos)
+        << routed->plan.rationale;
+    auto sequential = RunQuery(sql, catalog_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameRows(*routed, *sequential);
+  }
+}
+
+TEST_F(ExecutorTest, ForcedPartitionedRunsSequentially) {
+  // force_algorithm = kPartitioned routes even with the default single
+  // worker — useful for exercising the partitioned path deterministically.
+  ExecutorOptions options;
+  options.force_algorithm = AlgorithmKind::kPartitioned;
+  auto routed = RunQuery("SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(routed->plan.algorithm, AlgorithmKind::kPartitioned);
+  auto sequential = RunQuery("SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_TRUE(sequential.ok());
+  ExpectSameRows(*routed, *sequential);
+}
+
+TEST_F(ExecutorTest, PartitionedSkipsIneligibleQueries) {
+  // Multi-aggregate and span-grouped queries keep the planner's
+  // sequential choice even with workers configured.
+  ExecutorOptions options;
+  options.parallel_workers = 4;
+  for (const char* sql :
+       {"SELECT COUNT(*), SUM(salary) FROM employed",
+        "SELECT COUNT(*) FROM employed GROUP BY SPAN 5 FROM 0 TO 29"}) {
+    auto result = RunQuery(sql, catalog_, options);
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    EXPECT_NE(result->plan.algorithm, AlgorithmKind::kPartitioned) << sql;
+    auto sequential = RunQuery(sql, catalog_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameRows(*result, *sequential);
+  }
+}
+
+TEST_F(ExecutorTest, ForcedPartitionedRejectsIneligibleQueries) {
+  ExecutorOptions options;
+  options.force_algorithm = AlgorithmKind::kPartitioned;
+  auto result =
+      RunQuery("SELECT COUNT(*), SUM(salary) FROM employed", catalog_,
+               options);
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+}
+
+TEST_F(ExecutorTest, WorkersResolveFromEnvironment) {
+  // parallel_workers = 0 (the default) consults TAGG_WORKERS.
+  ASSERT_EQ(setenv("TAGG_WORKERS", "3", /*overwrite=*/1), 0);
+  auto routed = RunQuery("SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_EQ(unsetenv("TAGG_WORKERS"), 0);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(routed->plan.algorithm, AlgorithmKind::kPartitioned);
+  EXPECT_NE(routed->plan.rationale.find("3 worker"), std::string::npos)
+      << routed->plan.rationale;
+  auto sequential = RunQuery("SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_NE(sequential->plan.algorithm, AlgorithmKind::kPartitioned);
+  ExpectSameRows(*routed, *sequential);
+}
+
+TEST_F(ExecutorTest, PlanSpanAnnotatesWorkers) {
+  ExecutorOptions options;
+  options.parallel_workers = 2;
+  auto result = RunQuery("EXPLAIN ANALYZE SELECT COUNT(*) FROM employed",
+                         catalog_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->profile, nullptr);
+  const obs::SpanNode* plan_span = result->profile->Find("plan");
+  ASSERT_NE(plan_span, nullptr);
+  bool found = false;
+  for (const auto& [key, value] : plan_span->annotations) {
+    if (key == "workers") {
+      EXPECT_EQ(value, "2");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "plan span lacks a workers annotation";
+  // The partitioned evaluation's own trace tree hangs off the profile too.
+  EXPECT_NE(result->profile->Find("partitioned"), nullptr);
+  EXPECT_NE(result->profile->Find("route"), nullptr);
+  EXPECT_NE(result->profile->Find("build"), nullptr);
+  EXPECT_NE(result->profile->Find("stitch"), nullptr);
 }
 
 TEST_F(ExecutorTest, ExplainReportsLiveIndexPlan) {

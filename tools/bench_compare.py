@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diffs two bench_results/ directories and flags timing regressions.
+
+Both directories hold google-benchmark JSON written by TAGG_BENCH_MAIN()
+(one <bench>.json per bench binary; .metrics.json snapshots are ignored).
+Benchmarks are matched by name across the two runs and compared on
+real_time; a benchmark slower than --threshold times its baseline is a
+regression.
+
+The default threshold is deliberately generous (3.0x): CI machines are
+noisy, shared, and sometimes single-core, so this gate catches
+order-of-magnitude accidents (an O(n log n) path degrading to O(n^2), a
+debug assert left in a hot loop), not percent-level drift.  Track the
+fine-grained numbers in EXPERIMENTS.md instead.
+
+Benchmarks present on only one side are reported but never fail the run:
+a fresh baseline directory (first run, renamed benchmarks) should not
+break CI.  A missing baseline directory is likewise a warning, so the
+gate bootstraps cleanly on new branches.
+
+Usage:
+  tools/bench_compare.py <baseline_dir> <current_dir> [--threshold X]
+
+Exit status: 1 if any matched benchmark regressed, else 0.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_timings(results_dir: pathlib.Path) -> dict:
+    """Maps benchmark name -> (real_time, time_unit) across all files."""
+    timings = {}
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name.endswith(".metrics.json"):
+            continue
+        try:
+            with path.open() as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: WARN: cannot read {path}: {e}",
+                  file=sys.stderr)
+            continue
+        for bench in doc.get("benchmarks", []):
+            name = bench.get("name")
+            real_time = bench.get("real_time")
+            if name is None or real_time is None:
+                continue
+            timings[name] = (float(real_time),
+                             bench.get("time_unit", "ns"))
+    return timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="fail when current > threshold * baseline "
+                             "(default: 3.0)")
+    args = parser.parse_args()
+
+    if not args.current.is_dir():
+        print(f"bench_compare: FAIL: current dir {args.current} missing "
+              "— did the bench run?", file=sys.stderr)
+        return 1
+    if not args.baseline.is_dir():
+        print(f"bench_compare: WARN: no baseline at {args.baseline}; "
+              "nothing to compare (record one to enable the gate)")
+        return 0
+
+    baseline = load_timings(args.baseline)
+    current = load_timings(args.current)
+    if not baseline:
+        print(f"bench_compare: WARN: no timings under {args.baseline}; "
+              "nothing to compare")
+        return 0
+
+    regressions = []
+    compared = 0
+    for name in sorted(baseline.keys() & current.keys()):
+        base_time, base_unit = baseline[name]
+        cur_time, cur_unit = current[name]
+        if base_unit != cur_unit:
+            print(f"bench_compare: WARN: {name}: time_unit changed "
+                  f"({base_unit} -> {cur_unit}); skipping")
+            continue
+        compared += 1
+        if base_time <= 0:
+            continue
+        ratio = cur_time / base_time
+        marker = ""
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+            marker = f"  REGRESSION (> {args.threshold:.1f}x)"
+        print(f"bench_compare: {name}: {base_time:.3f} -> "
+              f"{cur_time:.3f} {cur_unit} ({ratio:.2f}x){marker}")
+
+    for name in sorted(baseline.keys() - current.keys()):
+        print(f"bench_compare: WARN: {name} only in baseline")
+    for name in sorted(current.keys() - baseline.keys()):
+        print(f"bench_compare: NOTE: {name} is new (no baseline)")
+
+    if regressions:
+        print(f"bench_compare: FAIL: {len(regressions)}/{compared} "
+              "benchmarks regressed:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK: {compared} benchmarks within "
+          f"{args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
