@@ -56,13 +56,24 @@ class KOrderedTreeAggregator {
   }
 
   Status Add(const Period& valid, typename Op::Input input) {
+    if (!poison_.ok()) return poison_;
+    if (finished_) {
+      return Status::InvalidArgument(
+          "Add() after FinishTyped(): the aggregator is consumed");
+    }
     const Instant s = valid.start();
     if (s < tree_.lo) {
-      return Status::InvalidArgument(
+      // Constant intervals before tree_.lo were already emitted, so the
+      // result is missing this tuple's contribution and can never be
+      // repaired.  Poison the aggregator: every further Add() and the
+      // FinishTyped() call repeat this error instead of handing the caller
+      // a silently incomplete answer.
+      poison_ = Status::InvalidArgument(
           "tuple starting at " + InstantToString(s) +
           " violates the declared k-ordering: constant intervals before " +
           InstantToString(tree_.lo) + " were already emitted (k=" +
           std::to_string(k_) + ")");
+      return poison_;
     }
     const Instant e = valid.end();
     // Maintain the leftmost constant interval's end before the structure
@@ -96,6 +107,12 @@ class KOrderedTreeAggregator {
 
   /// Emits whatever remains in the tree after the early emissions.
   Result<std::vector<TypedInterval<State>>> FinishTyped() {
+    if (!poison_.ok()) return poison_;
+    if (finished_) {
+      return Status::InvalidArgument(
+          "FinishTyped() called twice: the result was already moved out");
+    }
+    finished_ = true;
     tree_.EmitSubtree(tree_.root, tree_.lo, kForever, tree_.op.Identity(),
                       [&](Instant lo, Instant hi, State st) {
                         out_.push_back({lo, hi, st});
@@ -185,6 +202,8 @@ class KOrderedTreeAggregator {
   size_t window_pos_ = 0;
   Instant gc_threshold_ = kOrigin;
   Instant leftmost_end_ = kForever;
+  Status poison_ = Status::OK();  // first unrecoverable error, sticky
+  bool finished_ = false;
 
   Tree tree_;
   std::vector<TypedInterval<State>> out_;

@@ -1,11 +1,29 @@
 #include "core/node_arena.h"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace tagg {
+namespace {
+
+/// Registry of alive arenas for the leak accounting in
+/// LiveInstanceCount()/GlobalLiveNodes().  Touched only at arena
+/// construction/destruction, never on the per-node hot path.
+struct ArenaRegistry {
+  std::mutex mutex;
+  std::unordered_set<const NodeArena*> alive;
+};
+
+ArenaRegistry& Registry() {
+  static ArenaRegistry* registry = new ArenaRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace
 
 NodeArena::NodeArena(size_t slot_size, size_t slots_per_block)
     : slot_size_(std::max(slot_size, sizeof(void*))),
@@ -13,6 +31,31 @@ NodeArena::NodeArena(size_t slot_size, size_t slots_per_block)
   // Keep slots pointer-aligned so a freed slot can hold the free-list link.
   const size_t align = alignof(std::max_align_t);
   slot_size_ = (slot_size_ + align - 1) / align * align;
+  ArenaRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.alive.insert(this);
+}
+
+NodeArena::~NodeArena() {
+  ArenaRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.alive.erase(this);
+}
+
+size_t NodeArena::LiveInstanceCount() {
+  ArenaRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.alive.size();
+}
+
+size_t NodeArena::GlobalLiveNodes() {
+  ArenaRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  size_t total = 0;
+  for (const NodeArena* arena : registry.alive) {
+    total += arena->live_nodes();
+  }
+  return total;
 }
 
 void* NodeArena::Allocate() {

@@ -29,6 +29,7 @@ class NodeArena {
   /// @param slot_size   bytes per slot; rounded up to pointer alignment.
   /// @param slots_per_block  slots carved per malloc'd block.
   explicit NodeArena(size_t slot_size, size_t slots_per_block = 1024);
+  ~NodeArena();
 
   NodeArena(const NodeArena&) = delete;
   NodeArena& operator=(const NodeArena&) = delete;
@@ -69,6 +70,18 @@ class NodeArena {
   size_t peak_paper_bytes() const {
     return peak_live_nodes_ * kPaperNodeBytes;
   }
+
+  /// NodeArena instances currently alive in the process.  The fault-
+  /// injection sweep (tests/fuzz) compares this before and after driving
+  /// an evaluation through injected failures: an error path that heap-
+  /// allocates an aggregator and abandons it shows up as a delta.
+  static size_t LiveInstanceCount();
+
+  /// Sum of live_nodes() over every alive arena.  Quiescent use only: the
+  /// instance registry is locked, but each arena's counter is read without
+  /// synchronization, so call this only when no thread is mutating an
+  /// arena (e.g. after an evaluation returned and its workers joined).
+  static size_t GlobalLiveNodes();
 
  private:
   size_t slot_size_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -53,6 +54,41 @@ bool EventLess(const void* a, const void* b) {
   return static_cast<const Event*>(a)->at < static_cast<const Event*>(b)->at;
 }
 
+/// Neumaier-compensated running sum.  The sweep's add-then-subtract
+/// accumulator is the one place in the library where floating-point error
+/// compounds across *unrelated* tuples: a plain running sum loses a small
+/// addend under a large one (1.0 under 1e17 rounds away entirely) and the
+/// later subtraction of the large value leaves 0.0 where the tree kernel —
+/// which only ever combines the tuples actually overlapping an interval —
+/// reports the small value exactly.  Carrying the rounding error in a
+/// compensation term restores the lost low-order bits when the large
+/// magnitude retires, keeping the sweep within the documented comparison
+/// tolerance of the other kernels (docs/TESTING.md) instead of
+/// catastrophically wrong.
+class CompensatedSum {
+ public:
+  void Add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double value() const { return sum_ + comp_; }
+
+  void Reset() {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
 /// Whether Op's state forms a group (has an inverse), and how to rebuild a
 /// state from the sweep's running (sum, active-count) accumulator.  The
 /// sum is reset to exactly 0.0 whenever the active count returns to zero,
@@ -99,22 +135,22 @@ class SweepEmitter {
   void Feed(Instant at, double dv, int64_t dn) {
     if (at > hi_) return;
     if (at > cur_) {
-      out_->push_back({cur_, at - 1, SweepTraits<Op>::Make(sum_, n_)});
+      out_->push_back({cur_, at - 1, SweepTraits<Op>::Make(sum_.value(), n_)});
       cur_ = at;
     }
-    sum_ += dv;
+    sum_.Add(dv);
     n_ += dn;
-    if (n_ == 0) sum_ = 0.0;  // exact return to Identity()
+    if (n_ == 0) sum_.Reset();  // exact return to Identity()
   }
 
   void Finish() {
-    out_->push_back({cur_, hi_, SweepTraits<Op>::Make(sum_, n_)});
+    out_->push_back({cur_, hi_, SweepTraits<Op>::Make(sum_.value(), n_)});
   }
 
  private:
   Instant cur_;
   Instant hi_;
-  double sum_ = 0.0;
+  CompensatedSum sum_;
   int64_t n_ = 0;
   std::vector<TypedInterval<State>>* out_;
 };

@@ -80,9 +80,13 @@ struct PartitionedOptions {
 
   /// Worker threads for both phases: the routing scan is sharded across
   /// workers, and regions are built concurrently.  Results are stitched
-  /// in region order and are identical to the sequential evaluation
-  /// (bit-identical for exactly representable inputs, e.g. integer
-  /// attributes).  1 = sequential.
+  /// in region order; each region is built by exactly one worker, so the
+  /// worker count never changes the answer.  Floating-point SUM/AVG may
+  /// still differ from the tree kernel by rounding (summation order is
+  /// kernel-specific); the sweep kernel uses Neumaier-compensated
+  /// accumulation so the difference stays within the conditioning-aware
+  /// tolerance documented in src/testing/differential.h and
+  /// docs/TESTING.md.  1 = sequential.
   size_t parallel_workers = 1;
 
   /// Phase-2 kernel selection; kAuto picks the sweep for invertible

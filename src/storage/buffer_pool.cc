@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "testing/fault_injector.h"
 #include "util/logging.h"
 
 namespace tagg {
@@ -72,6 +73,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
         "buffer pool full: all " + std::to_string(capacity_) +
         " frames are pinned");
   }
+  TAGG_INJECT_FAULT("buffer_pool.fetch");
   Frame& frame = frames_[id];
   const Status read = file_->ReadPage(id, &frame.page);
   if (!read.ok()) {

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "storage/record_codec.h"
+#include "testing/fault_injector.h"
 #include "util/str.h"
 
 namespace tagg {
@@ -62,17 +63,14 @@ std::string RunPath(const ExternalSortOptions& options,
   return base + ".run" + std::to_string(run_index);
 }
 
-}  // namespace
-
-Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
+/// The sort body proper.  `run_paths` is owned by the caller so that run
+/// files written before a mid-sort failure can be cleaned up even though
+/// the early-return unwinds this frame.
+Result<std::unique_ptr<HeapFile>> ExternalSortByTimeImpl(
     const HeapFile& input, const std::string& output_path,
-    const ExternalSortOptions& options) {
-  if (options.memory_budget_records == 0) {
-    return Status::InvalidArgument("memory budget must allow >= 1 record");
-  }
-
+    const ExternalSortOptions& options,
+    std::vector<std::string>& run_paths) {
   // Phase 1: bounded-memory run generation.
-  std::vector<std::string> run_paths;
   {
     RecordReader reader(input);
     std::vector<RecordBuf> buffer;
@@ -92,15 +90,18 @@ Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
       }
       if (buffer.empty()) break;
       std::sort(buffer.begin(), buffer.end(), RecordLess);
+      TAGG_INJECT_FAULT("external_sort.run");
       const std::string run_path =
           RunPath(options, output_path, run_paths.size());
+      // Registered before the first write so a failure mid-run (append,
+      // close) still gets the partial file reaped by the caller.
+      run_paths.push_back(run_path);
       TAGG_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> run,
                             HeapFile::Create(run_path));
       for (const RecordBuf& rec : buffer) {
         TAGG_RETURN_IF_ERROR(run->AppendRecord(rec.bytes));
       }
       TAGG_RETURN_IF_ERROR(run->Close());
-      run_paths.push_back(run_path);
     }
   }
 
@@ -168,6 +169,29 @@ Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
   return output;
 }
 
+}  // namespace
+
+Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
+    const HeapFile& input, const std::string& output_path,
+    const ExternalSortOptions& options) {
+  if (options.memory_budget_records == 0) {
+    return Status::InvalidArgument("memory budget must allow >= 1 record");
+  }
+  std::vector<std::string> run_paths;
+  auto output = ExternalSortByTimeImpl(input, output_path, options,
+                                       run_paths);
+  if (!output.ok()) {
+    // A failure anywhere in the sort must not orphan temp files: remove
+    // every run written so far plus the partial output.  (On success the
+    // impl already removed the runs after the merge.)
+    for (const std::string& run_path : run_paths) {
+      std::remove(run_path.c_str());
+    }
+    std::remove(output_path.c_str());
+  }
+  return output;
+}
+
 PodRunSorter::PodRunSorter(size_t record_size, Less less,
                            size_t memory_budget_records)
     : record_size_(record_size),
@@ -186,6 +210,7 @@ void PodRunSorter::SortBuffer(std::vector<const char*>& order) const {
 }
 
 Status PodRunSorter::FlushRun() {
+  TAGG_INJECT_FAULT("external_sort.run");
   std::vector<const char*> order;
   SortBuffer(order);
   TAGG_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> run,

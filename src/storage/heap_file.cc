@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "testing/fault_injector.h"
 #include "util/str.h"
 
 namespace tagg {
@@ -28,6 +29,7 @@ HeapFile::~HeapFile() {
 }
 
 Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path) {
+  TAGG_INJECT_FAULT("heap_file.create");
   std::FILE* f = std::fopen(path.c_str(), "wb+");
   if (f == nullptr) return Errno("cannot create heap file", path);
   auto file = std::unique_ptr<HeapFile>(new HeapFile(path, f));
@@ -36,6 +38,7 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path) {
 }
 
 Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path) {
+  TAGG_INJECT_FAULT("heap_file.open");
   std::FILE* f = std::fopen(path.c_str(), "rb+");
   if (f == nullptr) return Errno("cannot open heap file", path);
   auto file = std::unique_ptr<HeapFile>(new HeapFile(path, f));
@@ -86,6 +89,7 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path) {
 
 Status HeapFile::AppendRecord(const char* record) {
   if (closed_) return Status::IOError("heap file is closed");
+  TAGG_INJECT_FAULT("heap_file.append");
   std::memcpy(tail_.RecordAt(tail_records_), record, kRecordSize);
   ++tail_records_;
   ++record_count_;
@@ -102,6 +106,7 @@ Status HeapFile::AppendRecord(const char* record) {
 
 Status HeapFile::Sync() {
   if (closed_) return Status::IOError("heap file is closed");
+  TAGG_INJECT_FAULT("heap_file.sync");
   if (tail_records_ > 0) {
     tail_.set_record_count(tail_records_);
     TAGG_RETURN_IF_ERROR(WritePageAt(
@@ -123,6 +128,7 @@ Status HeapFile::Close() {
 
 Status HeapFile::ReadPage(PageId id, Page* out) const {
   if (closed_) return Status::IOError("heap file is closed");
+  TAGG_INJECT_FAULT("heap_file.read");
   if (id == 0 || id > data_page_count()) {
     return Status::OutOfRange(StringPrintf(
         "page %u out of range (file has %u data pages)", id,

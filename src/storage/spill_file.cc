@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "testing/fault_injector.h"
 
 namespace tagg {
 
@@ -10,6 +11,7 @@ Result<std::unique_ptr<SpillFile>> SpillFile::Create(size_t record_size) {
   if (record_size == 0) {
     return Status::InvalidArgument("spill record size must be positive");
   }
+  TAGG_INJECT_FAULT("spill_file.create");
   std::FILE* f = std::tmpfile();
   if (f == nullptr) {
     return Status::IOError("cannot create spill temp file");
@@ -26,6 +28,7 @@ SpillFile::~SpillFile() {
 
 Status SpillFile::Append(const void* records, size_t n) {
   if (n == 0) return Status::OK();
+  TAGG_INJECT_FAULT("spill_file.append");
   std::lock_guard<std::mutex> lock(mutex_);
   if (std::fwrite(records, record_size_, n, file_) != n) {
     return Status::IOError("cannot write spill records");
@@ -48,6 +51,7 @@ SpillFile::Reader::Reader(SpillFile& file, size_t chunk_records)
       buffer_(file.record_size() * std::max<size_t>(chunk_records, 1)) {}
 
 Status SpillFile::Reader::Fill() {
+  TAGG_INJECT_FAULT("spill_file.read");
   const size_t chunk = buffer_.size() / file_.record_size_;
   const size_t want = std::min(remaining_, chunk);
   if (want == 0) {

@@ -1,0 +1,136 @@
+// Differential-testing harness: every algorithm against the oracle.
+//
+// The library carries eight ways to evaluate the same temporal aggregate
+// (five batch algorithms, the brute-force reference, the partitioned
+// parallel evaluation with two kernels, and the live serving index).  They
+// must all describe the same step function over the time-line.  This
+// harness generates seeded randomized workloads — biased toward the
+// adversarial shapes that have historically broken implementations: empty
+// relations, single tuples, periods touching kOrigin/kForever, 1-chronon
+// point periods, duplicate start times, near-k-order-violating streams,
+// and mixed-magnitude values (1e17 next to 1.0) — runs each through every
+// algorithm/configuration, and diffs the coalesced constant-interval
+// series.
+//
+// Float-comparison policy (also documented in docs/TESTING.md):
+//
+//   * Series are compared as *step functions*: both results are walked
+//     over the merged set of interval boundaries, so two series that
+//     coalesce the same function differently still compare equal.
+//   * COUNT is compared exactly (integer states end to end).
+//   * MIN/MAX are compared exactly: every implementation selects one of
+//     the input doubles, never computes a new one.
+//   * SUM/AVG are compared with a relative tolerance scaled by the
+//     interval's *conditioning*,
+//         |a - b| <= tol * max(1, |a|, |b|, C(I)),   tol = 1e-9,
+//     where C(I) is the sum of |input| over the tuples overlapping
+//     interval I (computed by an auxiliary reference pass over the
+//     |value|-transformed relation).  Summation order differs between
+//     algorithms and IEEE addition is not associative, so on an interval
+//     where +1e17 and -1e17 cancel, any two correct implementations may
+//     legitimately differ by ~ulp(1e17); scaling by C(I) admits exactly
+//     that.  What the policy still rejects — by design — is error leaking
+//     in from tuples that do NOT overlap the interval: a running sweep
+//     accumulator that lost a small addend under a large magnitude keeps
+//     the damage after the large tuple retires, where C(I) is small
+//     again.  The sweep kernel uses Neumaier-compensated accumulation
+//     (core/partitioned_agg.cc) precisely to stay inside this policy.
+//   * NULL (empty interval) must match exactly: an algorithm reporting
+//     0.0 where another reports NULL is a bug, not a rounding artifact.
+//
+// On divergence every entry point returns a Status whose message names the
+// reproducing seed, the workload shape, the aggregate, and the offending
+// configuration — paste the seed into RunDifferentialSeed() to replay.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aggregates.h"
+#include "temporal/relation.h"
+#include "util/result.h"
+
+namespace tagg {
+namespace testing {
+
+/// Tuning knobs for one differential run.
+struct DifferentialOptions {
+  /// Relative tolerance for SUM/AVG (see the file comment).
+  double relative_tolerance = 1e-9;
+
+  /// Include the partitioned evaluation (workers × spill × kernel grid).
+  bool include_partitioned = true;
+
+  /// Include the live index (sequential insert + AggregateOver).
+  bool include_live_index = true;
+
+  /// Additionally probe one LiveAggregateIndex from concurrent reader
+  /// threads while a writer inserts, asserting epoch monotonicity and
+  /// partition validity of every snapshot, then diff the final series.
+  bool concurrent_live_check = true;
+};
+
+/// What one seed generated, for diagnostics.
+struct WorkloadInfo {
+  std::string shape;   ///< human-readable shape name ("point-periods", ...)
+  size_t tuples = 0;
+};
+
+/// Aggregate outcome of a multi-seed sweep.
+struct DifferentialSummary {
+  size_t seeds_run = 0;
+  size_t comparisons = 0;  ///< series pairs diffed (all matched)
+};
+
+/// Deterministically generates the seed's workload relation (Employed
+/// schema, integer salary attribute drawn from an exactly-representable
+/// palette including ±1e17).  Same seed, same relation — the reproducing
+/// seed printed on divergence replays the exact workload.
+Result<Relation> GenerateDifferentialRelation(uint64_t seed,
+                                              WorkloadInfo* info = nullptr);
+
+/// Compares two series as step functions under the documented policy.
+/// `expected` is treated as the oracle side in messages.  Both series must
+/// partition [kOrigin, kForever].  `conditioning`, when non-null, is the
+/// per-interval C(I) series (SUM of |input| via the reference algorithm —
+/// see the file comment); without it the SUM/AVG scale falls back to
+/// max(1, |a|, |b|), which is only sound for workloads without
+/// catastrophic cancellation.
+Status CompareSeries(const std::vector<ResultInterval>& expected,
+                     const std::vector<ResultInterval>& actual,
+                     AggregateKind kind, double relative_tolerance = 1e-9,
+                     const std::vector<ResultInterval>* conditioning =
+                         nullptr);
+
+/// Computes the conditioning series C(I) for `relation`'s attribute: the
+/// reference SUM over the relation with every input replaced by its
+/// absolute value.
+Result<std::vector<ResultInterval>> ComputeConditioningSeries(
+    const Relation& relation, size_t attribute);
+
+/// Generates the seed's workload and diffs every algorithm/configuration
+/// against the reference, for all five aggregates.  `comparisons`, when
+/// non-null, accumulates the number of series pairs diffed.
+Status RunDifferentialSeed(uint64_t seed,
+                           const DifferentialOptions& options = {},
+                           size_t* comparisons = nullptr);
+
+/// Runs seeds [first_seed, first_seed + count); stops at the first
+/// divergence, returning its reproducing Status.
+Result<DifferentialSummary> RunDifferentialRange(
+    uint64_t first_seed, size_t count,
+    const DifferentialOptions& options = {});
+
+/// Drives one live index with a writer thread inserting `relation`'s
+/// tuples while reader threads probe point/range queries on snapshots,
+/// then diffs the final series against the reference.  Used by
+/// RunDifferentialSeed and directly by the live-index tests.
+Status CheckLiveIndexConcurrent(const Relation& relation,
+                                AggregateKind aggregate, size_t attribute,
+                                uint64_t seed,
+                                double relative_tolerance = 1e-9);
+
+}  // namespace testing
+}  // namespace tagg

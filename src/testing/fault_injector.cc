@@ -1,0 +1,48 @@
+#include "testing/fault_injector.h"
+
+namespace tagg {
+namespace testing {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(std::string site_pattern, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pattern_ = std::move(site_pattern);
+  nth_ = nth;
+  hits_ = 0;
+  injected_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  // Acquire the mutex so no in-flight Hit() straddles the disarm.
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+}
+
+uint64_t FaultInjector::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  if (site.find(pattern_) == std::string_view::npos) return Status::OK();
+  ++hits_;
+  if (hits_ != nth_) return Status::OK();
+  ++injected_;
+  return Status::IOError("injected fault at " + std::string(site) +
+                         " (operation " + std::to_string(nth_) + ")");
+}
+
+}  // namespace testing
+}  // namespace tagg

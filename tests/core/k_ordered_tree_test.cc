@@ -101,6 +101,47 @@ TEST(KOrderedTreeTest, DetectsKOrderViolation) {
   EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
 }
 
+TEST(KOrderedTreeTest, KOrderViolationPoisonsTheAggregator) {
+  // Regression: the violation used to be reported once, after which the
+  // aggregator would happily keep accepting tuples and FinishTyped() would
+  // return a series silently missing the rejected tuple's contribution.
+  // The error must be sticky.
+  KOrderedTreeAggregator<CountOp> agg(0);
+  ASSERT_TRUE(agg.Add(Period(100, 110), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(200, 210), 0).ok());
+  ASSERT_TRUE(agg.Add(Period(300, 310), 0).ok());
+  const Status violation = agg.Add(Period(50, 60), 0);
+  ASSERT_TRUE(violation.IsInvalidArgument()) << violation.ToString();
+
+  // A perfectly in-order tuple after the violation must be rejected with
+  // the original error, not absorbed.
+  const Status later = agg.Add(Period(400, 410), 0);
+  EXPECT_TRUE(later.IsInvalidArgument());
+  EXPECT_EQ(later.ToString(), violation.ToString());
+
+  // And the final result must fail loudly instead of returning an
+  // incomplete series.
+  auto out = agg.FinishTyped();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().ToString(), violation.ToString());
+}
+
+TEST(KOrderedTreeTest, FinishTypedTwiceFailsLoudly) {
+  // FinishTyped() moves the emitted series out; a second call used to
+  // return an empty (wrong) series.
+  KOrderedTreeAggregator<CountOp> agg(1);
+  ASSERT_TRUE(agg.Add(Period(10, 20), 0).ok());
+  auto first = agg.FinishTyped();
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->size(), 0u);
+  auto second = agg.FinishTyped();
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsInvalidArgument());
+  // Add() after consumption is likewise an error, not a silent no-op.
+  const Status add = agg.Add(Period(30, 40), 0);
+  EXPECT_TRUE(add.IsInvalidArgument()) << add.ToString();
+}
+
 TEST(KOrderedTreeTest, LargerKTolerisesMoreDisorder) {
   // The same stream rejected at k=0 is fine at a sufficient k.
   const std::vector<std::pair<Instant, Instant>> tuples = {

@@ -294,6 +294,68 @@ TEST(PartitionedAggTest, MorePartitionsThanTuples) {
   ExpectMatchesSingleTree(r, options);
 }
 
+// Returns the reported value on the constant interval containing `t`.
+Value ValueAt(const AggregateSeries& series, Instant t) {
+  for (const ResultInterval& iv : series.intervals) {
+    if (iv.period.start() <= t && t <= iv.period.end()) return iv.value;
+  }
+  ADD_FAILURE() << "no interval contains instant " << t;
+  return Value::Null();
+}
+
+TEST(PartitionedAggTest, SweepKernelSurvivesCatastrophicCancellation) {
+  // Regression: the sweep kernel keeps one running accumulator and adds a
+  // tuple's value at its start and the negation at its end.  Plain IEEE
+  // accumulation loses a small addend absorbed under a large magnitude
+  // (1e17 + 1 rounds to 1e17), and the damage persists after the large
+  // tuple retires: SUM over [20, 39] came back 0.0 instead of 1.0.  The
+  // Neumaier-compensated accumulator carries the lost low-order part.
+  Relation r = testutil::MakeRelation(
+      {{0, 19, 100000000000000000LL}, {10, 39, 1}});
+  for (AggregateKind kind : {AggregateKind::kSum, AggregateKind::kAvg}) {
+    PartitionedOptions sweep;
+    sweep.partitions = 1;  // one region: the whole cancellation in one sweep
+    sweep.aggregate = kind;
+    sweep.attribute = 1;
+    sweep.kernel = PartitionKernel::kSweep;
+    auto got = ComputePartitionedAggregate(r, sweep);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // After the 1e17 tuple retires at 20 only the value-1 tuple is alive.
+    EXPECT_EQ(ValueAt(*got, 30), Value::Double(1.0))
+        << AggregateKindToString(kind);
+
+    PartitionedOptions tree = sweep;
+    tree.kernel = PartitionKernel::kTree;
+    auto want = ComputePartitionedAggregate(r, tree);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_EQ(got->intervals, want->intervals)
+        << "kernels disagree for " << AggregateKindToString(kind);
+  }
+}
+
+TEST(PartitionedAggTest, SweepKernelReportsEmptyIntervalsAsNull) {
+  // Regression companion to the cancellation fix: on an interval where
+  // every tuple has retired the sweep must report NULL (no rows), not the
+  // accumulator's 0.0 — SUM of nothing and SUM of values summing to zero
+  // are different answers.
+  Relation r = testutil::MakeRelation({{0, 9, 5}, {50, 59, 7}});
+  for (AggregateKind kind : {AggregateKind::kSum, AggregateKind::kAvg}) {
+    PartitionedOptions options;
+    options.partitions = 1;
+    options.aggregate = kind;
+    options.attribute = 1;
+    options.kernel = PartitionKernel::kSweep;
+    auto got = ComputePartitionedAggregate(r, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(ValueAt(*got, 5), Value::Double(5.0))
+        << AggregateKindToString(kind);
+    EXPECT_EQ(ValueAt(*got, 30), Value::Null())
+        << AggregateKindToString(kind);
+    EXPECT_EQ(ValueAt(*got, 1000), Value::Null())
+        << AggregateKindToString(kind);
+  }
+}
+
 TEST(PartitionedAggTest, EmptyRelation) {
   Relation r(EmployedSchema(), "empty");
   PartitionedOptions options;

@@ -11,16 +11,17 @@
 #include "storage/buffer_pool.h"
 #include "storage/record_codec.h"
 #include "storage/table_scan.h"
+#include "testing/fault_injector.h"
 
 namespace tagg {
 namespace {
 
-class ExternalSortTest : public testing::Test {
+class ExternalSortTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = std::filesystem::temp_directory_path() /
            ("tagg_sort_" + std::to_string(::getpid()) + "_" +
-            testing::UnitTest::GetInstance()->current_test_info()->name());
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override {
@@ -130,6 +131,39 @@ TEST_F(ExternalSortTest, RunFilesAreCleanedUp) {
     }
   }
   EXPECT_EQ(run_files, 0u);
+}
+
+TEST_F(ExternalSortTest, FailureLeavesNoTempFilesBehind) {
+  // Regression: a fault during run generation (here, the heap-file append
+  // writing a run) used to orphan the in-flight run file — it was only
+  // registered for cleanup after being closed successfully.  Any failure,
+  // at any point of the sort, must leave the temp directory exactly as it
+  // was: no run files, no partial output.
+  WriteWorkload(300, 8);
+  ExternalSortOptions options;
+  options.memory_budget_records = 50;  // several runs
+  for (const char* site : {"external_sort.run", "heap_file.create",
+                           "heap_file.append", "heap_file.sync"}) {
+    for (int nth : {1, 2, 7, 50}) {
+      auto& injector = testing::FaultInjector::Global();
+      injector.Arm(site, nth);
+      auto sorted = ExternalSortByTime(*input_, Path("out.heap"), options);
+      const bool injected = injector.injected() > 0;
+      injector.Disarm();
+      if (!injected) {
+        ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+        std::filesystem::remove(Path("out.heap"));
+        continue;  // the sort has fewer than `nth` ops at this site
+      }
+      ASSERT_FALSE(sorted.ok()) << site << " op " << nth;
+      EXPECT_TRUE(sorted.status().IsIOError()) << sorted.status().ToString();
+      for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+        EXPECT_EQ(entry.path().filename().string(), "input.heap")
+            << "orphaned temp file after fault at " << site << " op " << nth
+            << ": " << entry.path();
+      }
+    }
+  }
 }
 
 TEST_F(ExternalSortTest, PreservesRecordPayloads) {
