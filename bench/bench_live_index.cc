@@ -11,15 +11,26 @@
 //   * BM_Live_AggregateOverNarrow — a 1%-of-lifespan range query, the
 //     typical serving shape: O(depth + answer) instead of O(n);
 //   * BM_Live_AggregateAt       — the point query, one root path;
+//   * BM_Live_ReaderScaling_*   — ->Threads({1,2,4,8}) pure-reader
+//     scaling, engine/0 = COW-epoch vs engine/1 = shared_lock: the COW
+//     read path takes no lock, so per-thread throughput should hold flat
+//     where the rwlock's cache-line ping-pong degrades it;
 //   * BM_Live_Concurrent_*      — ->Threads(1+R): thread 0 streams
-//     inserts while R readers query; per-thread items/sec shows how
-//     reader throughput holds up under a live writer.
+//     inserts while R readers query, again per engine; the writer thread
+//     reports the reclamation counters (nodes_retired / nodes_reclaimed /
+//     retired_pending) so regressions in epoch reclamation show up in the
+//     bench JSON;
+//   * BM_Live_CowIngest         — writer-side batching ablation:
+//     publish-every-N and InsertBatch sizes against the per-insert
+//     publish, plus the locked engine's ingest for reference.
 //
-// The concurrent fixtures share one index via a function-local static
-// (thread-safe magic static): google-benchmark runs the function on every
-// thread, so construction must not race.
+// The concurrent fixtures share one index per engine via function-local
+// statics (thread-safe magic statics): google-benchmark runs the function
+// on every thread, so construction must not race.
 
+#include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/aggregation_tree.h"
@@ -47,13 +58,22 @@ const std::vector<Period>& ChurnPeriods() {
   return periods;
 }
 
-std::unique_ptr<LiveAggregateIndex> MakeLoadedIndex() {
-  auto index = LiveAggregateIndex::Create(LiveIndexOptions{});
+std::unique_ptr<LiveAggregateIndex> MakeLoadedIndex(
+    LiveConcurrency concurrency = LiveConcurrency::kCowEpoch) {
+  LiveIndexOptions options;
+  options.concurrency = concurrency;
+  auto index = LiveAggregateIndex::Create(options);
   if (!index.ok()) std::abort();
   for (const Period& p : LoadPeriods()) {
     if (!(*index)->Insert(p, 0.0).ok()) std::abort();
   }
   return std::move(index).value();
+}
+
+/// engine/0 = the COW-epoch default, engine/1 = the shared_lock fallback.
+LiveConcurrency EngineArg(const benchmark::State& state) {
+  return state.range(0) == 0 ? LiveConcurrency::kCowEpoch
+                             : LiveConcurrency::kSharedLock;
 }
 
 // --- single-threaded: resident index vs rebuild ------------------------
@@ -133,23 +153,36 @@ void BM_Live_AggregateAt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
-// --- concurrent: 1 writer x {1,2,4,8} readers --------------------------
+// --- concurrent: per-engine reader scaling -----------------------------
 
-/// Shared fixture for one ->Threads() run family.  Reconstructed lazily
-/// when a new run observes the previous one finished (google-benchmark
-/// serializes runs, so the epoch check is not racy across runs).
+/// Shared fixture per engine, alive for the whole binary run (the index
+/// keeps absorbing churn across run families; the tree only grows, which
+/// matches a long-lived serving deployment).
 struct ConcurrentShared {
-  std::unique_ptr<LiveAggregateIndex> index = MakeLoadedIndex();
+  explicit ConcurrentShared(LiveConcurrency concurrency)
+      : index(MakeLoadedIndex(concurrency)) {}
+  std::unique_ptr<LiveAggregateIndex> index;
   std::atomic<size_t> churn_cursor{0};
 };
 
-ConcurrentShared& Shared() {
-  static ConcurrentShared shared;  // thread-safe magic static
-  return shared;
+ConcurrentShared& Shared(LiveConcurrency concurrency) {
+  static ConcurrentShared cow(LiveConcurrency::kCowEpoch);
+  static ConcurrentShared locked(LiveConcurrency::kSharedLock);
+  return concurrency == LiveConcurrency::kCowEpoch ? cow : locked;
+}
+
+void ReportReclaimCounters(benchmark::State& state,
+                           const LiveAggregateIndex& index) {
+  const LiveIndexStats stats = index.Stats();
+  state.counters["nodes_retired"] = static_cast<double>(stats.nodes_retired);
+  state.counters["nodes_reclaimed"] =
+      static_cast<double>(stats.nodes_reclaimed);
+  state.counters["retired_pending"] =
+      static_cast<double>(stats.retired_pending);
 }
 
 void WriterLoop(benchmark::State& state) {
-  auto& shared = Shared();
+  auto& shared = Shared(EngineArg(state));
   const auto& churn = ChurnPeriods();
   for (auto _ : state) {
     const size_t i =
@@ -162,6 +195,30 @@ void WriterLoop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["writer"] = 1.0;
+  ReportReclaimCounters(state, *shared.index);
+}
+
+/// Pure reader scaling, no writer: every thread probes points.  The COW
+/// engine's pin is two atomics on a thread-local-ish slot; the rwlock pays
+/// a contended shared-acquire per probe.
+void BM_Live_ReaderScaling_PointReads(benchmark::State& state) {
+  auto& shared = Shared(EngineArg(state));
+  state.SetLabel(std::string(
+      LiveConcurrencyToString(shared.index->options().concurrency)));
+  Instant t = 9973 * static_cast<Instant>(state.thread_index() + 1);
+  for (auto _ : state) {
+    auto value = shared.index->AggregateAt(t % kLifespan);
+    if (!value.ok()) {
+      state.SkipWithError(value.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(*value);
+    t += 9973;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    ReportReclaimCounters(state, *shared.index);
+  }
 }
 
 void BM_Live_Concurrent_PointReads(benchmark::State& state) {
@@ -169,7 +226,9 @@ void BM_Live_Concurrent_PointReads(benchmark::State& state) {
     WriterLoop(state);
     return;
   }
-  auto& shared = Shared();
+  auto& shared = Shared(EngineArg(state));
+  state.SetLabel(std::string(
+      LiveConcurrencyToString(shared.index->options().concurrency)));
   Instant t = 9973 * state.thread_index();
   for (auto _ : state) {
     auto value = shared.index->AggregateAt(t % kLifespan);
@@ -188,7 +247,9 @@ void BM_Live_Concurrent_RangeReads(benchmark::State& state) {
     WriterLoop(state);
     return;
   }
-  auto& shared = Shared();
+  auto& shared = Shared(EngineArg(state));
+  state.SetLabel(std::string(
+      LiveConcurrencyToString(shared.index->options().concurrency)));
   constexpr Instant kWidth = kLifespan / 100;
   Instant lo = kWidth * static_cast<Instant>(state.thread_index());
   for (auto _ : state) {
@@ -205,12 +266,75 @@ void BM_Live_Concurrent_RangeReads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// --- writer-side batching ablation -------------------------------------
+
+/// Fresh-index ingest of a fixed tuple prefix per iteration.
+/// publish_every/N amortizes the COW path copy across N inserts;
+/// batch/B uses InsertBatch in chunks of B (publish_every is then moot —
+/// one publish per chunk).  engine/1 gives the locked baseline.
+void BM_Live_Ingest(benchmark::State& state) {
+  const LiveConcurrency engine = EngineArg(state);
+  const size_t publish_every = static_cast<size_t>(state.range(1));
+  const size_t batch_size = static_cast<size_t>(state.range(2));
+  constexpr size_t kIngest = 20'000;
+  const auto& periods = LoadPeriods();
+  for (auto _ : state) {
+    LiveIndexOptions options;
+    options.concurrency = engine;
+    options.publish_every_n = publish_every;
+    auto index = LiveAggregateIndex::Create(options);
+    if (!index.ok()) {
+      state.SkipWithError(index.status().ToString().c_str());
+      return;
+    }
+    if (batch_size == 0) {
+      for (size_t i = 0; i < kIngest; ++i) {
+        if (!(*index)->Insert(periods[i], 0.0).ok()) {
+          state.SkipWithError("insert failed");
+          return;
+        }
+      }
+    } else {
+      std::vector<std::pair<Period, double>> batch;
+      batch.reserve(batch_size);
+      for (size_t i = 0; i < kIngest; i += batch_size) {
+        batch.clear();
+        for (size_t j = i; j < std::min(i + batch_size, kIngest); ++j) {
+          batch.emplace_back(periods[j], 0.0);
+        }
+        if (!(*index)->InsertBatch(batch).ok()) {
+          state.SkipWithError("batch insert failed");
+          return;
+        }
+      }
+    }
+    (*index)->Flush();
+    ReportReclaimCounters(state, **index);
+    bench::KeepAlive(*index);
+  }
+  state.SetItemsProcessed(state.iterations() * kIngest);
+}
+
 BENCHMARK(BM_Live_RebuildPerQuery)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Live_AggregateOverAll)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Live_AggregateOverNarrow)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Live_AggregateAt)->Unit(benchmark::kMicrosecond);
-// 1 writer + {1,2,4,8} readers.
+// {1,2,4,8} pure readers, both engines.
+BENCHMARK(BM_Live_ReaderScaling_PointReads)
+    ->ArgNames({"engine"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+// 1 writer + {1,2,4,8} readers, both engines.
 BENCHMARK(BM_Live_Concurrent_PointReads)
+    ->ArgNames({"engine"})
+    ->Arg(0)
+    ->Arg(1)
     ->Threads(2)
     ->Threads(3)
     ->Threads(5)
@@ -218,12 +342,28 @@ BENCHMARK(BM_Live_Concurrent_PointReads)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 BENCHMARK(BM_Live_Concurrent_RangeReads)
+    ->ArgNames({"engine"})
+    ->Arg(0)
+    ->Arg(1)
     ->Threads(2)
     ->Threads(3)
     ->Threads(5)
     ->Threads(9)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+// Batching ablation: COW per-insert publish vs publish-every-N vs
+// InsertBatch, with the locked engine's singleton and batched ingest as
+// the baseline.
+BENCHMARK(BM_Live_Ingest)
+    ->ArgNames({"engine", "publish_every", "batch"})
+    ->Args({0, 1, 0})
+    ->Args({0, 16, 0})
+    ->Args({0, 256, 0})
+    ->Args({0, 1, 64})
+    ->Args({0, 1, 1024})
+    ->Args({1, 1, 0})
+    ->Args({1, 1, 1024})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tagg

@@ -98,4 +98,27 @@ void NodeArena::Deallocate(void* slot) {
   --live_nodes_;
 }
 
+void NodeArena::Retire(void* slot, uint64_t version) {
+  TAGG_DCHECK(slot != nullptr);
+  TAGG_DCHECK(retired_.empty() || retired_.back().version <= version);
+  if (retired_.empty() || retired_.back().version != version) {
+    retired_.push_back({version, {}});
+  }
+  retired_.back().slots.push_back(slot);
+  ++retired_pending_;
+  ++retired_total_;
+}
+
+size_t NodeArena::ReclaimThrough(uint64_t version) {
+  size_t reclaimed = 0;
+  while (!retired_.empty() && retired_.front().version <= version) {
+    for (void* slot : retired_.front().slots) Deallocate(slot);
+    reclaimed += retired_.front().slots.size();
+    retired_.pop_front();
+  }
+  retired_pending_ -= reclaimed;
+  reclaimed_total_ += reclaimed;
+  return reclaimed;
+}
+
 }  // namespace tagg

@@ -9,11 +9,20 @@
 // Slots are carved from large malloc'd blocks and recycled through a free
 // list, so the k-ordered aggregation tree's garbage collection (Section 5.3)
 // genuinely returns memory to the allocator and the live counters drop.
+//
+// For the live index's copy-on-write engine (live/cow_index.h) the arena
+// additionally keeps *per-epoch retire lists*: a path-copying writer
+// retires the replaced nodes tagged with the version being built, and
+// ReclaimThrough() recycles every list no pinned reader can still observe.
+// Retirement is a deferred Deallocate, not a second allocator — retired
+// slots stay counted as live (they are still resident) until reclaimed.
+// All of it is single-threaded, owned by whoever owns the arena.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -40,6 +49,24 @@ class NodeArena {
   /// Returns a slot obtained from Allocate().  The caller must have
   /// destroyed any object living in it.
   void Deallocate(void* slot);
+
+  /// Queues a slot for deferred recycling, tagged with the epoch-based-
+  /// reclamation version it was retired under.  Versions must be
+  /// non-decreasing across calls.  The slot stays resident (and counted
+  /// live) until ReclaimThrough() covers its version.
+  void Retire(void* slot, uint64_t version);
+
+  /// Deallocates every retired slot tagged <= `version` and returns how
+  /// many were recycled.  Callers pass the minimum version any concurrent
+  /// reader still has pinned (live/epoch.h); a list tagged V is
+  /// unreachable from every tree version >= V, so min-pinned >= V makes
+  /// it safe to recycle.
+  size_t ReclaimThrough(uint64_t version);
+
+  /// Slots retired but not yet reclaimed (still resident).
+  size_t retired_pending() const { return retired_pending_; }
+  uint64_t retired_total() const { return retired_total_; }
+  uint64_t reclaimed_total() const { return reclaimed_total_; }
 
   /// Constructs a T in a fresh slot.  sizeof(T) must fit in slot_size.
   template <typename T, typename... Args>
@@ -92,6 +119,18 @@ class NodeArena {
   size_t live_nodes_ = 0;
   size_t peak_live_nodes_ = 0;
   size_t total_allocated_ = 0;
+
+  /// One retire list per version that retired anything, in version order
+  /// (the writer's versions are monotone), so reclamation pops from the
+  /// front until the first list a reader could still observe.
+  struct RetireBatch {
+    uint64_t version;
+    std::vector<void*> slots;
+  };
+  std::deque<RetireBatch> retired_;
+  size_t retired_pending_ = 0;
+  uint64_t retired_total_ = 0;
+  uint64_t reclaimed_total_ = 0;
 };
 
 }  // namespace tagg

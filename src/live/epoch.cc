@@ -1,0 +1,104 @@
+#include "live/epoch.h"
+
+#include <thread>
+
+namespace tagg {
+
+namespace internal {
+
+obs::Counter& LiveVersionPinsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_version_pins_total",
+      "Reader pins taken against COW live-index versions");
+  return c;
+}
+
+obs::Counter& LiveVersionsPublishedTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_versions_published_total",
+      "Immutable tree versions published by COW live-index writers");
+  return c;
+}
+
+obs::Counter& LiveNodesRetiredTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_nodes_retired_total",
+      "Path-copied nodes retired by COW live-index writers");
+  return c;
+}
+
+obs::Counter& LiveNodesReclaimedTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_live_nodes_reclaimed_total",
+      "Retired COW live-index nodes recycled after reader drain");
+  return c;
+}
+
+obs::Gauge& LiveRetiredPendingGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tagg_live_retired_pending",
+      "Retired COW live-index nodes awaiting reader drain (latest "
+      "publishing index)");
+  return g;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Distinct slot-probe origin per thread, so a steady reader pool spreads
+/// over the slot array instead of all CASing slot 0.
+size_t ThreadProbeOrigin() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t origin =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return origin;
+}
+
+}  // namespace
+
+EpochGate::Pin EpochGate::EnterReader() const {
+  internal::LiveVersionPinsTotal().Increment();
+  const size_t origin = ThreadProbeOrigin();
+  for (size_t attempt = 0;; ++attempt) {
+    std::atomic<uint64_t>& slot = slots_[(origin + attempt) % kSlots].v;
+    uint64_t expected = kIdle;
+    uint64_t v = version_.load(std::memory_order_seq_cst);
+    if (slot.load(std::memory_order_relaxed) == kIdle &&
+        slot.compare_exchange_strong(expected, v,
+                                     std::memory_order_seq_cst)) {
+      // Dekker handshake: our seq_cst announcement store, then a seq_cst
+      // re-read of the version counter.  The writer publishes with a
+      // seq_cst store, then scans slots.  In the seq_cst total order
+      // either the writer sees our announcement, or we see its publish
+      // here and re-announce the newer version; a stale announcement can
+      // therefore never be missed by a reclamation scan.
+      for (;;) {
+        const uint64_t v2 = version_.load(std::memory_order_seq_cst);
+        if (v2 == v) break;
+        v = v2;
+        slot.store(v, std::memory_order_seq_cst);
+      }
+      return Pin(&slot, v);
+    }
+    // All-slots-busy (> kSlots concurrent pins): read sections are short,
+    // so yield and retry rather than growing the scan the writer pays.
+    if (attempt > 0 && (attempt + 1) % kSlots == 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+uint64_t EpochGate::MinActiveVersion() const {
+  uint64_t min = version_.load(std::memory_order_seq_cst);
+  for (const Slot& s : slots_) {
+    // Acquire: observing an idle slot (or a successor announcement in its
+    // release sequence) orders that reader's node accesses before any
+    // recycling the caller does with the returned minimum.
+    const uint64_t v = s.v.load(std::memory_order_seq_cst);
+    if (v != kIdle && v < min) min = v;
+  }
+  return min;
+}
+
+}  // namespace tagg

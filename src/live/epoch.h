@@ -1,0 +1,129 @@
+// Epoch-based reclamation gate for the live index's copy-on-write engine.
+//
+// The COW engine (live/cow_index.h) publishes an immutable tree version
+// per writer batch and must not recycle a retired node while any reader
+// could still be walking a version that references it.  EpochGate is the
+// reader-side half of that contract:
+//
+//   * the writer owns a monotone version counter, advanced by Publish()
+//     *after* the new root is visible;
+//   * a reader takes a Pin: it announces the current version in one of a
+//     fixed set of cache-line-padded slots, confirms the version did not
+//     advance past the announcement (a Dekker-style seq_cst handshake with
+//     Publish — see EnterReader), and then walks the tree with ZERO
+//     atomics in the descent loop;
+//   * the writer calls MinActiveVersion() at reclamation points; every
+//     retire list tagged <= that minimum is unreachable from any version
+//     a current or future pin can observe, so its nodes are recycled
+//     (NodeArena::ReclaimThrough).
+//
+// Why this shape: per-node reference counting (shared_ptr) would add an
+// atomic RMW per visited node on the hottest read path and double node
+// size; hazard pointers would need one protected slot per traversal hop.
+// Per-reader epoch slots cost one CAS + one seq_cst load to pin and one
+// release store to unpin, independent of tree size, and keep nodes
+// pointer-only (16-byte-accountable in the paper's model).
+//
+// Capacity: kSlots concurrent pins.  A reader arriving with every slot
+// busy spins/yields until one frees — read sections are O(depth + answer)
+// and never block on the writer, so the wait is short; the intended
+// deployment (a serving pool of a few dozen threads) never queues.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace tagg {
+
+namespace internal {
+
+// Registry instruments shared by every EpochGate, defined in epoch.cc.
+obs::Counter& LiveVersionPinsTotal();
+obs::Counter& LiveVersionsPublishedTotal();
+obs::Counter& LiveNodesRetiredTotal();
+obs::Counter& LiveNodesReclaimedTotal();
+obs::Gauge& LiveRetiredPendingGauge();
+
+}  // namespace internal
+
+/// Single-writer version counter plus per-reader announcement slots.
+/// Writers must serialize externally (the COW engine's writer mutex).
+class EpochGate {
+ public:
+  static constexpr size_t kSlots = 64;
+  /// Slot value meaning "no pin": versions start at 1 (the engine
+  /// publishes its empty tree as version 1 before any reader exists).
+  static constexpr uint64_t kIdle = 0;
+
+  EpochGate() = default;
+  EpochGate(const EpochGate&) = delete;
+  EpochGate& operator=(const EpochGate&) = delete;
+
+  /// RAII announcement.  While alive, no tree version >= version() (nor
+  /// any node such a version references) will be reclaimed.
+  class Pin {
+   public:
+    ~Pin() {
+      // Release store: the writer's acquire scan of this slot (directly,
+      // or through the release sequence of a later CAS by the next
+      // reader) orders every node read in this section before any reuse
+      // of the memory.
+      slot_->store(kIdle, std::memory_order_release);
+    }
+
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    /// The announced version: the pinned snapshot is at least this new.
+    uint64_t version() const { return version_; }
+
+   private:
+    friend class EpochGate;
+    Pin(std::atomic<uint64_t>* slot, uint64_t version)
+        : slot_(slot), version_(version) {}
+
+    std::atomic<uint64_t>* slot_;
+    uint64_t version_;
+  };
+
+  /// Claims a slot and announces the current version.  The announcement
+  /// loop is a Dekker handshake with Publish(): either the writer's slot
+  /// scan observes our announcement, or our re-read of the version
+  /// counter observes the writer's publish and we re-announce the newer
+  /// version — in both cases no list we could observe is reclaimed.
+  Pin EnterReader() const;
+
+  /// Writer: advances the version counter (seq_cst, the publish side of
+  /// the handshake) and returns the new version.  Call only after the new
+  /// root is stored.
+  uint64_t Publish() {
+    const uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+    version_.store(v, std::memory_order_seq_cst);
+    internal::LiveVersionsPublishedTotal().Increment();
+    return v;
+  }
+
+  /// Latest published version (monitoring; readers use EnterReader).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Writer: the minimum version any active pin announced, or the current
+  /// version when no pin is active.  Retire lists tagged <= this value
+  /// are safe to reclaim.
+  uint64_t MinActiveVersion() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{kIdle};
+  };
+
+  mutable Slot slots_[kSlots];
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace tagg

@@ -1,5 +1,6 @@
 #include "live/live_index.h"
 
+#include "live/cow_index.h"
 #include "util/str.h"
 
 namespace tagg {
@@ -29,15 +30,38 @@ obs::Counter& LiveProbesTotal() {
 
 }  // namespace internal
 
+std::string_view LiveConcurrencyToString(LiveConcurrency concurrency) {
+  switch (concurrency) {
+    case LiveConcurrency::kCowEpoch:
+      return "cow_epoch";
+    case LiveConcurrency::kSharedLock:
+      return "shared_lock";
+  }
+  return "unknown";
+}
+
 std::string LiveIndexStats::ToString() const {
   return StringPrintf(
       "epoch=%llu absorbed=%llu queries=%llu age=%.3fs depth=%zu "
-      "nodes=%zu bytes=%zu (paper %zu)",
+      "nodes=%zu bytes=%zu (paper %zu) versions=%llu retired=%llu "
+      "reclaimed=%llu pending=%zu",
       static_cast<unsigned long long>(epoch),
       static_cast<unsigned long long>(inserts_absorbed),
       static_cast<unsigned long long>(queries_served),
       snapshot_age_seconds, tree_depth, live_nodes, live_bytes,
-      paper_bytes);
+      paper_bytes, static_cast<unsigned long long>(versions_published),
+      static_cast<unsigned long long>(nodes_retired),
+      static_cast<unsigned long long>(nodes_reclaimed), retired_pending);
+}
+
+Status LiveAggregateIndex::InsertBatch(
+    const std::vector<std::pair<Period, double>>& batch) {
+  // Default: semantics of N singleton inserts.  Engines override to
+  // amortize publication over the batch.
+  for (const auto& [valid, input] : batch) {
+    TAGG_RETURN_IF_ERROR(Insert(valid, input));
+  }
+  return Status::OK();
 }
 
 Status LiveAggregateIndex::InsertTuple(const Tuple& tuple) {
@@ -67,6 +91,30 @@ Status LiveAggregateIndex::InsertTuple(const Tuple& tuple) {
   return Insert(tuple.valid(), input);
 }
 
+namespace internal {
+
+/// Instantiates engine `Engine<Op>` for the requested monoid.
+template <template <typename> class Engine>
+Result<std::unique_ptr<LiveAggregateIndex>> MakeEngine(
+    const LiveIndexOptions& options) {
+  switch (options.aggregate) {
+    case AggregateKind::kCount:
+      return std::unique_ptr<LiveAggregateIndex>(
+          new Engine<CountOp>(options));
+    case AggregateKind::kSum:
+      return std::unique_ptr<LiveAggregateIndex>(new Engine<SumOp>(options));
+    case AggregateKind::kMin:
+      return std::unique_ptr<LiveAggregateIndex>(new Engine<MinOp>(options));
+    case AggregateKind::kMax:
+      return std::unique_ptr<LiveAggregateIndex>(new Engine<MaxOp>(options));
+    case AggregateKind::kAvg:
+      return std::unique_ptr<LiveAggregateIndex>(new Engine<AvgOp>(options));
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+}  // namespace internal
+
 Result<std::unique_ptr<LiveAggregateIndex>> LiveAggregateIndex::Create(
     const LiveIndexOptions& options) {
   if (options.aggregate != AggregateKind::kCount &&
@@ -75,24 +123,13 @@ Result<std::unique_ptr<LiveAggregateIndex>> LiveAggregateIndex::Create(
         std::string(AggregateKindToString(options.aggregate)) +
         " live index requires an attribute to aggregate");
   }
-  switch (options.aggregate) {
-    case AggregateKind::kCount:
-      return std::unique_ptr<LiveAggregateIndex>(
-          new internal::LiveIndexImpl<CountOp>(options));
-    case AggregateKind::kSum:
-      return std::unique_ptr<LiveAggregateIndex>(
-          new internal::LiveIndexImpl<SumOp>(options));
-    case AggregateKind::kMin:
-      return std::unique_ptr<LiveAggregateIndex>(
-          new internal::LiveIndexImpl<MinOp>(options));
-    case AggregateKind::kMax:
-      return std::unique_ptr<LiveAggregateIndex>(
-          new internal::LiveIndexImpl<MaxOp>(options));
-    case AggregateKind::kAvg:
-      return std::unique_ptr<LiveAggregateIndex>(
-          new internal::LiveIndexImpl<AvgOp>(options));
+  switch (options.concurrency) {
+    case LiveConcurrency::kCowEpoch:
+      return internal::MakeEngine<internal::CowLiveIndexImpl>(options);
+    case LiveConcurrency::kSharedLock:
+      return internal::MakeEngine<internal::LiveIndexImpl>(options);
   }
-  return Status::InvalidArgument("unknown aggregate kind");
+  return Status::InvalidArgument("unknown live concurrency engine");
 }
 
 }  // namespace tagg

@@ -33,8 +33,12 @@
 //
 // Concurrency: one writer and any number of readers may run against the
 // index simultaneously; every reader observes a consistent epoch-stamped
-// snapshot (live/snapshot.h).  All five monoids of core/aggregates.h are
-// supported, including AVG's (sum, count) pair.
+// snapshot.  Two engines implement that contract behind
+// LiveIndexOptions::concurrency: the default copy-on-write split tree
+// with epoch-based reclamation (live/cow_index.h — readers are lock-free
+// and never block the writer) and the v1 shared_mutex SnapshotGate over
+// an in-place tree (live/snapshot.h).  All five monoids of
+// core/aggregates.h are supported, including AVG's (sum, count) pair.
 
 #pragma once
 
@@ -61,12 +65,35 @@ obs::Counter& LiveProbesTotal();
 
 }  // namespace internal
 
-/// What a live index aggregates.
+/// Which concurrency engine serves a live index.
+enum class LiveConcurrency : uint8_t {
+  /// Copy-on-write split tree with epoch-based reclamation
+  /// (live/cow_index.h): inserts path-copy O(depth) nodes and publish an
+  /// immutable root with one atomic swap; readers pin a version through
+  /// EpochGate and walk it lock-free.  The default serving engine.
+  kCowEpoch,
+  /// The v1 std::shared_mutex SnapshotGate over an in-place tree
+  /// (live/snapshot.h).  Kept selectable so the differential harness can
+  /// diff the two engines tuple-for-tuple and as the fallback if the COW
+  /// engine ever misbehaves in the field.
+  kSharedLock,
+};
+
+std::string_view LiveConcurrencyToString(LiveConcurrency concurrency);
+
+/// What a live index aggregates and how it serves.
 struct LiveIndexOptions {
   AggregateKind aggregate = AggregateKind::kCount;
   /// Index of the aggregated attribute in the tuples passed to
   /// InsertTuple(); AggregateOptions::kNoAttribute for COUNT(*).
   size_t attribute = AggregateOptions::kNoAttribute;
+  LiveConcurrency concurrency = LiveConcurrency::kCowEpoch;
+  /// COW engine only: publish a new version every N single-tuple
+  /// Insert()/InsertTuple() calls instead of per call, amortizing the
+  /// O(depth) path copy over the batch (unpublished tuples are invisible
+  /// to readers until the next publish or Flush()).  0 behaves as 1.
+  /// InsertBatch() always publishes once per call regardless.
+  size_t publish_every_n = 1;
 };
 
 /// A point-in-time view of a live index's counters.
@@ -90,6 +117,14 @@ struct LiveIndexStats {
   /// comparison with the batch algorithms' memory study.
   size_t live_bytes = 0;
   size_t paper_bytes = 0;
+  /// COW engine: immutable tree versions published so far (equals epoch
+  /// when publish_every_n == 1; the locked engine reports its epoch).
+  uint64_t versions_published = 0;
+  /// COW engine: path-copied nodes retired but not yet recycled (they
+  /// drain to 0 after readers quiesce and the next publish reclaims).
+  size_t retired_pending = 0;
+  uint64_t nodes_retired = 0;
+  uint64_t nodes_reclaimed = 0;
 
   std::string ToString() const;
 };
@@ -117,6 +152,18 @@ class LiveAggregateIndex {
   /// attribute values advance the epoch without contributing (SQL
   /// aggregate semantics; COUNT(attr) counts only non-null values).
   Status InsertTuple(const Tuple& tuple);
+
+  /// Folds a batch of (validity, input) pairs under ONE writer section /
+  /// ONE published version: bulk ingest amortizes per-call overhead (the
+  /// COW engine's path copies, the locked engine's lock round-trips) to
+  /// near the in-place cost.  The default loops over Insert().
+  virtual Status InsertBatch(
+      const std::vector<std::pair<Period, double>>& batch);
+
+  /// Publishes any inserts a publish_every_n > 1 configuration is still
+  /// holding back.  No-op when nothing is pending (and always for the
+  /// locked engine, which publishes per call).
+  virtual void Flush() {}
 
   // --- reader API (shared sections; any number of threads) -------------
 
@@ -157,7 +204,25 @@ class LiveAggregateIndex {
 
 namespace internal {
 
-/// The concrete index for one monoid: a SplitTree behind a SnapshotGate.
+/// Upper bound worth reserving for a range query's interval vector: the
+/// tree's leaf-count bound clamped by the number of instants in the query
+/// (an emitted interval covers at least one instant), so point-ish probes
+/// stop pre-allocating megabytes for answers of a handful of rows.
+inline size_t SeriesReserveBound(size_t live_nodes, const Period& query) {
+  const size_t leaf_bound = live_nodes / 2 + 1;
+  // Closed interval: end >= start and both lie in [kOrigin, kForever], so
+  // the width fits in uint64 without overflow.
+  const uint64_t width = static_cast<uint64_t>(query.end()) -
+                         static_cast<uint64_t>(query.start()) + 1;
+  return width < static_cast<uint64_t>(leaf_bound)
+             ? static_cast<size_t>(width)
+             : leaf_bound;
+}
+
+/// The locked v1 engine for one monoid: a SplitTree mutated in place
+/// behind a SnapshotGate (live/snapshot.h).  The default serving engine
+/// is the copy-on-write one (live/cow_index.h); this one stays for
+/// differential comparison and as the fallback.
 template <typename Op>
 class LiveIndexImpl final : public LiveAggregateIndex {
  public:
@@ -176,6 +241,21 @@ class LiveIndexImpl final : public LiveAggregateIndex {
     return Status::OK();
   }
 
+  Status InsertBatch(
+      const std::vector<std::pair<Period, double>>& batch) override {
+    if (batch.empty()) return Status::OK();
+    auto ticket = gate_.EnterWriter();
+    // The epoch counts tuples seen, not writer sections: one ticket
+    // publishes the whole batch.
+    ticket.AdvanceExtra(batch.size() - 1);
+    for (const auto& [valid, input] : batch) {
+      tree_.Add(valid.start(), valid.end(), input);
+      ++inserts_absorbed_;
+    }
+    LiveInsertsTotal().Increment(batch.size());
+    return Status::OK();
+  }
+
   Result<Value> AggregateAt(Instant t,
                             uint64_t* snapshot_epoch) const override {
     if (t < kOrigin || t > kForever) {
@@ -187,18 +267,7 @@ class LiveIndexImpl final : public LiveAggregateIndex {
     auto snapshot = gate_.EnterReader();
     if (snapshot_epoch != nullptr) *snapshot_epoch = snapshot.epoch();
     queries_served_.fetch_add(1, std::memory_order_relaxed);
-
-    // One root-path descent; the answer is the Combine of every state on
-    // the path to the leaf whose range contains t (Section 5.1's leaf
-    // evaluation, without materializing any other leaf).
-    State acc = tree_.op.Identity();
-    const Node* n = tree_.root;
-    while (true) {
-      acc = tree_.op.Combine(acc, n->state);
-      if (n->IsLeaf()) break;
-      n = t <= n->split ? n->left : n->right;
-    }
-    return Op::Finalize(acc);
+    return Op::Finalize(DescendCombineAt(tree_.op, tree_.root, t));
   }
 
   Result<AggregateSeries> AggregateOver(
@@ -213,8 +282,10 @@ class LiveIndexImpl final : public LiveAggregateIndex {
       queries_served_.fetch_add(1, std::memory_order_relaxed);
       // Leaves = (nodes + 1) / 2 bounds the emitted interval count; for
       // wide queries the reserve saves a dozen reallocations of a
-      // hundreds-of-thousands-element vector.
-      series.intervals.reserve(tree_.arena.live_nodes() / 2 + 1);
+      // hundreds-of-thousands-element vector, while the query-width clamp
+      // keeps point-ish probes from pre-allocating megabytes.
+      series.intervals.reserve(
+          SeriesReserveBound(tree_.arena.live_nodes(), query));
       WalkRange(query, [&](Instant lo, Instant hi, const State& st) {
         series.intervals.push_back({Period(lo, hi), Op::Finalize(st)});
       });
@@ -255,10 +326,14 @@ class LiveIndexImpl final : public LiveAggregateIndex {
     stats.inserts_absorbed = inserts_absorbed_;
     stats.queries_served = queries_served_.load(std::memory_order_relaxed);
     stats.snapshot_age_seconds = snapshot.age_seconds();
-    stats.tree_depth = tree_.Depth();
+    // tracked_depth is maintained on the insert path and exact for this
+    // grow-only tree; the old tree_.Depth() walked all O(n) nodes while
+    // holding the reader section.
+    stats.tree_depth = tree_.tracked_depth;
     stats.live_nodes = tree_.arena.live_nodes();
     stats.live_bytes = tree_.arena.live_bytes();
     stats.paper_bytes = tree_.arena.live_nodes() * kPaperNodeBytes;
+    stats.versions_published = stats.epoch;
     return stats;
   }
 
@@ -271,44 +346,13 @@ class LiveIndexImpl final : public LiveAggregateIndex {
   }
 
  private:
-  /// In-order walk over the part of the tree overlapping `query`, with
-  /// leaf ranges clipped to the query period.  Subtrees disjoint from the
-  /// query are pruned at their topmost node (the canonical-cover
-  /// shortcut), so the walk visits O(depth + leaves overlapping query)
-  /// nodes.  Uses a local stack: the shared SplitTree scratch stacks are
-  /// writer-owned and must not be touched by concurrent readers.
+  /// Range walk via the shared const-correct helper (the SplitTree
+  /// scratch stacks are writer-owned and must not be touched by
+  /// concurrent readers; WalkTreeRange uses a function-local stack).
   template <typename EmitFn>
   void WalkRange(const Period& query, EmitFn&& emit) const {
-    struct Frame {
-      const Node* n;
-      Instant lo;
-      Instant hi;
-      State acc;
-    };
-    std::vector<Frame> stack;
-    stack.reserve(64);  // bounded by tree depth
-    Frame f{tree_.root, tree_.lo, kForever, tree_.op.Identity()};
-    while (true) {
-      // Descend the left spine in place, stacking only right siblings:
-      // left children never round-trip through the stack, which halves
-      // the frame traffic of the naive push-both scheme.
-      for (;;) {
-        const Instant cs = f.lo > query.start() ? f.lo : query.start();
-        const Instant ce = f.hi < query.end() ? f.hi : query.end();
-        if (cs > ce) break;  // disjoint from the query: prune
-        const Node* n = f.n;
-        const State combined = tree_.op.Combine(f.acc, n->state);
-        if (n->IsLeaf()) {
-          emit(cs, ce, combined);
-          break;
-        }
-        stack.push_back({n->right, n->split + 1, f.hi, combined});
-        f = {n->left, f.lo, n->split, combined};
-      }
-      if (stack.empty()) return;
-      f = stack.back();
-      stack.pop_back();
-    }
+    WalkTreeRange(tree_.op, tree_.root, tree_.lo, query,
+                  std::forward<EmitFn>(emit));
   }
 
   mutable SnapshotGate gate_;

@@ -14,13 +14,13 @@
 //
 // v1 synchronization is a std::shared_mutex with a versioned epoch handoff
 // — simple, fair to the single-writer/many-reader shape the serving layer
-// targets, and clean under ThreadSanitizer.  The documented upgrade path
-// when reader counts grow is RCU-style: make the tree nodes immutable
-// (path-copying insert), publish the root through an atomic
-// std::shared_ptr swap, and retire old versions when their last reader
-// drops them — readers then never block the writer and vice versa.  The
-// SnapshotGate interface (enter-read / enter-write / epoch) is deliberately
-// shaped so that swap can happen behind it without touching callers.
+// targets, and clean under ThreadSanitizer.  The RCU-style upgrade this
+// comment once promised has since shipped as the default engine: a
+// copy-on-write tree (live/cow_index.h) whose readers pin versions through
+// EpochGate (live/epoch.h) and never block the writer.  SnapshotGate and
+// the locked engine remain selectable via LiveIndexOptions::concurrency =
+// LiveConcurrency::kSharedLock, as the differential-testing oracle for the
+// COW engine and as the field fallback.
 
 #pragma once
 
@@ -74,6 +74,11 @@ class SnapshotGate {
 
     /// The epoch the mutation will publish as.
     uint64_t publishing_epoch() const { return publishing_epoch_; }
+
+    /// Publishes `extra` additional epochs with this ticket.  Batch
+    /// inserts use it so the epoch keeps counting tuples seen (one per
+    /// tuple) while paying a single exclusive section.
+    void AdvanceExtra(uint64_t extra) { publishing_epoch_ += extra; }
 
    private:
     friend class SnapshotGate;

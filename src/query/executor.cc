@@ -208,6 +208,8 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
       LiveRoutedTotal().Increment();
       obs::Span probe_span(profile, "live_probe");
       probe_span.Annotate("epoch", index->epoch());
+      probe_span.Annotate(
+          "engine", LiveConcurrencyToString(index->options().concurrency));
       uint64_t epoch = 0;
       TAGG_ASSIGN_OR_RETURN(
           AggregateSeries series,

@@ -183,19 +183,60 @@ Result<std::vector<ResultInterval>> PartitionedSeries(
 
 Result<std::vector<ResultInterval>> LiveSeries(const Relation& relation,
                                                AggregateKind aggregate,
-                                               size_t attribute) {
+                                               size_t attribute,
+                                               LiveConcurrency concurrency,
+                                               bool use_batch) {
   LiveIndexOptions options;
   options.aggregate = aggregate;
   options.attribute = attribute;
+  options.concurrency = concurrency;
   TAGG_ASSIGN_OR_RETURN(std::unique_ptr<LiveAggregateIndex> index,
                         LiveAggregateIndex::Create(options));
-  for (const Tuple& tuple : relation) {
-    TAGG_RETURN_IF_ERROR(index->InsertTuple(tuple));
+  if (use_batch) {
+    // One InsertBatch per relation: the amortized writer path must land
+    // the exact same tree as tuple-at-a-time inserts.  The generated
+    // workloads carry no NULL salaries, so extracting the input here
+    // matches InsertTuple's behaviour.
+    std::vector<std::pair<Period, double>> batch;
+    batch.reserve(relation.size());
+    for (const Tuple& tuple : relation) {
+      double input = 0.0;
+      if (aggregate != AggregateKind::kCount) {
+        TAGG_ASSIGN_OR_RETURN(input, tuple.value(attribute).ToNumeric());
+      }
+      batch.emplace_back(tuple.valid(), input);
+    }
+    TAGG_RETURN_IF_ERROR(index->InsertBatch(batch));
+  } else {
+    for (const Tuple& tuple : relation) {
+      TAGG_RETURN_IF_ERROR(index->InsertTuple(tuple));
+    }
   }
   TAGG_ASSIGN_OR_RETURN(AggregateSeries series,
                         index->AggregateOver(Period::All(),
                                              /*coalesce=*/true));
   return std::move(series.intervals);
+}
+
+/// Exact (no-tolerance) equality of two engines' series.  Both engines
+/// execute the identical Add sequence in identical order, so even SUM/AVG
+/// must agree bit for bit; any difference is an engine bug, not float
+/// noise.
+Status SeriesTupleIdentical(const std::vector<ResultInterval>& a,
+                            const std::vector<ResultInterval>& b) {
+  if (a == b) return Status::OK();
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) {
+      return Status::Internal(
+          "engine series diverge at interval " + std::to_string(i) + ": " +
+          a[i].period.ToString() + "=" + a[i].value.ToString() + " vs " +
+          b[i].period.ToString() + "=" + b[i].value.ToString());
+    }
+  }
+  return Status::Internal("engine series differ in length: " +
+                          std::to_string(a.size()) + " vs " +
+                          std::to_string(b.size()) + " intervals");
 }
 
 }  // namespace
@@ -526,21 +567,51 @@ Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
     }
 
     if (options.include_live_index) {
-      TAGG_RETURN_IF_ERROR(
-          check("live-index", LiveSeries(relation, aggregate, attribute)));
+      Result<std::vector<ResultInterval>> locked =
+          LiveSeries(relation, aggregate, attribute,
+                     LiveConcurrency::kSharedLock, /*use_batch=*/false);
+      TAGG_RETURN_IF_ERROR(check("live-index/locked", locked));
+      Result<std::vector<ResultInterval>> cow =
+          LiveSeries(relation, aggregate, attribute,
+                     LiveConcurrency::kCowEpoch, /*use_batch=*/false);
+      TAGG_RETURN_IF_ERROR(check("live-index/cow", cow));
+      Result<std::vector<ResultInterval>> cow_batch =
+          LiveSeries(relation, aggregate, attribute,
+                     LiveConcurrency::kCowEpoch, /*use_batch=*/true);
+      TAGG_RETURN_IF_ERROR(check("live-index/cow-batch", cow_batch));
+      // Beyond the tolerance-based oracle diff: the engines execute the
+      // same insert sequence, so they must agree bit for bit.
+      Status identical =
+          SeriesTupleIdentical(locked.value(), cow.value());
+      if (identical.ok()) {
+        identical = SeriesTupleIdentical(cow.value(), cow_batch.value());
+      }
+      if (!identical.ok()) {
+        return Divergence(seed, info, aggregate, "live-index/engine-equality",
+                          identical.message());
+      }
+      if (comparisons != nullptr) *comparisons += 2;
     }
   }
 
   if (options.concurrent_live_check && !relation.empty()) {
     // One aggregate per seed bounds the thread churn; the rotation covers
-    // all five across any run of consecutive seeds.
+    // all five across any run of consecutive seeds.  Both engines face
+    // the same concurrent schedule.
     const AggregateKind aggregate = kAllAggregates[seed % 5];
-    const Status live = CheckLiveIndexConcurrent(
-        relation, aggregate, AttributeFor(aggregate),
-        seed ^ 0xD1B54A32D192ED03ull, options.relative_tolerance);
-    if (!live.ok()) {
-      return Divergence(seed, info, aggregate, "live-index/concurrent",
-                        live.message());
+    for (const LiveConcurrency concurrency :
+         {LiveConcurrency::kCowEpoch, LiveConcurrency::kSharedLock}) {
+      const Status live = CheckLiveIndexConcurrent(
+          relation, aggregate, AttributeFor(aggregate),
+          seed ^ 0xD1B54A32D192ED03ull, options.relative_tolerance,
+          concurrency);
+      if (!live.ok()) {
+        return Divergence(
+            seed, info, aggregate,
+            "live-index/concurrent-" +
+                std::string(LiveConcurrencyToString(concurrency)),
+            live.message());
+      }
     }
   }
   return Status::OK();
@@ -559,10 +630,12 @@ Result<DifferentialSummary> RunDifferentialRange(
 
 Status CheckLiveIndexConcurrent(const Relation& relation,
                                 AggregateKind aggregate, size_t attribute,
-                                uint64_t seed, double relative_tolerance) {
+                                uint64_t seed, double relative_tolerance,
+                                LiveConcurrency concurrency) {
   LiveIndexOptions options;
   options.aggregate = aggregate;
   options.attribute = attribute;
+  options.concurrency = concurrency;
   TAGG_ASSIGN_OR_RETURN(std::unique_ptr<LiveAggregateIndex> index,
                         LiveAggregateIndex::Create(options));
 

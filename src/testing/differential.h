@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/aggregates.h"
+#include "live/live_index.h"
 #include "temporal/relation.h"
 #include "util/result.h"
 
@@ -63,7 +64,12 @@ struct DifferentialOptions {
   /// Include the partitioned evaluation (workers × spill × kernel grid).
   bool include_partitioned = true;
 
-  /// Include the live index (sequential insert + AggregateOver).
+  /// Include the live index (sequential insert + AggregateOver).  Both
+  /// concurrency engines run — each is diffed against the reference, and
+  /// the COW engine's series must additionally be *tuple-identical* (no
+  /// tolerance) to the locked engine's, since both apply the same Add
+  /// sequence in the same order; a batched COW load (InsertBatch) must be
+  /// tuple-identical too.
   bool include_live_index = true;
 
   /// Additionally probe one LiveAggregateIndex from concurrent reader
@@ -126,11 +132,12 @@ Result<DifferentialSummary> RunDifferentialRange(
 /// Drives one live index with a writer thread inserting `relation`'s
 /// tuples while reader threads probe point/range queries on snapshots,
 /// then diffs the final series against the reference.  Used by
-/// RunDifferentialSeed and directly by the live-index tests.
-Status CheckLiveIndexConcurrent(const Relation& relation,
-                                AggregateKind aggregate, size_t attribute,
-                                uint64_t seed,
-                                double relative_tolerance = 1e-9);
+/// RunDifferentialSeed (which runs it once per engine) and directly by
+/// the live-index tests.
+Status CheckLiveIndexConcurrent(
+    const Relation& relation, AggregateKind aggregate, size_t attribute,
+    uint64_t seed, double relative_tolerance = 1e-9,
+    LiveConcurrency concurrency = LiveConcurrency::kCowEpoch);
 
 }  // namespace testing
 }  // namespace tagg

@@ -66,6 +66,49 @@ TEST(NodeArenaTest, SlotSizeAtLeastPointer) {
   EXPECT_GE(arena.slot_size(), sizeof(void*));
 }
 
+TEST(NodeArenaTest, RetireDefersAndReclaimThroughRecyclesByVersion) {
+  NodeArena arena(16);
+  void* a = arena.Allocate();
+  void* b = arena.Allocate();
+  void* c = arena.Allocate();
+  arena.Retire(a, 3);
+  arena.Retire(b, 3);
+  arena.Retire(c, 5);
+  // Retired slots stay resident (counted live) until reclaimed.
+  EXPECT_EQ(arena.live_nodes(), 3u);
+  EXPECT_EQ(arena.retired_pending(), 3u);
+  EXPECT_EQ(arena.retired_total(), 3u);
+  EXPECT_EQ(arena.reclaimed_total(), 0u);
+
+  // Nothing tagged <= 2, so nothing moves.
+  EXPECT_EQ(arena.ReclaimThrough(2), 0u);
+  EXPECT_EQ(arena.retired_pending(), 3u);
+
+  // Version 3's list drains; version 5's survives.
+  EXPECT_EQ(arena.ReclaimThrough(4), 2u);
+  EXPECT_EQ(arena.retired_pending(), 1u);
+  EXPECT_EQ(arena.reclaimed_total(), 2u);
+  EXPECT_EQ(arena.live_nodes(), 1u);
+
+  EXPECT_EQ(arena.ReclaimThrough(5), 1u);
+  EXPECT_EQ(arena.retired_pending(), 0u);
+  EXPECT_EQ(arena.reclaimed_total(), 3u);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+
+  // Reclaimed slots feed the free list like any Deallocate.
+  void* d = arena.Allocate();
+  EXPECT_TRUE(d == a || d == b || d == c);
+}
+
+TEST(NodeArenaTest, ReclaimThroughOnEmptyRetireListIsANoOp) {
+  NodeArena arena(16);
+  EXPECT_EQ(arena.ReclaimThrough(100), 0u);
+  void* a = arena.Allocate();
+  arena.Retire(a, 7);
+  arena.ReclaimThrough(7);
+  EXPECT_EQ(arena.ReclaimThrough(7), 0u);  // idempotent once drained
+}
+
 TEST(NodeArenaTest, NewAndDeleteConstruct) {
   struct Pair {
     int a;

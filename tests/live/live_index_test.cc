@@ -14,9 +14,11 @@ namespace {
 /// tests use: attribute 1 (salary) for value aggregates, COUNT(*) for
 /// COUNT, and loads every tuple of `relation` in order.
 std::unique_ptr<LiveAggregateIndex> MakeLoadedIndex(
-    const Relation& relation, AggregateKind aggregate) {
+    const Relation& relation, AggregateKind aggregate,
+    LiveConcurrency concurrency = LiveConcurrency::kCowEpoch) {
   LiveIndexOptions options;
   options.aggregate = aggregate;
+  options.concurrency = concurrency;
   options.attribute =
       aggregate == AggregateKind::kCount ? AggregateOptions::kNoAttribute : 1;
   auto index = LiveAggregateIndex::Create(options);
@@ -85,12 +87,56 @@ TEST(LiveIndexTest, AllAggregatesMatchReferenceOnRandomWorkload) {
   ASSERT_TRUE(relation.ok());
 
   for (AggregateKind aggregate : kAllAggregates) {
-    auto index = MakeLoadedIndex(*relation, aggregate);
-    auto got = index->AggregateOver(Period::All(), /*coalesce=*/false);
-    ASSERT_TRUE(got.ok()) << got.status().ToString();
     const AggregateSeries want = ReferenceSeries(*relation, aggregate);
+    for (LiveConcurrency engine :
+         {LiveConcurrency::kCowEpoch, LiveConcurrency::kSharedLock}) {
+      auto index = MakeLoadedIndex(*relation, aggregate, engine);
+      auto got = index->AggregateOver(Period::All(), /*coalesce=*/false);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->intervals, want.intervals)
+          << "aggregate=" << AggregateKindToString(aggregate)
+          << " engine=" << LiveConcurrencyToString(engine);
+    }
+  }
+}
+
+TEST(LiveIndexTest, InsertBatchEqualsSingletonInsertsOnBothEngines) {
+  WorkloadSpec spec;
+  spec.num_tuples = 400;
+  spec.lifespan = 8000;
+  spec.long_lived_fraction = 0.3;
+  spec.seed = 424242;
+  auto relation = GenerateEmployedRelation(spec);
+  ASSERT_TRUE(relation.ok());
+
+  std::vector<std::pair<Period, double>> batch;
+  for (const Tuple& t : *relation) {
+    auto salary = t.value(1).ToNumeric();
+    ASSERT_TRUE(salary.ok());
+    batch.emplace_back(t.valid(), *salary);
+  }
+
+  const AggregateSeries want = ReferenceSeries(*relation, AggregateKind::kSum);
+  for (LiveConcurrency engine :
+       {LiveConcurrency::kCowEpoch, LiveConcurrency::kSharedLock}) {
+    LiveIndexOptions options;
+    options.aggregate = AggregateKind::kSum;
+    options.attribute = 1;
+    options.concurrency = engine;
+    auto index = LiveAggregateIndex::Create(options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->InsertBatch(batch).ok());
+    // One batch = one publication, but the epoch still counts tuples.
+    EXPECT_EQ((*index)->epoch(), batch.size())
+        << LiveConcurrencyToString(engine);
+    auto got = (*index)->AggregateOver(Period::All(), /*coalesce=*/false);
+    ASSERT_TRUE(got.ok());
     EXPECT_EQ(got->intervals, want.intervals)
-        << "aggregate=" << AggregateKindToString(aggregate);
+        << LiveConcurrencyToString(engine);
+    // Empty batches are a no-op, not a publication.
+    const uint64_t versions = (*index)->Stats().versions_published;
+    ASSERT_TRUE((*index)->InsertBatch({}).ok());
+    EXPECT_EQ((*index)->Stats().versions_published, versions);
   }
 }
 

@@ -17,7 +17,10 @@
 //
 // Built with -fsanitize=thread in CI (live_tsan_test target); any lock
 // misuse in SnapshotGate or a reader touching writer-owned scratch state
-// shows up as a race here.
+// shows up as a race here.  Both phases run against both concurrency
+// engines (the COW/epoch default and the shared_mutex fallback) — the
+// COW-specific hazards (path-copy publication, epoch pinning,
+// reclamation) get their own deeper test in cow_stress_test.cc.
 
 #include <gtest/gtest.h>
 
@@ -35,6 +38,15 @@ namespace {
 
 constexpr size_t kNumReaders = 4;
 constexpr size_t kCheckpoints = 8;
+
+class LiveStressTest : public ::testing::TestWithParam<LiveConcurrency> {
+ protected:
+  LiveIndexOptions Options() const {
+    LiveIndexOptions options;
+    options.concurrency = GetParam();
+    return options;
+  }
+};
 
 /// COUNT of `tuples[0..n)` whose validity contains `t` — the scan oracle
 /// the index must agree with at epoch n.
@@ -59,7 +71,7 @@ AggregateSeries ReferencePrefix(const Schema& schema,
   return std::move(series).value();
 }
 
-TEST(LiveStressTest, CheckpointedReadersSeeExactPrefixAnswers) {
+TEST_P(LiveStressTest, CheckpointedReadersSeeExactPrefixAnswers) {
   WorkloadSpec spec;
   spec.num_tuples = 1600;
   spec.lifespan = 100'000;
@@ -79,7 +91,7 @@ TEST(LiveStressTest, CheckpointedReadersSeeExactPrefixAnswers) {
         ReferencePrefix(relation->schema(), tuples, c * chunk));
   }
 
-  auto created = LiveAggregateIndex::Create(LiveIndexOptions{});
+  auto created = LiveAggregateIndex::Create(Options());
   ASSERT_TRUE(created.ok());
   LiveAggregateIndex& index = **created;
 
@@ -119,7 +131,7 @@ TEST(LiveStressTest, CheckpointedReadersSeeExactPrefixAnswers) {
   EXPECT_EQ(index.epoch(), tuples.size());
 }
 
-TEST(LiveStressTest, ChurnProbesMatchTheirSnapshotEpoch) {
+TEST_P(LiveStressTest, ChurnProbesMatchTheirSnapshotEpoch) {
   WorkloadSpec spec;
   spec.num_tuples = 3000;
   spec.lifespan = 50'000;
@@ -129,7 +141,7 @@ TEST(LiveStressTest, ChurnProbesMatchTheirSnapshotEpoch) {
   ASSERT_TRUE(relation.ok());
   const std::vector<Tuple> tuples(relation->begin(), relation->end());
 
-  auto created = LiveAggregateIndex::Create(LiveIndexOptions{});
+  auto created = LiveAggregateIndex::Create(Options());
   ASSERT_TRUE(created.ok());
   LiveAggregateIndex& index = **created;
 
@@ -219,6 +231,14 @@ TEST(LiveStressTest, ChurnProbesMatchTheirSnapshotEpoch) {
   // about snapshot isolation.
   EXPECT_GT(mid_stream, 0u);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    BothEngines, LiveStressTest,
+    ::testing::Values(LiveConcurrency::kCowEpoch,
+                      LiveConcurrency::kSharedLock),
+    [](const ::testing::TestParamInfo<LiveConcurrency>& info) {
+      return std::string(LiveConcurrencyToString(info.param));
+    });
 
 }  // namespace
 }  // namespace tagg

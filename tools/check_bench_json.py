@@ -15,12 +15,78 @@ Usage: tools/check_bench_json.py [bench_results_dir]
 
 import json
 import pathlib
+import re
 import sys
+
+THREAD_SUFFIX = re.compile(r"/threads:(\d+)$")
+
+# The live-index bench must prove epoch reclamation is alive: these
+# counters come from LiveIndexStats via the writer/ingest fixtures, and the
+# registry totals from live/epoch.cc.  A refactor that silently drops them
+# would leave reclamation regressions invisible, so their absence fails CI.
+LIVE_ENTRY_COUNTERS = ("nodes_retired", "nodes_reclaimed", "retired_pending")
+LIVE_METRIC_COUNTERS = (
+    "tagg_live_nodes_retired_total",
+    "tagg_live_nodes_reclaimed_total",
+    "tagg_live_versions_published_total",
+    "tagg_live_version_pins_total",
+)
+LIVE_METRIC_GAUGES = ("tagg_live_retired_pending",)
 
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_thread_families(path: pathlib.Path, benchmarks: list) -> dict:
+    """Validates the multi-threaded schema: every '/threads:N' entry names
+    its thread count consistently, and a family that sweeps threads covers
+    more than one count (a 'scaling' series with one point is a bug in the
+    bench registration)."""
+    families = {}
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        match = THREAD_SUFFIX.search(bench["name"])
+        if not match:
+            continue
+        threads = int(match.group(1))
+        if "threads" in bench and bench["threads"] != threads:
+            fail(f"{path}: '{bench['name']}' reports threads="
+                 f"{bench['threads']} but its name says {threads}")
+        family = THREAD_SUFFIX.sub("", bench["name"])
+        families.setdefault(family, set()).add(threads)
+    for family, counts in sorted(families.items()):
+        if len(counts) < 2:
+            fail(f"{path}: thread family '{family}' has a single thread "
+                 f"count {sorted(counts)} — a scaling sweep needs several")
+    return families
+
+
+def check_live_reclaim(path: pathlib.Path, benchmarks: list,
+                       metrics: dict) -> None:
+    """bench_live_index only: the concurrent-writer and ingest entries must
+    carry the reclamation counters, and the metrics snapshot must include
+    the COW engine's registry instruments."""
+    carrying = [b for b in benchmarks
+                if b.get("run_type") != "aggregate"
+                and ("Concurrent" in b["name"] or "Ingest" in b["name"]
+                     or "ReaderScaling" in b["name"])]
+    if not carrying:
+        fail(f"{path}: no concurrent/ingest benchmarks found — the "
+             "reader-scaling sweep is part of the schema")
+    for bench in carrying:
+        for counter in LIVE_ENTRY_COUNTERS:
+            if counter not in bench:
+                fail(f"{path}: '{bench['name']}' is missing reclaim "
+                     f"counter '{counter}'")
+    for counter in LIVE_METRIC_COUNTERS:
+        if counter not in metrics["counters"]:
+            fail(f"{path}: metrics snapshot missing counter '{counter}'")
+    for gauge in LIVE_METRIC_GAUGES:
+        if gauge not in metrics["gauges"]:
+            fail(f"{path}: metrics snapshot missing gauge '{gauge}'")
 
 
 def check_timings(path: pathlib.Path) -> int:
@@ -37,6 +103,7 @@ def check_timings(path: pathlib.Path) -> int:
                 fail(f"{path}: benchmark entry missing '{key}': {bench}")
         if bench["real_time"] < 0:
             fail(f"{path}: negative real_time in {bench['name']}")
+    check_thread_families(path, doc["benchmarks"])
     return len(doc["benchmarks"])
 
 
@@ -85,6 +152,13 @@ def main() -> None:
         if not metrics.exists():
             fail(f"{metrics} missing next to {timing}")
         m = check_metrics(metrics)
+        if timing.stem == "bench_live_index":
+            with timing.open() as f:
+                timing_doc = json.load(f)
+            with metrics.open() as f:
+                metrics_doc = json.load(f)
+            check_live_reclaim(timing, timing_doc["benchmarks"],
+                               metrics_doc)
         print(f"check_bench_json: OK: {timing.name} "
               f"({n} benchmarks, {m} instruments)")
 
