@@ -1,0 +1,225 @@
+// Network serving benchmark: throughput and latency of the binary
+// protocol over loopback TCP, against an in-process taggd server.
+//
+//   * BM_Net_PingPong            — protocol floor: one frame each way,
+//     no executor work (Ping is answered inline on the loop thread);
+//   * BM_Net_InsertRoundTrip     — strict request-response ingest;
+//   * BM_Net_AggregateAt         — strict request-response point query
+//     against a preloaded index (loopback RTT + executor dispatch +
+//     one root-path probe);
+//   * BM_Net_Pipelined_AggregateAt/depth:D — send D requests, then read
+//     D responses: amortizes the RTT and exercises the reorder buffer;
+//     depth stays under the server's pipeline cap so reads never pause;
+//   * BM_Net_Connections_AggregateAt/threads:N — one connection per
+//     thread, strict request-response: throughput vs connection count
+//     across the loop threads and the executor pool.
+//
+// Every thread owns its own Client (the client is a cursor, not a pool).
+// The server is shared through a magic static and preloaded over the
+// wire itself (InsertBatch + Flush), so the bench also covers the batch
+// ingest path once at startup.
+
+#include <cstdlib>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "live/service.h"
+#include "net/client.h"
+#include "server/server.h"
+
+namespace tagg {
+namespace {
+
+constexpr size_t kPreloadTuples = 100'000;
+constexpr Instant kLifespan = 1'000'000;
+constexpr uint8_t kCountAggregate = 0;  // AggregateKind::kCount on the wire
+
+/// One in-process server for the whole binary run, preloaded with the
+/// Table 3 workload over the wire.
+class ServingFixture {
+ public:
+  ServingFixture() {
+    Result<Schema> schema = Schema::Make({{"value", ValueType::kDouble}});
+    if (!schema.ok()) std::abort();
+    if (!catalog_
+             .Register(std::make_shared<Relation>(std::move(*schema),
+                                                  "events"))
+             .ok()) {
+      std::abort();
+    }
+    if (!live_.RegisterIndex(catalog_, "events", AggregateKind::kCount)
+             .ok()) {
+      std::abort();
+    }
+    server::ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.num_loops = 2;
+    options.num_workers = 4;
+    options.executor_queue = 4096;
+    server_.emplace(options, server::ServingState{&catalog_, &live_});
+    if (!server_->Start().ok()) std::abort();
+    Preload();
+  }
+
+  ~ServingFixture() { server_->Shutdown(); }
+
+  uint16_t port() const { return server_->port(); }
+
+  net::Client Connect() {
+    Result<net::Client> client = net::Client::ConnectTo(port());
+    if (!client.ok()) std::abort();
+    return std::move(*client);
+  }
+
+ private:
+  void Preload() {
+    const std::vector<Period> periods = bench::MakePeriods(
+        kPreloadTuples, /*long_lived_fraction=*/0.4, TupleOrder::kRandom);
+    net::Client client = Connect();
+    std::vector<net::WireTuple> batch;
+    batch.reserve(4096);
+    for (const Period& p : periods) {
+      batch.push_back({p.start(), p.end(), {Value::Double(1.0)}});
+      if (batch.size() == 4096) {
+        if (!client.InsertBatch("events", batch).ok()) std::abort();
+        batch.clear();
+      }
+    }
+    if (!batch.empty() && !client.InsertBatch("events", batch).ok()) {
+      std::abort();
+    }
+    if (!client.Flush("events").ok()) std::abort();
+  }
+
+  Catalog catalog_;
+  LiveService live_;
+  std::optional<server::Server> server_;
+};
+
+ServingFixture& Fixture() {
+  static ServingFixture fixture;
+  return fixture;
+}
+
+void BM_Net_PingPong(benchmark::State& state) {
+  net::Client client = Fixture().Connect();
+  for (auto _ : state) {
+    const Status st = client.Ping();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Net_InsertRoundTrip(benchmark::State& state) {
+  net::Client client = Fixture().Connect();
+  Instant t = 0;
+  for (auto _ : state) {
+    const Status st = client.Insert(
+        "events", {t % kLifespan, t % kLifespan + 10, {Value::Double(1.0)}});
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    t += 9973;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Net_AggregateAt(benchmark::State& state) {
+  net::Client client = Fixture().Connect();
+  Instant t = 0;
+  for (auto _ : state) {
+    Result<net::AggregateAtResponse> got = client.AggregateAt(
+        "events", kCountAggregate, net::kWireNoAttribute, t % kLifespan);
+    if (!got.ok()) {
+      state.SkipWithError(got.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(*got);
+    t += 9973;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Send `depth` point queries, then read `depth` responses: the reorder
+/// buffer keeps them in request order, and the RTT is paid once per
+/// batch instead of once per request.
+void BM_Net_Pipelined_AggregateAt(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  net::Client client = Fixture().Connect();
+  Instant t = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < depth; ++i) {
+      const Status st = client.Send(
+          net::Opcode::kAggregateAt,
+          net::EncodeAggregateAt({"events", kCountAggregate,
+                                  net::kWireNoAttribute, t % kLifespan}));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      t += 9973;
+    }
+    for (size_t i = 0; i < depth; ++i) {
+      Result<net::RawResponse> got = client.Receive();
+      if (!got.ok() || got->code != StatusCode::kOk) {
+        state.SkipWithError("pipelined receive failed");
+        return;
+      }
+      bench::KeepAlive(*got);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(depth));
+  state.counters["depth"] = static_cast<double>(depth);
+}
+
+/// One connection per thread, strict request-response point queries.
+void BM_Net_Connections_AggregateAt(benchmark::State& state) {
+  net::Client client = Fixture().Connect();
+  Instant t = 9973 * static_cast<Instant>(state.thread_index() + 1);
+  for (auto _ : state) {
+    Result<net::AggregateAtResponse> got = client.AggregateAt(
+        "events", kCountAggregate, net::kWireNoAttribute, t % kLifespan);
+    if (!got.ok()) {
+      state.SkipWithError(got.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(*got);
+    t += 9973;
+  }
+  state.SetItemsProcessed(state.iterations());
+  // kAvgThreads: each thread reports the same value; without it the
+  // per-thread counters would be summed into threads^2.
+  state.counters["connections"] =
+      benchmark::Counter(static_cast<double>(state.threads()),
+                         benchmark::Counter::kAvgThreads);
+}
+
+BENCHMARK(BM_Net_PingPong)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Net_InsertRoundTrip)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Net_AggregateAt)->Unit(benchmark::kMicrosecond);
+// Depth sweep stays under the server's pipeline cap (128).
+BENCHMARK(BM_Net_Pipelined_AggregateAt)
+    ->ArgNames({"depth"})
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_Net_Connections_AggregateAt)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace tagg
+
+TAGG_BENCH_MAIN()

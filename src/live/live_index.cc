@@ -91,6 +91,41 @@ Status LiveAggregateIndex::InsertTuple(const Tuple& tuple) {
   return Insert(tuple.valid(), input);
 }
 
+Status LiveAggregateIndex::InsertTuples(const std::vector<Tuple>& tuples) {
+  const LiveIndexOptions& opts = options();
+  const bool needs_attribute =
+      opts.aggregate != AggregateKind::kCount ||
+      opts.attribute != AggregateOptions::kNoAttribute;
+  std::vector<std::pair<Period, double>> batch;
+  batch.reserve(tuples.size());
+  size_t skipped = 0;
+  for (const Tuple& tuple : tuples) {
+    double input = 0.0;
+    if (needs_attribute) {
+      if (opts.attribute >= tuple.arity()) {
+        return Status::InvalidArgument(StringPrintf(
+            "live index aggregates attribute %zu but tuple has arity %zu",
+            opts.attribute, tuple.arity()));
+      }
+      const Value& v = tuple.value(opts.attribute);
+      if (v.is_null()) {
+        ++skipped;
+        continue;
+      }
+      if (opts.aggregate != AggregateKind::kCount) {
+        TAGG_ASSIGN_OR_RETURN(input, v.ToNumeric());
+      }
+    }
+    batch.emplace_back(tuple.valid(), input);
+  }
+  TAGG_RETURN_IF_ERROR(InsertBatch(batch));
+  // NULL inputs advance the epoch without contributing, exactly like
+  // InsertTuple; the tree is order-independent (commutative monoid), so
+  // accounting for them after the batch publish is equivalent.
+  for (size_t i = 0; i < skipped; ++i) NoteSkippedTuple();
+  return Status::OK();
+}
+
 namespace internal {
 
 /// Instantiates engine `Engine<Op>` for the requested monoid.

@@ -160,6 +160,13 @@ class LiveAggregateIndex {
   virtual Status InsertBatch(
       const std::vector<std::pair<Period, double>>& batch);
 
+  /// InsertTuple over a whole batch: extracts the configured attribute
+  /// from every tuple, folds the non-NULL ones under one published
+  /// version via InsertBatch, and advances the epoch for NULLs exactly
+  /// like InsertTuple.  The network serving layer's InsertBatch op lands
+  /// here so remote bulk ingest gets the same amortization as local.
+  Status InsertTuples(const std::vector<Tuple>& tuples);
+
   /// Publishes any inserts a publish_every_n > 1 configuration is still
   /// holding back.  No-op when nothing is pending (and always for the
   /// locked engine, which publishes per call).

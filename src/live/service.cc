@@ -116,6 +116,66 @@ Status LiveService::Ingest(std::string_view relation_name, Tuple tuple) {
   return Status::OK();
 }
 
+Status LiveService::IngestBatch(std::string_view relation_name,
+                                std::vector<Tuple> tuples,
+                                size_t* ingested) {
+  if (ingested != nullptr) *ingested = 0;
+  if (tuples.empty()) return Status::OK();
+  const std::string lowered = ToLower(relation_name);
+  std::lock_guard<std::mutex> guard(mutex_);
+
+  std::shared_ptr<Relation> relation;
+  std::vector<LiveAggregateIndex*> indexes;
+  for (auto& [key, entry] : entries_) {
+    if (key.relation != lowered) continue;
+    relation = entry.relation;
+    indexes.push_back(entry.index.get());
+  }
+  if (relation == nullptr) {
+    return Status::NotFound("no live index registered for relation '" +
+                            std::string(relation_name) + "'");
+  }
+
+  // Validate + append against the schema first so the indexes only ever
+  // see tuples the relation accepted; a failure truncates the batch at
+  // the offending tuple.
+  size_t accepted = 0;
+  Status append_status = Status::OK();
+  for (Tuple& tuple : tuples) {
+    append_status = relation->Append(tuple);
+    if (!append_status.ok()) break;
+    ++accepted;
+  }
+  tuples.resize(accepted);
+  for (LiveAggregateIndex* index : indexes) {
+    TAGG_RETURN_IF_ERROR(index->InsertTuples(tuples));
+  }
+  tuples_ingested_ += accepted;
+  if (ingested != nullptr) *ingested = accepted;
+  static obs::Counter& ingested_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "tagg_live_ingest_total",
+          "Tuples ingested through LiveService (ingest rate source)");
+  ingested_total.Increment(accepted);
+  return append_status;
+}
+
+Status LiveService::Flush(std::string_view relation_name) {
+  const std::string lowered = ToLower(relation_name);
+  std::lock_guard<std::mutex> guard(mutex_);
+  bool found = lowered.empty();
+  for (auto& [key, entry] : entries_) {
+    if (!lowered.empty() && key.relation != lowered) continue;
+    entry.index->Flush();
+    found = true;
+  }
+  if (!found) {
+    return Status::NotFound("no live index registered for relation '" +
+                            std::string(relation_name) + "'");
+  }
+  return Status::OK();
+}
+
 std::vector<LiveIndexKey> LiveService::Keys() const {
   std::lock_guard<std::mutex> guard(mutex_);
   std::vector<LiveIndexKey> keys;

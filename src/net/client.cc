@@ -1,0 +1,178 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+
+namespace tagg {
+namespace net {
+
+namespace {
+
+Status FromWire(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+  }
+  return Status::Internal("unknown wire status code: " + std::move(msg));
+}
+
+}  // namespace
+
+Status RawResponse::ToStatus() const {
+  return FromWire(code, payload);
+}
+
+Result<Client> Client::ConnectTo(uint16_t port) {
+  TAGG_ASSIGN_OR_RETURN(UniqueFd fd, ConnectLoopback(port));
+  return Client(std::move(fd));
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::Send(Opcode opcode, std::string_view payload) {
+  return WriteAll(EncodeRequestFrame(opcode, payload));
+}
+
+Result<RawResponse> Client::Receive() {
+  char chunk[16 * 1024];
+  for (;;) {
+    FrameHeader header;
+    std::string_view payload;
+    size_t consumed = 0;
+    Status error;
+    const FrameDecodeState state =
+        TryDecodeFrame(rdbuf_, /*expect_request=*/false,
+                       kDefaultMaxPayloadBytes, &header, &payload, &consumed,
+                       &error);
+    if (state == FrameDecodeState::kProtocolError) return error;
+    if (state == FrameDecodeState::kFrame) {
+      RawResponse resp;
+      resp.code = static_cast<StatusCode>(header.opcode_or_status);
+      resp.payload.assign(payload);
+      rdbuf_.erase(0, consumed);
+      return resp;
+    }
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + strerror(errno));
+    }
+    rdbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<RawResponse> Client::Call(Opcode opcode, std::string_view payload) {
+  TAGG_RETURN_IF_ERROR(Send(opcode, payload));
+  return Receive();
+}
+
+Status Client::Ping() {
+  TAGG_ASSIGN_OR_RETURN(RawResponse resp, Call(Opcode::kPing, {}));
+  return resp.ToStatus();
+}
+
+Status Client::Insert(std::string_view relation, const WireTuple& tuple) {
+  InsertRequest req;
+  req.relation = std::string(relation);
+  req.tuple = tuple;
+  TAGG_ASSIGN_OR_RETURN(RawResponse resp,
+                        Call(Opcode::kInsert, EncodeInsert(req)));
+  return resp.ToStatus();
+}
+
+Result<uint32_t> Client::InsertBatch(std::string_view relation,
+                                     const std::vector<WireTuple>& tuples) {
+  InsertBatchRequest req;
+  req.relation = std::string(relation);
+  req.tuples = tuples;
+  TAGG_ASSIGN_OR_RETURN(RawResponse resp,
+                        Call(Opcode::kInsertBatch, EncodeInsertBatch(req)));
+  TAGG_RETURN_IF_ERROR(resp.ToStatus());
+  Cursor c(resp.payload);
+  TAGG_ASSIGN_OR_RETURN(uint32_t n, c.U32());
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return n;
+}
+
+Status Client::Flush(std::string_view relation) {
+  FlushRequest req;
+  req.relation = std::string(relation);
+  TAGG_ASSIGN_OR_RETURN(RawResponse resp,
+                        Call(Opcode::kFlush, EncodeFlush(req)));
+  return resp.ToStatus();
+}
+
+Result<AggregateAtResponse> Client::AggregateAt(std::string_view relation,
+                                                uint8_t aggregate,
+                                                uint32_t attribute,
+                                                Instant t) {
+  AggregateAtRequest req;
+  req.relation = std::string(relation);
+  req.aggregate = aggregate;
+  req.attribute = attribute;
+  req.t = t;
+  TAGG_ASSIGN_OR_RETURN(RawResponse resp,
+                        Call(Opcode::kAggregateAt, EncodeAggregateAt(req)));
+  TAGG_RETURN_IF_ERROR(resp.ToStatus());
+  return DecodeAggregateAtResponse(resp.payload);
+}
+
+Result<AggregateOverResponse> Client::AggregateOver(
+    std::string_view relation, uint8_t aggregate, uint32_t attribute,
+    Instant start, Instant end, bool coalesce) {
+  AggregateOverRequest req;
+  req.relation = std::string(relation);
+  req.aggregate = aggregate;
+  req.attribute = attribute;
+  req.start = start;
+  req.end = end;
+  req.coalesce = coalesce;
+  TAGG_ASSIGN_OR_RETURN(
+      RawResponse resp,
+      Call(Opcode::kAggregateOver, EncodeAggregateOver(req)));
+  TAGG_RETURN_IF_ERROR(resp.ToStatus());
+  return DecodeAggregateOverResponse(resp.payload);
+}
+
+Result<std::string> Client::Metrics() {
+  TAGG_ASSIGN_OR_RETURN(RawResponse resp, Call(Opcode::kMetrics, {}));
+  TAGG_RETURN_IF_ERROR(resp.ToStatus());
+  return std::move(resp.payload);
+}
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,79 @@
+// Blocking client for the binary serving protocol.
+//
+// One Client owns one TCP connection.  The convenience methods
+// (Ping/Insert/.../Metrics) are strict request-response; the raw
+// Send/Receive pair exposes pipelining for the load generator and the
+// serving bench (send `depth` requests, then read `depth` responses).
+//
+// Not thread-safe: one Client per thread, like a database cursor.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace tagg {
+namespace net {
+
+/// One decoded response: the operation's status code and raw payload
+/// (error message when code != kOk, op-specific encoding otherwise).
+struct RawResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string payload;
+
+  /// OK, or a Status rebuilt from the wire code and message.
+  Status ToStatus() const;
+};
+
+class Client {
+ public:
+  static Result<Client> ConnectTo(uint16_t port);
+
+  // --- pipelining primitives -------------------------------------------
+
+  /// Writes one request frame (blocking until fully sent).
+  Status Send(Opcode opcode, std::string_view payload);
+  /// Reads one response frame (blocking).
+  Result<RawResponse> Receive();
+  /// Sends then receives.
+  Result<RawResponse> Call(Opcode opcode, std::string_view payload);
+
+  // --- convenience ops --------------------------------------------------
+
+  Status Ping();
+  Status Insert(std::string_view relation, const WireTuple& tuple);
+  /// Returns the number of tuples the server ingested.
+  Result<uint32_t> InsertBatch(std::string_view relation,
+                               const std::vector<WireTuple>& tuples);
+  Status Flush(std::string_view relation = {});
+  Result<AggregateAtResponse> AggregateAt(std::string_view relation,
+                                          uint8_t aggregate,
+                                          uint32_t attribute, Instant t);
+  Result<AggregateOverResponse> AggregateOver(std::string_view relation,
+                                              uint8_t aggregate,
+                                              uint32_t attribute,
+                                              Instant start, Instant end,
+                                              bool coalesce = true);
+  /// The server's Prometheus text exposition.
+  Result<std::string> Metrics();
+
+  int fd() const { return fd_.get(); }
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+ private:
+  explicit Client(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  Status WriteAll(std::string_view bytes);
+
+  UniqueFd fd_;
+  std::string rdbuf_;
+};
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,503 @@
+#include "net/event_loop.h"
+
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace tagg {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+constexpr int kEpollWaitMillis = 100;
+constexpr auto kIdleSweepInterval = std::chrono::milliseconds(250);
+
+obs::Counter& ConnectionsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_connections_total", "Client connections accepted");
+  return c;
+}
+
+obs::Gauge& ConnectionsActive() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tagg_net_connections_active", "Client connections currently open");
+  return g;
+}
+
+obs::Counter& BytesReadTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_bytes_read_total", "Bytes read from client sockets");
+  return c;
+}
+
+obs::Counter& BytesWrittenTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_bytes_written_total", "Bytes written to client sockets");
+  return c;
+}
+
+obs::Counter& ProtocolErrorsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_protocol_errors_total",
+      "Connections closed for malformed frames or oversized lines");
+  return c;
+}
+
+obs::Counter& IdleDisconnectsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_idle_disconnects_total",
+      "Connections closed by the idle timeout");
+  return c;
+}
+
+obs::Counter& IoErrorsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_io_errors_total",
+      "Connections closed on a read/write error (injected faults included)");
+  return c;
+}
+
+obs::Counter& ReadPausesTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_read_pauses_total",
+      "Times a connection's reads were paused for pipeline/outbox "
+      "backpressure");
+  return c;
+}
+
+}  // namespace
+
+std::atomic<uint64_t> EventLoop::next_conn_id_{1};
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+void Connection::Respond(uint64_t seq, std::string bytes) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (closed_) return;
+    if (seq < base_seq_) return;  // already flushed (cannot happen twice)
+    const size_t idx = static_cast<size_t>(seq - base_seq_);
+    if (idx >= slots_.size()) return;
+    Slot& slot = slots_[idx];
+    if (slot.filled) return;
+    queued_bytes_ += bytes.size();
+    slot.bytes = std::move(bytes);
+    slot.filled = true;
+  }
+  loop_->NotifyResponseReady(id_);
+}
+
+bool Connection::SerialEnqueue(std::function<void()> task) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  pending_tasks_.push_back(std::move(task));
+  if (task_running_) return false;
+  task_running_ = true;
+  return true;
+}
+
+std::function<void()> Connection::SerialNext() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (pending_tasks_.empty()) {
+    task_running_ = false;
+    return {};
+  }
+  std::function<void()> task = std::move(pending_tasks_.front());
+  pending_tasks_.pop_front();
+  return task;
+}
+
+void Connection::SerialAbort() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  pending_tasks_.pop_back();
+  task_running_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop lifecycle
+// ---------------------------------------------------------------------------
+
+EventLoop::EventLoop(EventLoopOptions options, RequestHandler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  epoll_fd_ = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return Status::IOError(std::string("epoll_create1: ") + strerror(errno));
+  }
+  wake_fd_ = UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.valid()) {
+    return Status::IOError(std::string("eventfd: ") + strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // id 0 = the wake eventfd
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           strerror(errno));
+  }
+  running_.store(true, std::memory_order_release);
+  last_idle_sweep_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::AddConnection(UniqueFd fd) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    pending_adds_.push_back(std::move(fd));
+  }
+  Wake();
+}
+
+void EventLoop::NotifyResponseReady(uint64_t conn_id) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ready_conn_ids_.push_back(conn_id);
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  if (!wake_fd_.valid()) return;
+  const uint64_t one = 1;
+  // A full eventfd counter already guarantees a wakeup; ignore EAGAIN.
+  [[maybe_unused]] ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+bool EventLoop::WaitFlushed(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (open_slots_.load(std::memory_order_acquire) == 0 &&
+        unwritten_bytes_.load(std::memory_order_acquire) == 0) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    Wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop body
+// ---------------------------------------------------------------------------
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, kEpollWaitMillis);
+    if (n < 0 && errno != EINTR) {
+      TAGG_LOG(Error) << "epoll_wait failed: " << strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        ReadAndParse(conn);
+      }
+      if (conns_.count(id) != 0 && (events[i].events & EPOLLOUT)) {
+        FlushWrites(conn);
+      }
+    }
+    ProcessPendingAdds();
+    ProcessReadyResponses();
+    SweepIdle();
+  }
+  // Exit: close every connection (pending responses are dropped; the
+  // server drains them through WaitFlushed before stopping the loop).
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) remaining.push_back(conn);
+  for (const auto& conn : remaining) CloseConnection(conn);
+}
+
+void EventLoop::ProcessPendingAdds() {
+  std::vector<UniqueFd> adds;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    adds.swap(pending_adds_);
+  }
+  for (UniqueFd& fd : adds) {
+    const uint64_t id =
+        next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::shared_ptr<Connection>(
+        new Connection(std::move(fd), id, this, options_));
+    conn->last_activity_ = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd_.get(), &ev) <
+        0) {
+      TAGG_LOG(Error) << "epoll_ctl(add conn): " << strerror(errno);
+      continue;  // conn's UniqueFd closes the socket
+    }
+    conns_.emplace(id, conn);
+    num_connections_.fetch_add(1, std::memory_order_relaxed);
+    ConnectionsTotal().Increment();
+    ConnectionsActive().Add(1);
+    // The socket may already hold bytes (client sent with the SYN data or
+    // raced the epoll registration) — the edge was consumed before ADD.
+    ReadAndParse(conn);
+  }
+}
+
+void EventLoop::ProcessReadyResponses() {
+  std::vector<uint64_t> ready;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ready.swap(ready_conn_ids_);
+  }
+  for (const uint64_t id : ready) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    FlushWrites(it->second);
+  }
+}
+
+void EventLoop::ReadAndParse(const std::shared_ptr<Connection>& conn) {
+  if (conn->paused_) return;  // backpressure: leave bytes in the kernel
+  conn->last_activity_ = std::chrono::steady_clock::now();
+  char chunk[kReadChunk];
+  for (;;) {
+    const IoResult io = ReadSome(conn->fd_.get(), chunk, sizeof(chunk));
+    if (io.outcome == IoOutcome::kOk) {
+      conn->inbuf_.append(chunk, io.n);
+      BytesReadTotal().Increment(io.n);
+      // Parse as we go so a pipelining client cannot force the input
+      // buffer to hold more than one frame + one read chunk.
+      ParseBuffered(conn);
+      if (conn->paused_ || conns_.count(conn->id()) == 0) return;
+      continue;
+    }
+    if (io.outcome == IoOutcome::kWouldBlock) break;
+    if (io.outcome == IoOutcome::kClosed) {
+      conn->read_closed_ = true;
+      break;
+    }
+    IoErrorsTotal().Increment();
+    CloseConnection(conn);
+    return;
+  }
+  ParseBuffered(conn);
+  if (conns_.count(conn->id()) == 0) return;
+  if (conn->read_closed_) {
+    // Peer half-closed: finish in-flight work, then close on flush.
+    conn->close_after_flush_ = true;
+    FlushWrites(conn);
+  }
+}
+
+void EventLoop::ParseBuffered(const std::shared_ptr<Connection>& conn) {
+  if (conn->mode_ == Connection::Mode::kUnknown) {
+    if (conn->inbuf_.empty()) return;
+    conn->mode_ = static_cast<uint8_t>(conn->inbuf_[0]) == kRequestMagic
+                      ? Connection::Mode::kBinary
+                      : Connection::Mode::kText;
+  }
+  while (!conn->paused_) {
+    if (draining_.load(std::memory_order_acquire)) return;
+    // Pipeline cap: pause instead of reserving more slots.
+    size_t in_flight;
+    {
+      std::lock_guard<std::mutex> guard(conn->mutex_);
+      in_flight = conn->slots_.size();
+    }
+    if (in_flight >= options_.max_pipeline) {
+      conn->paused_ = true;
+      ReadPausesTotal().Increment();
+      return;
+    }
+
+    Request req;
+    if (conn->mode_ == Connection::Mode::kBinary) {
+      FrameHeader header;
+      std::string_view payload;
+      size_t consumed = 0;
+      Status error;
+      const FrameDecodeState state = TryDecodeFrame(
+          conn->inbuf_, /*expect_request=*/true, options_.max_payload_bytes,
+          &header, &payload, &consumed, &error);
+      if (state == FrameDecodeState::kNeedMore) return;
+      if (state == FrameDecodeState::kProtocolError) {
+        ProtocolErrorsTotal().Increment();
+        // Answer with the error, then close once it is on the wire.
+        const uint64_t seq = conn->next_seq_++;
+        {
+          std::lock_guard<std::mutex> guard(conn->mutex_);
+          conn->slots_.emplace_back();
+        }
+        open_slots_.fetch_add(1, std::memory_order_acq_rel);
+        conn->CloseAfterFlush();
+        conn->inbuf_.clear();
+        conn->Respond(seq, EncodeErrorFrame(error));
+        return;
+      }
+      req.text = false;
+      req.opcode = header.opcode_or_status;
+      req.payload.assign(payload);
+      conn->inbuf_.erase(0, consumed);
+    } else {
+      const size_t nl = conn->inbuf_.find('\n');
+      if (nl == std::string::npos) {
+        if (conn->inbuf_.size() > options_.max_line_bytes) {
+          ProtocolErrorsTotal().Increment();
+          const uint64_t seq = conn->next_seq_++;
+          {
+            std::lock_guard<std::mutex> guard(conn->mutex_);
+            conn->slots_.emplace_back();
+          }
+          open_slots_.fetch_add(1, std::memory_order_acq_rel);
+          conn->CloseAfterFlush();
+          conn->inbuf_.clear();
+          conn->Respond(seq, "-ERR corruption: line exceeds " +
+                                 std::to_string(options_.max_line_bytes) +
+                                 " bytes\n");
+        }
+        return;
+      }
+      std::string line = conn->inbuf_.substr(0, nl);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      conn->inbuf_.erase(0, nl + 1);
+      req.text = true;
+      req.payload = std::move(line);
+    }
+
+    req.seq = conn->next_seq_++;
+    {
+      std::lock_guard<std::mutex> guard(conn->mutex_);
+      conn->slots_.emplace_back();
+    }
+    open_slots_.fetch_add(1, std::memory_order_acq_rel);
+    handler_(conn, std::move(req));
+    if (conns_.count(conn->id()) == 0) return;  // handler closed us
+  }
+}
+
+void EventLoop::FlushWrites(std::shared_ptr<Connection> conn) {
+  conn->last_activity_ = std::chrono::steady_clock::now();
+  // Move the contiguous completed prefix of the reorder buffer into the
+  // loop-thread-only write buffer.
+  size_t queued_after = 0;
+  {
+    std::lock_guard<std::mutex> guard(conn->mutex_);
+    size_t released = 0;
+    while (!conn->slots_.empty() && conn->slots_.front().filled) {
+      Connection::Slot& slot = conn->slots_.front();
+      conn->queued_bytes_ -= slot.bytes.size();
+      unwritten_bytes_.fetch_add(slot.bytes.size(),
+                                 std::memory_order_acq_rel);
+      conn->writebuf_.append(slot.bytes);
+      conn->slots_.pop_front();
+      ++conn->base_seq_;
+      ++released;
+    }
+    if (released > 0) {
+      open_slots_.fetch_sub(released, std::memory_order_acq_rel);
+    }
+    queued_after = conn->queued_bytes_ + conn->slots_.size();
+  }
+
+  while (!conn->writebuf_.empty()) {
+    const IoResult io = WriteSome(conn->fd_.get(), conn->writebuf_.data(),
+                                  conn->writebuf_.size());
+    if (io.outcome == IoOutcome::kOk) {
+      BytesWrittenTotal().Increment(io.n);
+      unwritten_bytes_.fetch_sub(io.n, std::memory_order_acq_rel);
+      conn->writebuf_.erase(0, io.n);
+      continue;
+    }
+    if (io.outcome == IoOutcome::kWouldBlock) return;  // EPOLLOUT resumes
+    IoErrorsTotal().Increment();
+    CloseConnection(conn);
+    return;
+  }
+
+  if (queued_after == 0) {
+    if (conn->close_after_flush_ || conn->read_closed_) {
+      CloseConnection(conn);
+      return;
+    }
+    if (conn->paused_) {
+      // Backpressure released: resume parsing buffered bytes and any the
+      // kernel collected while we were not reading (the edge for those
+      // may have fired during the pause).
+      conn->paused_ = false;
+      ReadAndParse(conn);
+    }
+  }
+}
+
+void EventLoop::SweepIdle() {
+  if (options_.idle_timeout.count() <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_idle_sweep_ < kIdleSweepInterval) return;
+  last_idle_sweep_ = now;
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (const auto& [id, conn] : conns_) {
+    if (now - conn->last_activity_ >= options_.idle_timeout) {
+      idle.push_back(conn);
+    }
+  }
+  for (const auto& conn : idle) {
+    IdleDisconnectsTotal().Increment();
+    CloseConnection(conn);
+  }
+}
+
+void EventLoop::CloseConnection(std::shared_ptr<Connection> conn) {
+  if (conns_.erase(conn->id()) == 0) return;  // already closed
+  size_t dropped_slots = 0;
+  size_t dropped_bytes = 0;
+  {
+    std::lock_guard<std::mutex> guard(conn->mutex_);
+    conn->closed_ = true;
+    dropped_slots = conn->slots_.size();
+    conn->slots_.clear();
+    dropped_bytes = conn->writebuf_.size();
+    conn->writebuf_.clear();
+    conn->queued_bytes_ = 0;
+  }
+  if (dropped_slots > 0) {
+    open_slots_.fetch_sub(dropped_slots, std::memory_order_acq_rel);
+  }
+  if (dropped_bytes > 0) {
+    unwritten_bytes_.fetch_sub(dropped_bytes, std::memory_order_acq_rel);
+  }
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd_.get(), nullptr);
+  conn->fd_.Reset();
+  num_connections_.fetch_sub(1, std::memory_order_relaxed);
+  ConnectionsActive().Add(-1);
+}
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,247 @@
+// EventLoop: one edge-triggered epoll thread multiplexing N connections.
+//
+// The serving layer runs one acceptor thread plus a small fixed set of
+// these loops; each accepted socket is handed to one loop round-robin
+// and stays there for its lifetime (no cross-loop migration, so all
+// per-connection parse state is single-threaded).
+//
+// Responsibilities of the loop thread:
+//   * read until EAGAIN (edge-triggered contract), append to the
+//     connection's input buffer, and split it into requests — binary
+//     frames or text lines, auto-detected on the first byte;
+//   * hand each request to the server's handler (which answers inline or
+//     dispatches to the bounded executor);
+//   * write queued responses, honoring EPOLLOUT for slow readers;
+//   * enforce the per-connection pipeline cap, pausing reads (TCP
+//     backpressure) instead of buffering without bound;
+//   * close idle connections past the configured timeout.
+//
+// Pipelining and ordering: a client may send many requests back to back;
+// responses must come back in request order even though the executor
+// completes them in any order.  Each parsed request reserves a slot in
+// the connection's reorder buffer; Connection::Respond fills the slot
+// from any thread, and the loop flushes the contiguous completed prefix.
+// Effects are ordered too: the serial-dispatch queue on each connection
+// guarantees its requests execute one at a time in program order (an
+// insert is visible to the query pipelined right behind it), while
+// different connections still run in parallel across the pool.
+//
+// Shutdown: SetDraining() stops parsing new requests (bytes already in
+// flight stay queued); after the executor drains, WaitFlushed() lets the
+// server wait for every reserved slot to reach the socket before
+// RequestStop() closes the connections and exits the thread.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/token_bucket.h"
+#include "net/wire.h"
+
+namespace tagg {
+namespace net {
+
+class EventLoop;
+
+/// One parsed request, binary or text.
+struct Request {
+  uint64_t seq = 0;       // slot index in the connection's reorder buffer
+  bool text = false;
+  uint8_t opcode = 0;     // binary mode: a validated Opcode
+  std::string payload;    // binary payload bytes, or the text line
+};
+
+struct EventLoopOptions {
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// Requests parsed but not yet fully answered per connection; reads
+  /// pause above this (the bytes back up into the kernel socket buffer).
+  size_t max_pipeline = 128;
+  /// Queued response bytes per connection above which reads pause.
+  size_t outbox_high_watermark = 8u << 20;
+  /// 0 disables idle disconnects.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Per-connection token bucket; rate <= 0 disables limiting.
+  double rate_limit_per_sec = 0.0;
+  double rate_limit_burst = 0.0;
+};
+
+/// One client session owned by exactly one EventLoop.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  enum class Mode : uint8_t { kUnknown, kBinary, kText };
+
+  uint64_t id() const { return id_; }
+  Mode mode() const { return mode_; }
+
+  /// Completes the request with seq `seq`; `bytes` is the fully encoded
+  /// response (a binary frame or text lines).  Thread-safe; called by
+  /// executor workers and by the loop thread itself.  Responses to a
+  /// connection that has since closed are dropped.
+  void Respond(uint64_t seq, std::string bytes);
+
+  /// The loop-thread-only rate limiter for this session.
+  TokenBucket& rate_limiter() { return rate_limiter_; }
+
+  /// Asks the loop to close this connection once every reserved slot has
+  /// been answered and written (used after fatal protocol errors).
+  void CloseAfterFlush() { close_after_flush_ = true; }
+
+  // --- per-connection serial dispatch ---------------------------------
+  // A pipelining client's requests must take effect in program order even
+  // though they run on a thread pool: at most one of a connection's tasks
+  // is on the executor at a time; the rest wait here, bounded by the
+  // pipeline cap (reads pause once max_pipeline slots are open).
+
+  /// Appends `task` to this connection's serial queue.  Returns true if
+  /// the caller must now submit a runner that drains SerialNext() (no
+  /// task was in flight); false if an in-flight runner will pick it up.
+  bool SerialEnqueue(std::function<void()> task);
+
+  /// Pops the next queued task, or clears the in-flight flag and returns
+  /// an empty function when the queue is dry.
+  std::function<void()> SerialNext();
+
+  /// Undoes a SerialEnqueue that returned true when the runner could not
+  /// be submitted (executor saturated); the task is discarded.
+  void SerialAbort();
+
+ private:
+  friend class EventLoop;
+
+  Connection(UniqueFd fd, uint64_t id, EventLoop* loop,
+             const EventLoopOptions& options)
+      : fd_(std::move(fd)),
+        id_(id),
+        loop_(loop),
+        rate_limiter_(options.rate_limit_per_sec,
+                      options.rate_limit_burst > 0
+                          ? options.rate_limit_burst
+                          : options.rate_limit_per_sec) {}
+
+  UniqueFd fd_;
+  const uint64_t id_;
+  EventLoop* const loop_;
+
+  // --- loop-thread-only state -----------------------------------------
+  Mode mode_ = Mode::kUnknown;
+  std::string inbuf_;
+  std::string writebuf_;
+  uint64_t next_seq_ = 0;
+  bool paused_ = false;            // pipeline/outbox backpressure
+  bool read_closed_ = false;       // peer sent EOF
+  bool close_after_flush_ = false;
+  std::chrono::steady_clock::time_point last_activity_;
+  TokenBucket rate_limiter_;
+
+  // --- cross-thread reorder buffer ------------------------------------
+  struct Slot {
+    bool filled = false;
+    std::string bytes;
+  };
+  std::mutex mutex_;
+  std::deque<Slot> slots_;  // slot i answers request base_seq_ + i
+  uint64_t base_seq_ = 0;
+  size_t queued_bytes_ = 0;  // filled-but-unflushed response bytes
+  bool closed_ = false;      // set by the loop at close; drops late Responds
+
+  // Serial dispatch state (also guarded by mutex_).  Invariant: when
+  // task_running_ is false the queue is empty.
+  std::deque<std::function<void()>> pending_tasks_;
+  bool task_running_ = false;
+};
+
+/// Called on the loop thread for every parsed request.  The handler must
+/// eventually cause Connection::Respond(req.seq, ...) exactly once.
+using RequestHandler =
+    std::function<void(const std::shared_ptr<Connection>&, Request&&)>;
+
+class EventLoop {
+ public:
+  EventLoop(EventLoopOptions options, RequestHandler handler);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll/eventfd pair and spawns the loop thread.
+  Status Start();
+
+  /// Adopts an accepted socket (thread-safe; called by the acceptor).
+  void AddConnection(UniqueFd fd);
+
+  /// Stops parsing new requests; already-parsed ones keep completing.
+  void SetDraining() { draining_.store(true, std::memory_order_release); }
+
+  /// True once every reserved slot has been answered and written (or
+  /// the timeout passed).  Call after the executor has drained.
+  bool WaitFlushed(std::chrono::milliseconds timeout);
+
+  /// Closes every connection and exits the loop thread.  Idempotent.
+  void Stop();
+
+  size_t num_connections() const {
+    return num_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Connection;
+
+  void Run();
+  void ProcessPendingAdds();
+  void ProcessReadyResponses();
+  void ReadAndParse(const std::shared_ptr<Connection>& conn);
+  void ParseBuffered(const std::shared_ptr<Connection>& conn);
+  // FlushWrites and CloseConnection take the shared_ptr BY VALUE: callers
+  // may pass a reference into conns_, and CloseConnection erases that map
+  // node — a reference parameter would dangle mid-call.
+  void FlushWrites(std::shared_ptr<Connection> conn);
+  void SweepIdle();
+  void CloseConnection(std::shared_ptr<Connection> conn);
+  /// Queues `conn` for a flush pass and wakes the loop if needed
+  /// (called from Connection::Respond on any thread).
+  void NotifyResponseReady(uint64_t conn_id);
+  void Wake();
+
+  const EventLoopOptions options_;
+  const RequestHandler handler_;
+
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
+
+  std::atomic<size_t> num_connections_{0};
+  /// Requests parsed whose response has not yet fully left the process
+  /// (reserved slots) — the drain barrier WaitFlushed() polls.
+  std::atomic<size_t> open_slots_{0};
+  /// Response bytes sitting in write buffers.
+  std::atomic<size_t> unwritten_bytes_{0};
+
+  // Loop-thread-only.
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  std::chrono::steady_clock::time_point last_idle_sweep_;
+
+  // Cross-thread queues, guarded by mutex_.
+  std::mutex mutex_;
+  std::vector<UniqueFd> pending_adds_;
+  std::vector<uint64_t> ready_conn_ids_;
+
+  static std::atomic<uint64_t> next_conn_id_;
+};
+
+}  // namespace net
+}  // namespace tagg

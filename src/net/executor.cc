@@ -1,0 +1,79 @@
+#include "net/executor.h"
+
+#include "testing/fault_injector.h"
+
+namespace tagg {
+namespace net {
+
+BoundedExecutor::BoundedExecutor(size_t num_threads, size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BoundedExecutor::~BoundedExecutor() { Drain(); }
+
+Status BoundedExecutor::TrySubmit(std::function<void()> task) {
+  TAGG_INJECT_FAULT("net.executor.enqueue");
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (stopping_) {
+      return Status::ResourceExhausted("SERVER_BUSY: executor stopped");
+    }
+    if (queue_.size() >= capacity_) {
+      return Status::ResourceExhausted("SERVER_BUSY: queue full (" +
+                                       std::to_string(capacity_) + ")");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return Status::OK();
+}
+
+void BoundedExecutor::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    queue_idle_.wait(lock,
+                     [this] { return queue_.empty() && running_ == 0; });
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+size_t BoundedExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return queue_.size();
+}
+
+void BoundedExecutor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: drain complete for this worker.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) queue_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,65 @@
+// BoundedExecutor: a fixed thread pool behind an explicitly bounded task
+// queue — the server's backpressure point.
+//
+// TrySubmit never blocks and never buffers beyond the configured queue
+// capacity: when the queue is full it fails with kResourceExhausted so
+// the event loop can answer SERVER_BUSY immediately instead of letting a
+// hot client grow an unbounded backlog.  The fault seam
+// "net.executor.enqueue" lets the error-path sweeps force that rejection
+// deterministically.
+//
+// Drain() is the graceful-shutdown half: it stops admissions, waits until
+// every queued and running task has finished, then joins the workers.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tagg {
+namespace net {
+
+class BoundedExecutor {
+ public:
+  /// Spawns `num_threads` workers (min 1) over a queue holding at most
+  /// `queue_capacity` pending tasks (min 1).
+  BoundedExecutor(size_t num_threads, size_t queue_capacity);
+  ~BoundedExecutor();
+
+  BoundedExecutor(const BoundedExecutor&) = delete;
+  BoundedExecutor& operator=(const BoundedExecutor&) = delete;
+
+  /// Enqueues `task`, or fails with kResourceExhausted when the queue is
+  /// at capacity (SERVER_BUSY) or the executor is draining/stopped.
+  /// Fault seam "net.executor.enqueue".
+  Status TrySubmit(std::function<void()> task);
+
+  /// Stops admissions, runs the queue dry (in-flight tasks complete),
+  /// and joins the workers.  Idempotent.
+  void Drain();
+
+  size_t queue_capacity() const { return capacity_; }
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable queue_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,108 @@
+// Thin RAII socket layer over POSIX TCP: owned fds, loopback listeners,
+// non-blocking I/O helpers, and the FaultInjector seams that let the
+// error-path sweeps exercise accept/read/write failures on demand.
+//
+// Instrumented sites (tests arm testing::FaultInjector):
+//   net.accept   Acceptor::Accept
+//   net.read     ReadSome
+//   net.write    WriteSome
+//
+// All helpers return Status/Result instead of errno: EAGAIN/EWOULDBLOCK
+// surface as the dedicated IoOutcome::kWouldBlock so edge-triggered
+// callers can distinguish "drained" from "failed".
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace tagg {
+namespace net {
+
+/// Owns one file descriptor; closes it on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode.
+Status SetNonBlocking(int fd);
+/// Disables Nagle batching (request/response traffic wants low latency).
+Status SetNoDelay(int fd);
+
+/// Outcome of one non-blocking read/write attempt.
+enum class IoOutcome : uint8_t {
+  kOk,          // `n` bytes transferred (n > 0)
+  kWouldBlock,  // EAGAIN: the socket is drained / the buffer is full
+  kClosed,      // read: orderly peer shutdown (n == 0)
+  kError,       // hard error (or an injected fault); close the connection
+};
+
+struct IoResult {
+  IoOutcome outcome = IoOutcome::kError;
+  size_t n = 0;
+  Status status;  // non-OK only for kError
+};
+
+/// One recv() into `buf`; retries EINTR.  Fault seam "net.read".
+IoResult ReadSome(int fd, char* buf, size_t len);
+/// One send() of `data`; retries EINTR, suppresses SIGPIPE.  Fault seam
+/// "net.write".
+IoResult WriteSome(int fd, const char* data, size_t len);
+
+/// A listening TCP socket on 127.0.0.1.  Port 0 binds an ephemeral port;
+/// port() reports the actual one.
+class Acceptor {
+ public:
+  /// Opens, binds (SO_REUSEADDR), and listens; the listener is
+  /// non-blocking so Accept can be polled.
+  static Result<Acceptor> Listen(uint16_t port, int backlog = 128);
+
+  /// Accepts one pending connection as a non-blocking fd, or
+  /// kWouldBlock-like NotFound when none is pending.  Fault seam
+  /// "net.accept" (an injected fault reports IOError with no fd leaked).
+  Result<UniqueFd> Accept();
+
+  int fd() const { return fd_.get(); }
+  uint16_t port() const { return port_; }
+
+  Acceptor(Acceptor&&) = default;
+  Acceptor& operator=(Acceptor&&) = default;
+
+ private:
+  Acceptor(UniqueFd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  UniqueFd fd_;
+  uint16_t port_ = 0;
+};
+
+/// Blocking client connect to 127.0.0.1:port (used by the client library,
+/// tests, and the load generator; the server side never blocks).
+Result<UniqueFd> ConnectLoopback(uint16_t port);
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,53 @@
+// TokenBucket: the per-connection rate limiter.
+//
+// Classic token bucket: `rate` tokens accrue per second up to `burst`;
+// each admitted request spends one token.  A connection that outruns its
+// bucket gets RATE_LIMITED replies until tokens accrue again — the
+// session stays open (a paced client recovers without reconnecting).
+//
+// Single-threaded by design: each connection's bucket is only touched by
+// the event-loop thread that owns the connection, so no atomics.
+
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+namespace tagg {
+namespace net {
+
+class TokenBucket {
+ public:
+  /// rate <= 0 disables limiting (TryAcquire always admits).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec),
+        burst_(std::max(burst, 1.0)),
+        tokens_(burst_),
+        last_(Clock::now()) {}
+
+  /// Spends one token if available; false = rate limited.
+  bool TryAcquire() {
+    if (rate_ <= 0.0) return true;
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace net
+}  // namespace tagg

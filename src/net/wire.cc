@@ -1,0 +1,427 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace tagg {
+namespace net {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("truncated payload reading ") + what);
+}
+
+/// Least frame bytes a count of composite items can occupy; used to bound
+/// reserve() against hostile count fields before any per-item decode.
+constexpr size_t kMinTupleBytes = 2 * 8 + 2;      // start, end, value count
+constexpr size_t kMinIntervalBytes = 2 * 8 + 1;   // start, end, value tag
+
+}  // namespace
+
+std::string_view OpcodeToString(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kInsert: return "insert";
+    case Opcode::kInsertBatch: return "insert_batch";
+    case Opcode::kFlush: return "flush";
+    case Opcode::kAggregateAt: return "aggregate_at";
+    case Opcode::kAggregateOver: return "aggregate_over";
+    case Opcode::kMetrics: return "metrics";
+  }
+  return "unknown";
+}
+
+bool IsValidOpcode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Opcode::kPing) &&
+         raw <= static_cast<uint8_t>(Opcode::kMetrics);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void Writer::U16(uint16_t v) {
+  out_.push_back(static_cast<char>(v & 0xFF));
+  out_.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Writer::Str(std::string_view s) {
+  U16(static_cast<uint16_t>(s.size()));
+  out_.append(s);
+}
+
+void Writer::Value(const tagg::Value& v) {
+  U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      I64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      F64(v.AsDouble());
+      break;
+    case ValueType::kString:
+      Str(v.AsString());
+      break;
+  }
+}
+
+std::string EncodeRequestFrame(Opcode opcode, std::string_view payload) {
+  Writer w;
+  w.U8(kRequestMagic);
+  w.U8(static_cast<uint8_t>(opcode));
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.Raw(payload);
+  return w.Take();
+}
+
+std::string EncodeResponseFrame(StatusCode code, std::string_view payload) {
+  Writer w;
+  w.U8(kResponseMagic);
+  w.U8(static_cast<uint8_t>(code));
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.Raw(payload);
+  return w.Take();
+}
+
+std::string EncodeErrorFrame(const Status& status) {
+  return EncodeResponseFrame(status.code(), status.message());
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+Result<std::string_view> Cursor::Bytes(size_t n) {
+  if (remaining() < n) return Truncated("bytes");
+  std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<uint8_t> Cursor::U8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+Result<uint16_t> Cursor::U16() {
+  TAGG_ASSIGN_OR_RETURN(std::string_view b, Bytes(2));
+  return static_cast<uint16_t>(static_cast<uint8_t>(b[0]) |
+                               (static_cast<uint8_t>(b[1]) << 8));
+}
+
+Result<uint32_t> Cursor::U32() {
+  TAGG_ASSIGN_OR_RETURN(std::string_view b, Bytes(4));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(b[i]);
+  return v;
+}
+
+Result<uint64_t> Cursor::U64() {
+  TAGG_ASSIGN_OR_RETURN(std::string_view b, Bytes(8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(b[i]);
+  return v;
+}
+
+Result<int64_t> Cursor::I64() {
+  TAGG_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Cursor::F64() {
+  TAGG_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string_view> Cursor::Str() {
+  TAGG_ASSIGN_OR_RETURN(uint16_t len, U16());
+  return Bytes(len);
+}
+
+Result<tagg::Value> Cursor::Value() {
+  TAGG_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return tagg::Value::Null();
+    case ValueType::kInt: {
+      TAGG_ASSIGN_OR_RETURN(int64_t v, I64());
+      return tagg::Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      TAGG_ASSIGN_OR_RETURN(double v, F64());
+      return tagg::Value::Double(v);
+    }
+    case ValueType::kString: {
+      TAGG_ASSIGN_OR_RETURN(std::string_view s, Str());
+      return tagg::Value::String(std::string(s));
+    }
+  }
+  return Status::Corruption("unknown value type tag " + std::to_string(tag));
+}
+
+std::string_view Cursor::Rest() {
+  std::string_view out = bytes_.substr(pos_);
+  pos_ = bytes_.size();
+  return out;
+}
+
+Status Cursor::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::Corruption(std::to_string(remaining()) +
+                              " trailing byte(s) after payload");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Frame decoding
+// ---------------------------------------------------------------------------
+
+FrameDecodeState TryDecodeFrame(std::string_view buffer, bool expect_request,
+                                uint32_t max_payload, FrameHeader* header,
+                                std::string_view* payload, size_t* consumed,
+                                Status* error) {
+  if (buffer.empty()) return FrameDecodeState::kNeedMore;
+  const uint8_t magic = static_cast<uint8_t>(buffer[0]);
+  const uint8_t want = expect_request ? kRequestMagic : kResponseMagic;
+  if (magic != want) {
+    *error = Status::Corruption("bad frame magic 0x" + std::to_string(magic));
+    return FrameDecodeState::kProtocolError;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return FrameDecodeState::kNeedMore;
+  header->magic = magic;
+  header->opcode_or_status = static_cast<uint8_t>(buffer[1]);
+  uint32_t len = 0;
+  for (int i = 5; i >= 2; --i) {
+    len = (len << 8) | static_cast<uint8_t>(buffer[i]);
+  }
+  header->payload_len = len;
+  if (expect_request && !IsValidOpcode(header->opcode_or_status)) {
+    *error = Status::Corruption("unknown opcode " +
+                                std::to_string(header->opcode_or_status));
+    return FrameDecodeState::kProtocolError;
+  }
+  if (len > max_payload) {
+    *error = Status::Corruption("frame payload " + std::to_string(len) +
+                                " exceeds limit " +
+                                std::to_string(max_payload));
+    return FrameDecodeState::kProtocolError;
+  }
+  if (buffer.size() - kFrameHeaderBytes < len) {
+    return FrameDecodeState::kNeedMore;
+  }
+  *payload = buffer.substr(kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameDecodeState::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteTuple(Writer& w, const WireTuple& t) {
+  w.I64(t.start);
+  w.I64(t.end);
+  w.U16(static_cast<uint16_t>(t.values.size()));
+  for (const tagg::Value& v : t.values) w.Value(v);
+}
+
+Result<WireTuple> ReadTuple(Cursor& c) {
+  WireTuple t;
+  TAGG_ASSIGN_OR_RETURN(t.start, c.I64());
+  TAGG_ASSIGN_OR_RETURN(t.end, c.I64());
+  TAGG_ASSIGN_OR_RETURN(uint16_t n, c.U16());
+  t.values.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    TAGG_ASSIGN_OR_RETURN(tagg::Value v, c.Value());
+    t.values.push_back(std::move(v));
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string EncodeInsert(const InsertRequest& req) {
+  Writer w;
+  w.Str(req.relation);
+  WriteTuple(w, req.tuple);
+  return w.Take();
+}
+
+std::string EncodeInsertBatch(const InsertBatchRequest& req) {
+  Writer w;
+  w.Str(req.relation);
+  w.U32(static_cast<uint32_t>(req.tuples.size()));
+  for (const WireTuple& t : req.tuples) WriteTuple(w, t);
+  return w.Take();
+}
+
+std::string EncodeFlush(const FlushRequest& req) {
+  Writer w;
+  w.Str(req.relation);
+  return w.Take();
+}
+
+std::string EncodeAggregateAt(const AggregateAtRequest& req) {
+  Writer w;
+  w.Str(req.relation);
+  w.U8(req.aggregate);
+  w.U32(req.attribute);
+  w.I64(req.t);
+  return w.Take();
+}
+
+std::string EncodeAggregateOver(const AggregateOverRequest& req) {
+  Writer w;
+  w.Str(req.relation);
+  w.U8(req.aggregate);
+  w.U32(req.attribute);
+  w.I64(req.start);
+  w.I64(req.end);
+  w.U8(req.coalesce ? 1 : 0);
+  return w.Take();
+}
+
+Result<InsertRequest> DecodeInsert(std::string_view payload) {
+  Cursor c(payload);
+  InsertRequest req;
+  TAGG_ASSIGN_OR_RETURN(std::string_view rel, c.Str());
+  req.relation = std::string(rel);
+  TAGG_ASSIGN_OR_RETURN(req.tuple, ReadTuple(c));
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return req;
+}
+
+Result<InsertBatchRequest> DecodeInsertBatch(std::string_view payload) {
+  Cursor c(payload);
+  InsertBatchRequest req;
+  TAGG_ASSIGN_OR_RETURN(std::string_view rel, c.Str());
+  req.relation = std::string(rel);
+  TAGG_ASSIGN_OR_RETURN(uint32_t n, c.U32());
+  if (static_cast<size_t>(n) * kMinTupleBytes > c.remaining()) {
+    return Status::Corruption("batch count " + std::to_string(n) +
+                              " exceeds frame size");
+  }
+  req.tuples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TAGG_ASSIGN_OR_RETURN(WireTuple t, ReadTuple(c));
+    req.tuples.push_back(std::move(t));
+  }
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return req;
+}
+
+Result<FlushRequest> DecodeFlush(std::string_view payload) {
+  Cursor c(payload);
+  FlushRequest req;
+  TAGG_ASSIGN_OR_RETURN(std::string_view rel, c.Str());
+  req.relation = std::string(rel);
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return req;
+}
+
+Result<AggregateAtRequest> DecodeAggregateAt(std::string_view payload) {
+  Cursor c(payload);
+  AggregateAtRequest req;
+  TAGG_ASSIGN_OR_RETURN(std::string_view rel, c.Str());
+  req.relation = std::string(rel);
+  TAGG_ASSIGN_OR_RETURN(req.aggregate, c.U8());
+  TAGG_ASSIGN_OR_RETURN(req.attribute, c.U32());
+  TAGG_ASSIGN_OR_RETURN(req.t, c.I64());
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return req;
+}
+
+Result<AggregateOverRequest> DecodeAggregateOver(std::string_view payload) {
+  Cursor c(payload);
+  AggregateOverRequest req;
+  TAGG_ASSIGN_OR_RETURN(std::string_view rel, c.Str());
+  req.relation = std::string(rel);
+  TAGG_ASSIGN_OR_RETURN(req.aggregate, c.U8());
+  TAGG_ASSIGN_OR_RETURN(req.attribute, c.U32());
+  TAGG_ASSIGN_OR_RETURN(req.start, c.I64());
+  TAGG_ASSIGN_OR_RETURN(req.end, c.I64());
+  TAGG_ASSIGN_OR_RETURN(uint8_t coalesce, c.U8());
+  req.coalesce = coalesce != 0;
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return req;
+}
+
+std::string EncodeAggregateAtResponse(const AggregateAtResponse& resp) {
+  Writer w;
+  w.U64(resp.epoch);
+  w.Value(resp.value);
+  return w.Take();
+}
+
+std::string EncodeAggregateOverResponse(const AggregateOverResponse& resp) {
+  Writer w;
+  w.U64(resp.epoch);
+  w.U32(static_cast<uint32_t>(resp.intervals.size()));
+  for (const WireInterval& iv : resp.intervals) {
+    w.I64(iv.start);
+    w.I64(iv.end);
+    w.Value(iv.value);
+  }
+  return w.Take();
+}
+
+Result<AggregateAtResponse> DecodeAggregateAtResponse(
+    std::string_view payload) {
+  Cursor c(payload);
+  AggregateAtResponse resp;
+  TAGG_ASSIGN_OR_RETURN(resp.epoch, c.U64());
+  TAGG_ASSIGN_OR_RETURN(resp.value, c.Value());
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return resp;
+}
+
+Result<AggregateOverResponse> DecodeAggregateOverResponse(
+    std::string_view payload) {
+  Cursor c(payload);
+  AggregateOverResponse resp;
+  TAGG_ASSIGN_OR_RETURN(resp.epoch, c.U64());
+  TAGG_ASSIGN_OR_RETURN(uint32_t n, c.U32());
+  if (static_cast<size_t>(n) * kMinIntervalBytes > c.remaining()) {
+    return Status::Corruption("interval count " + std::to_string(n) +
+                              " exceeds frame size");
+  }
+  resp.intervals.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WireInterval iv;
+    TAGG_ASSIGN_OR_RETURN(iv.start, c.I64());
+    TAGG_ASSIGN_OR_RETURN(iv.end, c.I64());
+    TAGG_ASSIGN_OR_RETURN(iv.value, c.Value());
+    resp.intervals.push_back(std::move(iv));
+  }
+  TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+  return resp;
+}
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,252 @@
+// Wire protocol for the network serving layer: a length-prefixed binary
+// framing plus a line-oriented taggsql text mode, both decoded by pure
+// byte-level functions so the codecs can be fuzzed without a socket.
+//
+// Binary framing (all integers little-endian):
+//
+//   request:   magic 0xC4 | opcode u8 | payload_len u32 | payload
+//   response:  magic 0xC5 | status u8 | payload_len u32 | payload
+//
+// The first byte of a connection selects the mode: 0xC4 means binary,
+// anything else means text (0xC4 is not printable ASCII, so a taggsql
+// line can never be mistaken for a frame).  `status` carries the
+// tagg::StatusCode of the operation; payload is the error message for
+// non-OK responses and an opcode-specific encoding otherwise.  A
+// SERVER_BUSY rejection is StatusCode::kResourceExhausted with a message
+// starting with "SERVER_BUSY"; rate limiting uses "RATE_LIMITED".
+//
+// Payload primitives: u8/u16/u32/u64/i64 fixed-width little-endian, f64
+// as the IEEE-754 bit pattern, strings as u16 length + bytes, and Values
+// as a u8 type tag (0 null, 1 int, 2 double, 3 string) + the payload.
+//
+// Every decoder consumes from a Cursor and fails with a clean Status on
+// truncation, trailing garbage, or a length field pointing past the
+// frame; decoders never read beyond the input span and never allocate
+// proportionally to a hostile length field before checking it against
+// the bytes actually present.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "temporal/period.h"
+#include "temporal/value.h"
+#include "util/result.h"
+
+namespace tagg {
+namespace net {
+
+/// First byte of every binary request frame (and the mode-detect byte).
+inline constexpr uint8_t kRequestMagic = 0xC4;
+/// First byte of every binary response frame.
+inline constexpr uint8_t kResponseMagic = 0xC5;
+
+/// Frame header: magic + opcode/status + u32 payload length.
+inline constexpr size_t kFrameHeaderBytes = 6;
+
+/// Default ceiling on a frame payload; oversized frames are a protocol
+/// error, closing the connection instead of buffering without bound.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 4u << 20;  // 4 MiB
+
+/// Default ceiling on one text-mode line (including the newline).
+inline constexpr size_t kDefaultMaxLineBytes = 64u << 10;  // 64 KiB
+
+/// Operations a client can request.  Values are wire-stable.
+enum class Opcode : uint8_t {
+  kPing = 1,
+  kInsert = 2,
+  kInsertBatch = 3,
+  kFlush = 4,
+  kAggregateAt = 5,
+  kAggregateOver = 6,
+  kMetrics = 7,
+};
+
+/// Name for metrics/debug ("ping", "insert", ...); "unknown" otherwise.
+std::string_view OpcodeToString(Opcode opcode);
+bool IsValidOpcode(uint8_t raw);
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Append-only payload builder.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// u16 length + bytes; the caller must keep strings under 64 KiB.
+  void Str(std::string_view s);
+  /// Raw bytes without a length prefix (e.g. the Metrics text body).
+  void Raw(std::string_view s) { out_.append(s); }
+  void Value(const tagg::Value& v);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// A complete request frame: header + payload.
+std::string EncodeRequestFrame(Opcode opcode, std::string_view payload);
+
+/// A complete response frame: header + payload.  `code` is the Status
+/// code of the operation (kOk for success).
+std::string EncodeResponseFrame(StatusCode code, std::string_view payload);
+
+/// Response frame carrying an error status and its message.
+std::string EncodeErrorFrame(const Status& status);
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked consuming view over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string_view> Str();
+  Result<tagg::Value> Value();
+  /// Everything not yet consumed (used by Metrics-style raw payloads).
+  std::string_view Rest();
+
+  /// Error unless every byte was consumed (rejects trailing garbage).
+  Status ExpectEnd() const;
+
+ private:
+  Result<std::string_view> Bytes(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// One decoded frame header.
+struct FrameHeader {
+  uint8_t magic = 0;
+  uint8_t opcode_or_status = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Outcome of TryDecodeFrame on a byte stream.
+enum class FrameDecodeState : uint8_t {
+  kNeedMore,   // incomplete header or payload; read more bytes
+  kFrame,      // one complete frame decoded
+  kProtocolError,
+};
+
+/// Attempts to decode one frame at the front of `buffer`.  On kFrame,
+/// fills header/payload (payload views into `buffer`) and sets
+/// `consumed` to the frame's total size; the caller erases that prefix.
+/// On kProtocolError, `error` explains (bad magic, bad opcode for
+/// `expect_request`, payload over `max_payload`).
+FrameDecodeState TryDecodeFrame(std::string_view buffer, bool expect_request,
+                                uint32_t max_payload, FrameHeader* header,
+                                std::string_view* payload, size_t* consumed,
+                                Status* error);
+
+// ---------------------------------------------------------------------------
+// Typed request payloads
+// ---------------------------------------------------------------------------
+
+/// One tuple on the wire: validity + attribute values.
+struct WireTuple {
+  Instant start = kOrigin;
+  Instant end = kForever;
+  std::vector<tagg::Value> values;
+};
+
+struct InsertRequest {
+  std::string relation;
+  WireTuple tuple;
+};
+
+struct InsertBatchRequest {
+  std::string relation;
+  std::vector<WireTuple> tuples;
+};
+
+struct FlushRequest {
+  std::string relation;  // empty = every registered relation
+};
+
+/// Sentinel for "no attribute" (COUNT(*)) in the u32 attribute field.
+inline constexpr uint32_t kWireNoAttribute = 0xFFFFFFFFu;
+
+struct AggregateAtRequest {
+  std::string relation;
+  uint8_t aggregate = 0;  // AggregateKind value
+  uint32_t attribute = kWireNoAttribute;
+  Instant t = kOrigin;
+};
+
+struct AggregateOverRequest {
+  std::string relation;
+  uint8_t aggregate = 0;
+  uint32_t attribute = kWireNoAttribute;
+  Instant start = kOrigin;
+  Instant end = kForever;
+  bool coalesce = true;
+};
+
+std::string EncodeInsert(const InsertRequest& req);
+std::string EncodeInsertBatch(const InsertBatchRequest& req);
+std::string EncodeFlush(const FlushRequest& req);
+std::string EncodeAggregateAt(const AggregateAtRequest& req);
+std::string EncodeAggregateOver(const AggregateOverRequest& req);
+
+Result<InsertRequest> DecodeInsert(std::string_view payload);
+Result<InsertBatchRequest> DecodeInsertBatch(std::string_view payload);
+Result<FlushRequest> DecodeFlush(std::string_view payload);
+Result<AggregateAtRequest> DecodeAggregateAt(std::string_view payload);
+Result<AggregateOverRequest> DecodeAggregateOver(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Typed response payloads
+// ---------------------------------------------------------------------------
+
+/// AggregateAt response: the epoch the answer was computed at + the value.
+struct AggregateAtResponse {
+  uint64_t epoch = 0;
+  tagg::Value value;
+};
+
+/// One constant interval of an AggregateOver response.
+struct WireInterval {
+  Instant start = kOrigin;
+  Instant end = kForever;
+  tagg::Value value;
+};
+
+struct AggregateOverResponse {
+  uint64_t epoch = 0;
+  std::vector<WireInterval> intervals;
+};
+
+std::string EncodeAggregateAtResponse(const AggregateAtResponse& resp);
+std::string EncodeAggregateOverResponse(const AggregateOverResponse& resp);
+
+Result<AggregateAtResponse> DecodeAggregateAtResponse(
+    std::string_view payload);
+Result<AggregateOverResponse> DecodeAggregateOverResponse(
+    std::string_view payload);
+
+}  // namespace net
+}  // namespace tagg

@@ -1,0 +1,338 @@
+#include "server/protocol.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/str.h"
+
+namespace tagg {
+namespace server {
+
+namespace {
+
+using net::AggregateAtRequest;
+using net::AggregateAtResponse;
+using net::AggregateOverRequest;
+using net::AggregateOverResponse;
+using net::FlushRequest;
+using net::InsertBatchRequest;
+using net::InsertRequest;
+using net::Opcode;
+using net::WireInterval;
+using net::WireTuple;
+
+Result<Period> MakePeriod(Instant start, Instant end) {
+  return Period::Make(start, end);
+}
+
+Result<Tuple> ToTuple(const WireTuple& wire) {
+  TAGG_ASSIGN_OR_RETURN(Period valid, MakePeriod(wire.start, wire.end));
+  return Tuple(wire.values, valid);
+}
+
+Result<AggregateKind> ToAggregateKind(uint8_t raw) {
+  if (raw > static_cast<uint8_t>(AggregateKind::kAvg)) {
+    return Status::InvalidArgument("unknown aggregate kind " +
+                                   std::to_string(raw));
+  }
+  return static_cast<AggregateKind>(raw);
+}
+
+size_t ToAttribute(uint32_t wire_attribute) {
+  return wire_attribute == net::kWireNoAttribute
+             ? AggregateOptions::kNoAttribute
+             : static_cast<size_t>(wire_attribute);
+}
+
+/// Looks up the live index serving (relation, aggregate, attribute).
+Result<const LiveAggregateIndex*> FindIndex(const ServingState& state,
+                                            std::string_view relation,
+                                            uint8_t raw_kind,
+                                            uint32_t raw_attribute) {
+  TAGG_ASSIGN_OR_RETURN(AggregateKind kind, ToAggregateKind(raw_kind));
+  const LiveAggregateIndex* index =
+      state.live->Find(relation, kind, ToAttribute(raw_attribute));
+  if (index == nullptr) {
+    return Status::NotFound(
+        "no live index registered for " + std::string(relation) + "/" +
+        std::string(AggregateKindToString(kind)));
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Binary operations
+// ---------------------------------------------------------------------------
+
+Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
+                              std::string_view payload) {
+  switch (opcode) {
+    case Opcode::kPing: {
+      net::Cursor c(payload);
+      TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+      return std::string();
+    }
+    case Opcode::kInsert: {
+      TAGG_ASSIGN_OR_RETURN(InsertRequest req, net::DecodeInsert(payload));
+      TAGG_ASSIGN_OR_RETURN(Tuple tuple, ToTuple(req.tuple));
+      TAGG_RETURN_IF_ERROR(state.live->Ingest(req.relation,
+                                              std::move(tuple)));
+      return std::string();
+    }
+    case Opcode::kInsertBatch: {
+      TAGG_ASSIGN_OR_RETURN(InsertBatchRequest req,
+                            net::DecodeInsertBatch(payload));
+      std::vector<Tuple> tuples;
+      tuples.reserve(req.tuples.size());
+      for (const WireTuple& wire : req.tuples) {
+        TAGG_ASSIGN_OR_RETURN(Tuple tuple, ToTuple(wire));
+        tuples.push_back(std::move(tuple));
+      }
+      size_t ingested = 0;
+      TAGG_RETURN_IF_ERROR(state.live->IngestBatch(
+          req.relation, std::move(tuples), &ingested));
+      net::Writer w;
+      w.U32(static_cast<uint32_t>(ingested));
+      return w.Take();
+    }
+    case Opcode::kFlush: {
+      TAGG_ASSIGN_OR_RETURN(FlushRequest req, net::DecodeFlush(payload));
+      TAGG_RETURN_IF_ERROR(state.live->Flush(req.relation));
+      return std::string();
+    }
+    case Opcode::kAggregateAt: {
+      TAGG_ASSIGN_OR_RETURN(AggregateAtRequest req,
+                            net::DecodeAggregateAt(payload));
+      TAGG_ASSIGN_OR_RETURN(
+          const LiveAggregateIndex* index,
+          FindIndex(state, req.relation, req.aggregate, req.attribute));
+      AggregateAtResponse resp;
+      TAGG_ASSIGN_OR_RETURN(resp.value,
+                            index->AggregateAt(req.t, &resp.epoch));
+      return net::EncodeAggregateAtResponse(resp);
+    }
+    case Opcode::kAggregateOver: {
+      TAGG_ASSIGN_OR_RETURN(AggregateOverRequest req,
+                            net::DecodeAggregateOver(payload));
+      TAGG_ASSIGN_OR_RETURN(
+          const LiveAggregateIndex* index,
+          FindIndex(state, req.relation, req.aggregate, req.attribute));
+      TAGG_ASSIGN_OR_RETURN(Period query,
+                            MakePeriod(req.start, req.end));
+      AggregateOverResponse resp;
+      TAGG_ASSIGN_OR_RETURN(
+          AggregateSeries series,
+          index->AggregateOver(query, req.coalesce, &resp.epoch));
+      resp.intervals.reserve(series.intervals.size());
+      for (const ResultInterval& iv : series.intervals) {
+        resp.intervals.push_back(WireInterval{
+            iv.period.start(), iv.period.end(), iv.value});
+      }
+      return net::EncodeAggregateOverResponse(resp);
+    }
+    case Opcode::kMetrics: {
+      net::Cursor c(payload);
+      TAGG_RETURN_IF_ERROR(c.ExpectEnd());
+      return obs::MetricsRegistry::Global().PrometheusText();
+    }
+  }
+  return Status::InvalidArgument("unknown opcode " +
+                                 std::to_string(static_cast<int>(opcode)));
+}
+
+// ---------------------------------------------------------------------------
+// Text operations
+// ---------------------------------------------------------------------------
+
+Result<int64_t> ParseInt64(const std::string& word) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(word.c_str(), &end, 10);
+  if (end == word.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("expected an integer, got '" + word +
+                                   "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// Text-mode value literal: "null", an integer, a double, or a string.
+Value ParseValueWord(const std::string& word) {
+  if (EqualsIgnoreCase(word, "null")) return Value::Null();
+  char* end = nullptr;
+  errno = 0;
+  const long long i = std::strtoll(word.c_str(), &end, 10);
+  if (end != word.c_str() && *end == '\0' && errno != ERANGE) {
+    return Value::Int(static_cast<int64_t>(i));
+  }
+  errno = 0;
+  const double d = std::strtod(word.c_str(), &end);
+  if (end != word.c_str() && *end == '\0' && errno != ERANGE) {
+    return Value::Double(d);
+  }
+  return Value::String(word);
+}
+
+/// Aggregate + attribute from "<agg> <attr|*>"; attribute may be an
+/// index, an attribute name (resolved against the catalog), or "*".
+Result<std::pair<AggregateKind, size_t>> ParseAggAttr(
+    const ServingState& state, const std::string& relation,
+    const std::string& agg_word, const std::string& attr_word) {
+  TAGG_ASSIGN_OR_RETURN(AggregateKind kind, ParseAggregateKind(agg_word));
+  if (attr_word == "*") {
+    return std::make_pair(kind, AggregateOptions::kNoAttribute);
+  }
+  char* end = nullptr;
+  const long long idx = std::strtoll(attr_word.c_str(), &end, 10);
+  if (end != attr_word.c_str() && *end == '\0' && idx >= 0) {
+    return std::make_pair(kind, static_cast<size_t>(idx));
+  }
+  TAGG_ASSIGN_OR_RETURN(std::shared_ptr<Relation> relation_ptr,
+                        state.catalog->Get(relation));
+  const auto resolved = relation_ptr->schema().IndexOf(attr_word);
+  if (!resolved.has_value()) {
+    return Status::NotFound("relation '" + relation +
+                            "' has no attribute '" + attr_word + "'");
+  }
+  return std::make_pair(kind, *resolved);
+}
+
+Result<std::string> RunText(const ServingState& state,
+                            std::string_view line, bool* quit) {
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty()) return std::string("+OK\n");
+  const std::vector<std::string> words = Split(std::string(trimmed), ' ');
+  const std::string& cmd = words[0];
+
+  if (EqualsIgnoreCase(cmd, "quit") || EqualsIgnoreCase(cmd, "exit")) {
+    *quit = true;
+    return std::string("+BYE\n");
+  }
+  if (EqualsIgnoreCase(cmd, "ping")) return std::string("+PONG\n");
+  if (EqualsIgnoreCase(cmd, "metrics")) {
+    std::string out = obs::MetricsRegistry::Global().PrometheusText();
+    if (out.empty() || out.back() != '\n') out.push_back('\n');
+    out += ".\n";
+    return out;
+  }
+  if (EqualsIgnoreCase(cmd, "stats")) {
+    std::string out = state.live->Stats().ToString();
+    if (out.empty() || out.back() != '\n') out.push_back('\n');
+    out += ".\n";
+    return out;
+  }
+  if (EqualsIgnoreCase(cmd, "flush")) {
+    if (words.size() > 2) {
+      return Status::InvalidArgument("usage: flush [relation]");
+    }
+    TAGG_RETURN_IF_ERROR(
+        state.live->Flush(words.size() == 2 ? words[1] : ""));
+    return std::string("+OK\n");
+  }
+  if (EqualsIgnoreCase(cmd, "insert")) {
+    // insert <relation> <start> <end> [v1 v2 ...]
+    if (words.size() < 4) {
+      return Status::InvalidArgument(
+          "usage: insert <relation> <start> <end> [values...]");
+    }
+    TAGG_ASSIGN_OR_RETURN(int64_t start, ParseInt64(words[2]));
+    TAGG_ASSIGN_OR_RETURN(int64_t end, ParseInt64(words[3]));
+    TAGG_ASSIGN_OR_RETURN(Period valid, Period::Make(start, end));
+    std::vector<Value> values;
+    values.reserve(words.size() - 4);
+    for (size_t i = 4; i < words.size(); ++i) {
+      values.push_back(ParseValueWord(words[i]));
+    }
+    TAGG_RETURN_IF_ERROR(
+        state.live->Ingest(words[1], Tuple(std::move(values), valid)));
+    return std::string("+OK\n");
+  }
+  if (EqualsIgnoreCase(cmd, "at")) {
+    // at <relation> <aggregate> <attr|*> <t>
+    if (words.size() != 5) {
+      return Status::InvalidArgument(
+          "usage: at <relation> <aggregate> <attribute|*> <instant>");
+    }
+    TAGG_ASSIGN_OR_RETURN(auto agg_attr,
+                          ParseAggAttr(state, words[1], words[2], words[3]));
+    TAGG_ASSIGN_OR_RETURN(int64_t t, ParseInt64(words[4]));
+    const LiveAggregateIndex* index =
+        state.live->Find(words[1], agg_attr.first, agg_attr.second);
+    if (index == nullptr) {
+      return Status::NotFound("no live index registered for " + words[1] +
+                              "/" + words[2]);
+    }
+    uint64_t epoch = 0;
+    TAGG_ASSIGN_OR_RETURN(Value value, index->AggregateAt(t, &epoch));
+    return "+OK " + value.ToString() + " epoch=" + std::to_string(epoch) +
+           "\n";
+  }
+  if (EqualsIgnoreCase(cmd, "over")) {
+    // over <relation> <aggregate> <attr|*> <start> <end> [nocoalesce]
+    if (words.size() != 6 && words.size() != 7) {
+      return Status::InvalidArgument(
+          "usage: over <relation> <aggregate> <attribute|*> <start> <end> "
+          "[nocoalesce]");
+    }
+    bool coalesce = true;
+    if (words.size() == 7) {
+      if (!EqualsIgnoreCase(words[6], "nocoalesce")) {
+        return Status::InvalidArgument("unknown option '" + words[6] + "'");
+      }
+      coalesce = false;
+    }
+    TAGG_ASSIGN_OR_RETURN(auto agg_attr,
+                          ParseAggAttr(state, words[1], words[2], words[3]));
+    TAGG_ASSIGN_OR_RETURN(int64_t start, ParseInt64(words[4]));
+    TAGG_ASSIGN_OR_RETURN(int64_t end, ParseInt64(words[5]));
+    TAGG_ASSIGN_OR_RETURN(Period query, Period::Make(start, end));
+    const LiveAggregateIndex* index =
+        state.live->Find(words[1], agg_attr.first, agg_attr.second);
+    if (index == nullptr) {
+      return Status::NotFound("no live index registered for " + words[1] +
+                              "/" + words[2]);
+    }
+    uint64_t epoch = 0;
+    TAGG_ASSIGN_OR_RETURN(AggregateSeries series,
+                          index->AggregateOver(query, coalesce, &epoch));
+    std::string out = "+OK " + std::to_string(series.intervals.size()) +
+                      " epoch=" + std::to_string(epoch) + "\n";
+    for (const ResultInterval& iv : series.intervals) {
+      out += InstantToString(iv.period.start()) + " " +
+             InstantToString(iv.period.end()) + " " + iv.value.ToString() +
+             "\n";
+    }
+    out += ".\n";
+    return out;
+  }
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "' (ping, insert, flush, at, over, "
+                                 "metrics, stats, quit)");
+}
+
+}  // namespace
+
+std::string TextErrorLine(const Status& status) {
+  if (status.IsResourceExhausted()) {
+    return "-BUSY " + std::string(status.message()) + "\n";
+  }
+  return "-ERR " + std::string(StatusCodeToString(status.code())) + ": " +
+         std::string(status.message()) + "\n";
+}
+
+std::string HandleBinaryRequest(const ServingState& state, uint8_t opcode,
+                                std::string_view payload) {
+  Result<std::string> result =
+      RunBinary(state, static_cast<Opcode>(opcode), payload);
+  if (!result.ok()) return net::EncodeErrorFrame(result.status());
+  return net::EncodeResponseFrame(StatusCode::kOk, *result);
+}
+
+std::string HandleTextRequest(const ServingState& state,
+                              std::string_view line, bool* quit) {
+  Result<std::string> result = RunText(state, line, quit);
+  if (!result.ok()) return TextErrorLine(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace server
+}  // namespace tagg

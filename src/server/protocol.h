@@ -1,0 +1,51 @@
+// Protocol handlers: decode a wire request, run it against the live
+// serving state, encode the reply.
+//
+// Both modes funnel into the same operations:
+//   * binary — the typed frames of net/wire.h; HandleBinaryRequest
+//     returns a complete response frame;
+//   * text (taggsql line mode) — one command per line; HandleTextRequest
+//     returns the full reply text ("+OK ..." / "-ERR code: message",
+//     multi-line replies terminated by a lone ".").
+//
+// Handlers run on executor worker threads: everything they touch is
+// thread-safe (LiveService serializes writers under its registry mutex;
+// reads go through the lock-free live indexes; the Catalog is read-only
+// after server start).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "live/service.h"
+#include "net/wire.h"
+#include "temporal/catalog.h"
+
+namespace tagg {
+namespace server {
+
+/// What the handlers serve: the registered relations and their live
+/// indexes.  The catalog must not be mutated while the server runs.
+struct ServingState {
+  const Catalog* catalog = nullptr;
+  LiveService* live = nullptr;
+};
+
+/// Executes one binary request and returns the encoded response frame.
+/// Never fails: operation errors become error frames.
+std::string HandleBinaryRequest(const ServingState& state, uint8_t opcode,
+                                std::string_view payload);
+
+/// Executes one text command and returns the reply text (always
+/// newline-terminated).  Sets `*quit` when the client asked to close
+/// ("quit"); operation errors become "-ERR ..." lines.
+std::string HandleTextRequest(const ServingState& state,
+                              std::string_view line, bool* quit);
+
+/// Renders `status` as a text-mode error line ("-BUSY ..." for
+/// kResourceExhausted, "-ERR code: message" otherwise).
+std::string TextErrorLine(const Status& status);
+
+}  // namespace server
+}  // namespace tagg

@@ -1,0 +1,278 @@
+// Wire codec unit tests: primitive roundtrips, frame decode states, and
+// the hostile-input guards (truncation, trailing bytes, oversized counts).
+
+#include "net/wire.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tagg {
+namespace net {
+namespace {
+
+TEST(WireWriterCursorTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(3.25);
+  w.Str("hello");
+  const std::string bytes = w.Take();
+
+  Cursor c(bytes);
+  EXPECT_EQ(c.U8().value(), 0xAB);
+  EXPECT_EQ(c.U16().value(), 0xBEEF);
+  EXPECT_EQ(c.U32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(c.U64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(c.I64().value(), -42);
+  EXPECT_EQ(c.F64().value(), 3.25);
+  EXPECT_EQ(c.Str().value(), "hello");
+  EXPECT_TRUE(c.ExpectEnd().ok());
+}
+
+TEST(WireWriterCursorTest, ValuesRoundTrip) {
+  const std::vector<Value> values = {Value::Null(), Value::Int(-7),
+                                     Value::Double(2.5),
+                                     Value::String("bob")};
+  Writer w;
+  for (const Value& v : values) w.Value(v);
+  const std::string bytes = w.Take();
+
+  Cursor c(bytes);
+  for (const Value& expected : values) {
+    Result<Value> got = c.Value();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_TRUE(c.ExpectEnd().ok());
+}
+
+TEST(WireWriterCursorTest, TruncationIsACleanError) {
+  Writer w;
+  w.U64(12345);
+  w.Str("truncate me");
+  const std::string bytes = w.Take();
+  // Every strict prefix must fail without crashing or over-reading.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Cursor c(std::string_view(bytes).substr(0, n));
+    Result<uint64_t> u = c.U64();
+    if (!u.ok()) continue;
+    EXPECT_FALSE(c.Str().ok()) << "prefix length " << n;
+  }
+}
+
+TEST(WireWriterCursorTest, ExpectEndRejectsTrailingBytes) {
+  Writer w;
+  w.U8(1);
+  w.U8(2);
+  const std::string bytes = w.Take();
+  Cursor c(bytes);
+  ASSERT_TRUE(c.U8().ok());
+  EXPECT_FALSE(c.ExpectEnd().ok());
+}
+
+TEST(WireFrameTest, RequestFrameRoundTrips) {
+  const std::string frame = EncodeRequestFrame(Opcode::kInsert, "payload");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryDecodeFrame(frame, /*expect_request=*/true,
+                           kDefaultMaxPayloadBytes, &header, &payload,
+                           &consumed, &error),
+            FrameDecodeState::kFrame);
+  EXPECT_EQ(header.magic, kRequestMagic);
+  EXPECT_EQ(header.opcode_or_status, static_cast<uint8_t>(Opcode::kInsert));
+  EXPECT_EQ(payload, "payload");
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(WireFrameTest, PartialFrameNeedsMore) {
+  const std::string frame = EncodeRequestFrame(Opcode::kPing, "abc");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_EQ(TryDecodeFrame(std::string_view(frame).substr(0, n),
+                             /*expect_request=*/true, kDefaultMaxPayloadBytes,
+                             &header, &payload, &consumed, &error),
+              FrameDecodeState::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(WireFrameTest, BadMagicAndBadOpcodeAreProtocolErrors) {
+  std::string frame = EncodeRequestFrame(Opcode::kPing, "");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'G';  // e.g. an HTTP request hitting the port
+  EXPECT_EQ(TryDecodeFrame(bad_magic, true, kDefaultMaxPayloadBytes, &header,
+                           &payload, &consumed, &error),
+            FrameDecodeState::kProtocolError);
+
+  std::string bad_opcode = frame;
+  bad_opcode[1] = static_cast<char>(0xEE);
+  EXPECT_EQ(TryDecodeFrame(bad_opcode, true, kDefaultMaxPayloadBytes,
+                           &header, &payload, &consumed, &error),
+            FrameDecodeState::kProtocolError);
+}
+
+TEST(WireFrameTest, OversizedPayloadIsAProtocolErrorBeforeBuffering) {
+  // Header declares 100 MiB; only the header's 6 bytes exist.  The
+  // decoder must reject from the length field alone.
+  Writer w;
+  w.U8(kRequestMagic);
+  w.U8(static_cast<uint8_t>(Opcode::kInsert));
+  w.U32(100u << 20);
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryDecodeFrame(w.bytes(), true, kDefaultMaxPayloadBytes, &header,
+                           &payload, &consumed, &error),
+            FrameDecodeState::kProtocolError);
+  EXPECT_FALSE(error.ok());
+}
+
+TEST(WireRequestTest, InsertRoundTrips) {
+  InsertRequest req;
+  req.relation = "events";
+  req.tuple = {10, 20, {Value::Double(1.5), Value::Null()}};
+  Result<InsertRequest> got = DecodeInsert(EncodeInsert(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->relation, "events");
+  EXPECT_EQ(got->tuple.start, 10);
+  EXPECT_EQ(got->tuple.end, 20);
+  ASSERT_EQ(got->tuple.values.size(), 2u);
+  EXPECT_EQ(got->tuple.values[0], Value::Double(1.5));
+  EXPECT_TRUE(got->tuple.values[1].is_null());
+}
+
+TEST(WireRequestTest, InsertBatchRoundTrips) {
+  InsertBatchRequest req;
+  req.relation = "events";
+  for (int i = 0; i < 17; ++i) {
+    req.tuples.push_back(
+        {i, i + 10, {Value::Int(i), Value::String("s" + std::to_string(i))}});
+  }
+  Result<InsertBatchRequest> got =
+      DecodeInsertBatch(EncodeInsertBatch(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->tuples.size(), req.tuples.size());
+  for (size_t i = 0; i < req.tuples.size(); ++i) {
+    EXPECT_EQ(got->tuples[i].start, req.tuples[i].start);
+    EXPECT_EQ(got->tuples[i].end, req.tuples[i].end);
+    EXPECT_EQ(got->tuples[i].values, req.tuples[i].values);
+  }
+}
+
+TEST(WireRequestTest, HostileTupleCountDoesNotPreallocate) {
+  // A batch header claiming 2^31 tuples backed by 4 bytes of payload must
+  // fail cleanly (the guard checks count * min-size against remaining).
+  Writer w;
+  w.Str("events");
+  w.U32(0x80000000u);
+  Result<InsertBatchRequest> got = DecodeInsertBatch(w.bytes());
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(WireRequestTest, AggregateRequestsRoundTrip) {
+  AggregateAtRequest at;
+  at.relation = "employed";
+  at.aggregate = 3;
+  at.attribute = kWireNoAttribute;
+  at.t = 1995;
+  Result<AggregateAtRequest> at_got =
+      DecodeAggregateAt(EncodeAggregateAt(at));
+  ASSERT_TRUE(at_got.ok()) << at_got.status().ToString();
+  EXPECT_EQ(at_got->relation, at.relation);
+  EXPECT_EQ(at_got->aggregate, at.aggregate);
+  EXPECT_EQ(at_got->attribute, at.attribute);
+  EXPECT_EQ(at_got->t, at.t);
+
+  AggregateOverRequest over;
+  over.relation = "employed";
+  over.aggregate = 1;
+  over.attribute = 2;
+  over.start = 10;
+  over.end = 99;
+  over.coalesce = false;
+  Result<AggregateOverRequest> over_got =
+      DecodeAggregateOver(EncodeAggregateOver(over));
+  ASSERT_TRUE(over_got.ok()) << over_got.status().ToString();
+  EXPECT_EQ(over_got->attribute, 2u);
+  EXPECT_EQ(over_got->start, 10);
+  EXPECT_EQ(over_got->end, 99);
+  EXPECT_FALSE(over_got->coalesce);
+}
+
+TEST(WireResponseTest, AggregateResponsesRoundTrip) {
+  AggregateAtResponse at;
+  at.epoch = 42;
+  at.value = Value::Double(7.5);
+  Result<AggregateAtResponse> at_got =
+      DecodeAggregateAtResponse(EncodeAggregateAtResponse(at));
+  ASSERT_TRUE(at_got.ok()) << at_got.status().ToString();
+  EXPECT_EQ(at_got->epoch, 42u);
+  EXPECT_EQ(at_got->value, at.value);
+
+  AggregateOverResponse over;
+  over.epoch = 7;
+  over.intervals = {{0, 9, Value::Int(1)}, {10, 19, Value::Int(3)}};
+  Result<AggregateOverResponse> over_got =
+      DecodeAggregateOverResponse(EncodeAggregateOverResponse(over));
+  ASSERT_TRUE(over_got.ok()) << over_got.status().ToString();
+  ASSERT_EQ(over_got->intervals.size(), 2u);
+  EXPECT_EQ(over_got->intervals[1].start, 10);
+  EXPECT_EQ(over_got->intervals[1].end, 19);
+  EXPECT_EQ(over_got->intervals[1].value, Value::Int(3));
+}
+
+TEST(WireResponseTest, ErrorFrameCarriesStatus) {
+  const std::string frame =
+      EncodeErrorFrame(Status::NotFound("no such relation"));
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(frame, /*expect_request=*/false,
+                           kDefaultMaxPayloadBytes, &header, &payload,
+                           &consumed, &error),
+            FrameDecodeState::kFrame);
+  EXPECT_EQ(header.magic, kResponseMagic);
+  EXPECT_EQ(static_cast<StatusCode>(header.opcode_or_status),
+            StatusCode::kNotFound);
+  EXPECT_EQ(payload, "no such relation");
+}
+
+TEST(WireFrameTest, PipelinedFramesDecodeInSequence) {
+  std::string stream = EncodeRequestFrame(Opcode::kPing, "") +
+                       EncodeRequestFrame(Opcode::kFlush, "x") +
+                       EncodeRequestFrame(Opcode::kMetrics, "");
+  std::vector<uint8_t> opcodes;
+  while (!stream.empty()) {
+    FrameHeader header;
+    std::string_view payload;
+    size_t consumed = 0;
+    Status error;
+    ASSERT_EQ(TryDecodeFrame(stream, true, kDefaultMaxPayloadBytes, &header,
+                             &payload, &consumed, &error),
+              FrameDecodeState::kFrame);
+    opcodes.push_back(header.opcode_or_status);
+    stream.erase(0, consumed);
+  }
+  EXPECT_EQ(opcodes, (std::vector<uint8_t>{1, 4, 7}));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tagg

@@ -33,6 +33,19 @@ LIVE_METRIC_COUNTERS = (
 )
 LIVE_METRIC_GAUGES = ("tagg_live_retired_pending",)
 
+# The serving bench must cover both load dimensions: pipelining depth and
+# connection count.  Its metrics snapshot must carry the serving-layer
+# instruments so a refactor cannot silently drop them from the
+# Prometheus exposition.
+NET_DEPTH_ARG = re.compile(r"/depth:(\d+)")
+NET_METRIC_COUNTERS = (
+    "tagg_server_requests_total",
+    "tagg_net_connections_total",
+    "tagg_net_bytes_read_total",
+    "tagg_net_bytes_written_total",
+)
+NET_METRIC_HISTOGRAMS = ("tagg_server_request_seconds",)
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -87,6 +100,39 @@ def check_live_reclaim(path: pathlib.Path, benchmarks: list,
     for gauge in LIVE_METRIC_GAUGES:
         if gauge not in metrics["gauges"]:
             fail(f"{path}: metrics snapshot missing gauge '{gauge}'")
+
+
+def check_net_serving(path: pathlib.Path, benchmarks: list,
+                      metrics: dict) -> None:
+    """bench_net_serving only: the pipelining sweep must cover several
+    depths (each entry carrying its 'depth' counter), the connection
+    sweep several thread counts (each carrying 'connections' equal to its
+    thread count), and the metrics snapshot the serving instruments."""
+    depths = set()
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        match = NET_DEPTH_ARG.search(bench["name"])
+        if match:
+            if "depth" not in bench:
+                fail(f"{path}: '{bench['name']}' is missing its 'depth' "
+                     "counter")
+            depths.add(int(match.group(1)))
+        thread_match = THREAD_SUFFIX.search(bench["name"])
+        if thread_match and "Connections" in bench["name"]:
+            threads = int(thread_match.group(1))
+            if bench.get("connections") != threads:
+                fail(f"{path}: '{bench['name']}' reports connections="
+                     f"{bench.get('connections')}, expected {threads}")
+    if len(depths) < 2:
+        fail(f"{path}: pipelining family covers depths {sorted(depths)} — "
+             "a depth sweep needs several")
+    for counter in NET_METRIC_COUNTERS:
+        if counter not in metrics["counters"]:
+            fail(f"{path}: metrics snapshot missing counter '{counter}'")
+    for hist in NET_METRIC_HISTOGRAMS:
+        if hist not in metrics["histograms"]:
+            fail(f"{path}: metrics snapshot missing histogram '{hist}'")
 
 
 def check_timings(path: pathlib.Path) -> int:
@@ -152,13 +198,17 @@ def main() -> None:
         if not metrics.exists():
             fail(f"{metrics} missing next to {timing}")
         m = check_metrics(metrics)
-        if timing.stem == "bench_live_index":
+        if timing.stem in ("bench_live_index", "bench_net_serving"):
             with timing.open() as f:
                 timing_doc = json.load(f)
             with metrics.open() as f:
                 metrics_doc = json.load(f)
-            check_live_reclaim(timing, timing_doc["benchmarks"],
-                               metrics_doc)
+            if timing.stem == "bench_live_index":
+                check_live_reclaim(timing, timing_doc["benchmarks"],
+                                   metrics_doc)
+            else:
+                check_net_serving(timing, timing_doc["benchmarks"],
+                                  metrics_doc)
         print(f"check_bench_json: OK: {timing.name} "
               f"({n} benchmarks, {m} instruments)")
 
