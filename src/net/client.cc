@@ -64,6 +64,12 @@ Status Client::Send(Opcode opcode, std::string_view payload) {
   return WriteAll(EncodeRequestFrame(opcode, payload));
 }
 
+Status Client::SendTraced(Opcode opcode, uint64_t trace_id,
+                          uint8_t trace_flags, std::string_view payload) {
+  return WriteAll(
+      EncodeTracedRequestFrame(opcode, trace_id, trace_flags, payload));
+}
+
 Result<RawResponse> Client::Receive() {
   char chunk[16 * 1024];
   for (;;) {
@@ -97,6 +103,13 @@ Result<RawResponse> Client::Receive() {
 
 Result<RawResponse> Client::Call(Opcode opcode, std::string_view payload) {
   TAGG_RETURN_IF_ERROR(Send(opcode, payload));
+  return Receive();
+}
+
+Result<RawResponse> Client::CallTraced(Opcode opcode, uint64_t trace_id,
+                                       uint8_t trace_flags,
+                                       std::string_view payload) {
+  TAGG_RETURN_IF_ERROR(SendTraced(opcode, trace_id, trace_flags, payload));
   return Receive();
 }
 

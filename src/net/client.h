@@ -37,10 +37,19 @@ class Client {
 
   /// Writes one request frame (blocking until fully sent).
   Status Send(Opcode opcode, std::string_view payload);
+  /// Writes one traced (0xC6) request frame carrying a trace context.
+  /// Pass kTraceFlagSampled in `trace_flags` to ask the server to record
+  /// the request's span breakdown in its trace ring.
+  Status SendTraced(Opcode opcode, uint64_t trace_id, uint8_t trace_flags,
+                    std::string_view payload);
   /// Reads one response frame (blocking).
   Result<RawResponse> Receive();
   /// Sends then receives.
   Result<RawResponse> Call(Opcode opcode, std::string_view payload);
+  /// SendTraced then Receive.
+  Result<RawResponse> CallTraced(Opcode opcode, uint64_t trace_id,
+                                 uint8_t trace_flags,
+                                 std::string_view payload);
 
   // --- convenience ops --------------------------------------------------
 

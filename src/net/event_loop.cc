@@ -5,6 +5,8 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -70,6 +72,31 @@ obs::Counter& ReadPausesTotal() {
   return c;
 }
 
+obs::Counter& TracesSampledTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_traces_sampled_total",
+      "Requests recorded with a full span breakdown (client-flagged or "
+      "1-in-N sampled)");
+  return c;
+}
+
+obs::Counter& SlowRequestsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_net_slow_requests_total",
+      "Requests whose total exceeded the slow-request threshold");
+  return c;
+}
+
+/// Deterministic 64-bit mix for server-generated trace ids; the constant
+/// is the golden-ratio multiplier (splitmix64 finalizer family).
+uint64_t MixTraceId(uint64_t conn_id, uint64_t seq) {
+  uint64_t x = conn_id * 0x9E3779B97F4A7C15ull + seq;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x | 1;  // never 0, which means "no trace"
+}
+
 }  // namespace
 
 std::atomic<uint64_t> EventLoop::next_conn_id_{1};
@@ -79,6 +106,12 @@ std::atomic<uint64_t> EventLoop::next_conn_id_{1};
 // ---------------------------------------------------------------------------
 
 void Connection::Respond(uint64_t seq, std::string bytes) {
+  Respond(seq, std::move(bytes), obs::RequestTiming{}, nullptr);
+}
+
+void Connection::Respond(uint64_t seq, std::string bytes,
+                         const obs::RequestTiming& timing,
+                         std::unique_ptr<obs::SubSpanBuffer> subs) {
   {
     std::lock_guard<std::mutex> guard(mutex_);
     if (closed_) return;
@@ -88,6 +121,9 @@ void Connection::Respond(uint64_t seq, std::string bytes) {
     Slot& slot = slots_[idx];
     if (slot.filled) return;
     queued_bytes_ += bytes.size();
+    slot.timing = timing;
+    slot.timing.response_bytes = static_cast<uint32_t>(bytes.size());
+    slot.subs = std::move(subs);
     slot.bytes = std::move(bytes);
     slot.filled = true;
   }
@@ -146,6 +182,8 @@ Status EventLoop::Start() {
   }
   running_.store(true, std::memory_order_release);
   last_idle_sweep_ = std::chrono::steady_clock::now();
+  trace_ring_.reset(new obs::RequestTraceRing(options_.trace_ring_capacity));
+  obs::RequestTraceRegistry::Global().Register(trace_ring_.get());
   thread_ = std::thread([this] { Run(); });
   return Status::OK();
 }
@@ -158,6 +196,12 @@ void EventLoop::Stop() {
   stop_requested_.store(true, std::memory_order_release);
   Wake();
   if (thread_.joinable()) thread_.join();
+  // The loop thread (the ring's only producer) is gone; take the ring
+  // out of the global directory before freeing it.
+  if (trace_ring_ != nullptr) {
+    obs::RequestTraceRegistry::Global().Unregister(trace_ring_.get());
+    trace_ring_.reset();
+  }
 }
 
 void EventLoop::AddConnection(UniqueFd fd) {
@@ -252,7 +296,8 @@ void EventLoop::ProcessPendingAdds() {
         next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::shared_ptr<Connection>(
         new Connection(std::move(fd), id, this, options_));
-    conn->last_activity_ = std::chrono::steady_clock::now();
+    conn->last_activity_ns_.store(obs::TraceNowNs(),
+                                  std::memory_order_relaxed);
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
     ev.data.u64 = id;
@@ -262,6 +307,10 @@ void EventLoop::ProcessPendingAdds() {
       continue;  // conn's UniqueFd closes the socket
     }
     conns_.emplace(id, conn);
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      conn_registry_.emplace(id, conn);
+    }
     num_connections_.fetch_add(1, std::memory_order_relaxed);
     ConnectionsTotal().Increment();
     ConnectionsActive().Add(1);
@@ -285,8 +334,11 @@ void EventLoop::ProcessReadyResponses() {
 }
 
 void EventLoop::ReadAndParse(const std::shared_ptr<Connection>& conn) {
-  if (conn->paused_) return;  // backpressure: leave bytes in the kernel
-  conn->last_activity_ = std::chrono::steady_clock::now();
+  if (conn->paused_.load(std::memory_order_relaxed)) {
+    return;  // backpressure: leave bytes in the kernel
+  }
+  conn->last_activity_ns_.store(obs::TraceNowNs(),
+                                std::memory_order_relaxed);
   char chunk[kReadChunk];
   for (;;) {
     const IoResult io = ReadSome(conn->fd_.get(), chunk, sizeof(chunk));
@@ -296,7 +348,10 @@ void EventLoop::ReadAndParse(const std::shared_ptr<Connection>& conn) {
       // Parse as we go so a pipelining client cannot force the input
       // buffer to hold more than one frame + one read chunk.
       ParseBuffered(conn);
-      if (conn->paused_ || conns_.count(conn->id()) == 0) return;
+      if (conn->paused_.load(std::memory_order_relaxed) ||
+          conns_.count(conn->id()) == 0) {
+        return;
+      }
       continue;
     }
     if (io.outcome == IoOutcome::kWouldBlock) break;
@@ -318,13 +373,15 @@ void EventLoop::ReadAndParse(const std::shared_ptr<Connection>& conn) {
 }
 
 void EventLoop::ParseBuffered(const std::shared_ptr<Connection>& conn) {
-  if (conn->mode_ == Connection::Mode::kUnknown) {
+  if (conn->mode() == Connection::Mode::kUnknown) {
     if (conn->inbuf_.empty()) return;
-    conn->mode_ = static_cast<uint8_t>(conn->inbuf_[0]) == kRequestMagic
-                      ? Connection::Mode::kBinary
-                      : Connection::Mode::kText;
+    const uint8_t first = static_cast<uint8_t>(conn->inbuf_[0]);
+    conn->mode_.store(first == kRequestMagic || first == kTracedRequestMagic
+                          ? Connection::Mode::kBinary
+                          : Connection::Mode::kText,
+                      std::memory_order_relaxed);
   }
-  while (!conn->paused_) {
+  while (!conn->paused_.load(std::memory_order_relaxed)) {
     if (draining_.load(std::memory_order_acquire)) return;
     // Pipeline cap: pause instead of reserving more slots.
     size_t in_flight;
@@ -333,13 +390,38 @@ void EventLoop::ParseBuffered(const std::shared_ptr<Connection>& conn) {
       in_flight = conn->slots_.size();
     }
     if (in_flight >= options_.max_pipeline) {
-      conn->paused_ = true;
+      conn->paused_.store(true, std::memory_order_relaxed);
       ReadPausesTotal().Increment();
       return;
     }
 
+    // Trace gate: one branch on the fast path.  A clock is read only
+    // when this request could possibly be timed — the client flagged it
+    // (0xC6 frame), server-side sampling is on, or the slow-request log
+    // wants totals for every request.
+    const bool client_traced =
+        conn->mode() == Connection::Mode::kBinary && !conn->inbuf_.empty() &&
+        static_cast<uint8_t>(conn->inbuf_[0]) == kTracedRequestMagic;
+    const bool maybe_timed = client_traced ||
+                             options_.trace_sample_every > 0 ||
+                             obs::SlowRequestThresholdNs() > 0;
+    int64_t parse_ns = 0;
+    obs::RequestTiming timing;
+    if (maybe_timed) {
+      parse_ns = obs::TraceNowNs();
+      // The record starts when the bytes arrived (the read that fed the
+      // buffer); for requests queued behind others in one read burst the
+      // recv stage includes their wait in the input buffer.
+      int64_t arrived =
+          conn->last_activity_ns_.load(std::memory_order_relaxed);
+      if (arrived <= 0 || arrived > parse_ns) arrived = parse_ns;
+      timing.start_ns = arrived;
+      timing.stage_start_ns[obs::kStageRecv] = 0;
+      timing.stage_ns[obs::kStageRecv] = parse_ns - arrived;
+    }
+
     Request req;
-    if (conn->mode_ == Connection::Mode::kBinary) {
+    if (conn->mode() == Connection::Mode::kBinary) {
       FrameHeader header;
       std::string_view payload;
       size_t consumed = 0;
@@ -366,6 +448,12 @@ void EventLoop::ParseBuffered(const std::shared_ptr<Connection>& conn) {
       req.opcode = header.opcode_or_status;
       req.payload.assign(payload);
       conn->inbuf_.erase(0, consumed);
+      if (timing.timed()) {
+        timing.trace_id = header.traced ? header.trace_id : 0;
+        timing.request_bytes = static_cast<uint32_t>(consumed);
+        timing.opcode = header.opcode_or_status;
+        if (header.sampled()) timing.flags |= obs::kTraceRecordSampled;
+      }
     } else {
       const size_t nl = conn->inbuf_.find('\n');
       if (nl == std::string::npos) {
@@ -390,9 +478,31 @@ void EventLoop::ParseBuffered(const std::shared_ptr<Connection>& conn) {
       conn->inbuf_.erase(0, nl + 1);
       req.text = true;
       req.payload = std::move(line);
+      if (timing.timed()) {
+        timing.request_bytes = static_cast<uint32_t>(nl + 1);
+        timing.flags |= obs::kTraceRecordText;
+      }
     }
 
     req.seq = conn->next_seq_++;
+    if (timing.timed()) {
+      // Server-side sampling: every Nth parsed request on this loop.
+      if (!timing.sampled() && options_.trace_sample_every > 0 &&
+          (trace_counter_++ % options_.trace_sample_every) == 0) {
+        timing.flags |= obs::kTraceRecordSampled;
+      }
+      if (timing.trace_id == 0) {
+        timing.trace_id = MixTraceId(conn->id(), req.seq);
+      }
+      const int64_t decode_end = obs::TraceNowNs();
+      timing.stage_start_ns[obs::kStageDecode] = parse_ns - timing.start_ns;
+      timing.stage_ns[obs::kStageDecode] = decode_end - parse_ns;
+      // The queue-wait stage opens now; the handler closes it when a
+      // worker actually starts executing.
+      timing.stage_start_ns[obs::kStageQueueWait] =
+          decode_end - timing.start_ns;
+      req.timing = timing;
+    }
     {
       std::lock_guard<std::mutex> guard(conn->mutex_);
       conn->slots_.emplace_back();
@@ -404,7 +514,8 @@ void EventLoop::ParseBuffered(const std::shared_ptr<Connection>& conn) {
 }
 
 void EventLoop::FlushWrites(std::shared_ptr<Connection> conn) {
-  conn->last_activity_ = std::chrono::steady_clock::now();
+  conn->last_activity_ns_.store(obs::TraceNowNs(),
+                                std::memory_order_relaxed);
   // Move the contiguous completed prefix of the reorder buffer into the
   // loop-thread-only write buffer.
   size_t queued_after = 0;
@@ -417,6 +528,19 @@ void EventLoop::FlushWrites(std::shared_ptr<Connection> conn) {
       unwritten_bytes_.fetch_add(slot.bytes.size(),
                                  std::memory_order_acq_rel);
       conn->writebuf_.append(slot.bytes);
+      conn->wb_enqueued_ += slot.bytes.size();
+      if (slot.timing.timed()) {
+        // Open the write stage: from entering the write buffer until the
+        // last byte of this response has left for the kernel.
+        slot.timing.stage_start_ns[obs::kStageWrite] =
+            obs::TraceNowNs() - slot.timing.start_ns;
+        Connection::PendingCommit commit;
+        commit.target_written = conn->wb_enqueued_;
+        commit.seq = conn->base_seq_;
+        commit.timing = slot.timing;
+        commit.subs = std::move(slot.subs);
+        conn->pending_commits_.push_back(std::move(commit));
+      }
       conn->slots_.pop_front();
       ++conn->base_seq_;
       ++released;
@@ -434,25 +558,62 @@ void EventLoop::FlushWrites(std::shared_ptr<Connection> conn) {
       BytesWrittenTotal().Increment(io.n);
       unwritten_bytes_.fetch_sub(io.n, std::memory_order_acq_rel);
       conn->writebuf_.erase(0, io.n);
+      conn->wb_written_ += io.n;
       continue;
     }
-    if (io.outcome == IoOutcome::kWouldBlock) return;  // EPOLLOUT resumes
+    if (io.outcome == IoOutcome::kWouldBlock) {
+      conn->outbox_bytes_.store(conn->writebuf_.size(),
+                                std::memory_order_relaxed);
+      CommitWrittenTraces(conn);
+      return;  // EPOLLOUT resumes
+    }
     IoErrorsTotal().Increment();
     CloseConnection(conn);
     return;
   }
+  conn->outbox_bytes_.store(0, std::memory_order_relaxed);
+  CommitWrittenTraces(conn);
 
   if (queued_after == 0) {
     if (conn->close_after_flush_ || conn->read_closed_) {
       CloseConnection(conn);
       return;
     }
-    if (conn->paused_) {
+    if (conn->paused_.load(std::memory_order_relaxed)) {
       // Backpressure released: resume parsing buffered bytes and any the
       // kernel collected while we were not reading (the edge for those
       // may have fired during the pause).
-      conn->paused_ = false;
+      conn->paused_.store(false, std::memory_order_relaxed);
       ReadAndParse(conn);
+    }
+  }
+}
+
+void EventLoop::CommitWrittenTraces(const std::shared_ptr<Connection>& conn) {
+  if (conn->pending_commits_.empty()) return;
+  const int64_t now = obs::TraceNowNs();
+  const int64_t slow_ns = obs::SlowRequestThresholdNs();
+  while (!conn->pending_commits_.empty() &&
+         conn->pending_commits_.front().target_written <=
+             conn->wb_written_) {
+    Connection::PendingCommit commit =
+        std::move(conn->pending_commits_.front());
+    conn->pending_commits_.pop_front();
+    obs::RequestTiming& t = commit.timing;
+    t.stage_ns[obs::kStageWrite] =
+        now - t.start_ns - t.stage_start_ns[obs::kStageWrite];
+    obs::RequestTraceRecord rec =
+        obs::MakeRecord(t, conn->id(), commit.seq, commit.subs.get());
+    if (slow_ns > 0 && rec.total_ns >= slow_ns) {
+      rec.flags |= obs::kTraceRecordSlow;
+      SlowRequestsTotal().Increment();
+      TAGG_LOG(Warn) << "slow request ("
+                     << rec.total_ns / 1000 << "us >= " << slow_ns / 1000
+                     << "us threshold)\n" << obs::RenderRequestTrace(rec);
+    }
+    if (rec.sampled() || rec.slow()) {
+      if (rec.sampled()) TracesSampledTotal().Increment();
+      if (trace_ring_ != nullptr) trace_ring_->Record(rec);
     }
   }
 }
@@ -462,9 +623,15 @@ void EventLoop::SweepIdle() {
   const auto now = std::chrono::steady_clock::now();
   if (now - last_idle_sweep_ < kIdleSweepInterval) return;
   last_idle_sweep_ = now;
+  const int64_t now_ns = obs::TraceNowNs();
+  const int64_t idle_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.idle_timeout)
+          .count();
   std::vector<std::shared_ptr<Connection>> idle;
   for (const auto& [id, conn] : conns_) {
-    if (now - conn->last_activity_ >= options_.idle_timeout) {
+    if (now_ns - conn->last_activity_ns_.load(std::memory_order_relaxed) >=
+        idle_ns) {
       idle.push_back(conn);
     }
   }
@@ -474,8 +641,62 @@ void EventLoop::SweepIdle() {
   }
 }
 
+std::vector<ConnectionStatsRow> EventLoop::SnapshotConnections() const {
+  std::vector<std::shared_ptr<Connection>> live;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    live.reserve(conn_registry_.size());
+    for (const auto& [id, weak] : conn_registry_) {
+      if (std::shared_ptr<Connection> conn = weak.lock()) {
+        live.push_back(std::move(conn));
+      }
+    }
+  }
+  const int64_t now_ns = obs::TraceNowNs();
+  std::vector<ConnectionStatsRow> rows;
+  rows.reserve(live.size());
+  for (const auto& conn : live) {
+    ConnectionStatsRow row;
+    row.id = conn->id();
+    switch (conn->mode()) {
+      case Connection::Mode::kBinary:
+        row.mode = 'B';
+        break;
+      case Connection::Mode::kText:
+        row.mode = 'T';
+        break;
+      default:
+        row.mode = '?';
+    }
+    {
+      std::lock_guard<std::mutex> guard(conn->mutex_);
+      if (conn->closed_) continue;
+      row.pipeline_depth = conn->slots_.size();
+      row.queued_bytes = conn->queued_bytes_;
+    }
+    row.outbox_bytes = conn->outbox_bytes_.load(std::memory_order_relaxed);
+    row.paused = conn->paused_.load(std::memory_order_relaxed);
+    row.rate_tokens =
+        conn->rate_limiter_.unlimited() ? -1.0 : conn->rate_limiter_.tokens();
+    row.idle_ms =
+        (now_ns - conn->last_activity_ns_.load(std::memory_order_relaxed)) /
+        1000000;
+    if (row.idle_ms < 0) row.idle_ms = 0;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ConnectionStatsRow& a, const ConnectionStatsRow& b) {
+              return a.id < b.id;
+            });
+  return rows;
+}
+
 void EventLoop::CloseConnection(std::shared_ptr<Connection> conn) {
   if (conns_.erase(conn->id()) == 0) return;  // already closed
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    conn_registry_.erase(conn->id());
+  }
   size_t dropped_slots = 0;
   size_t dropped_bytes = 0;
   {
@@ -487,6 +708,8 @@ void EventLoop::CloseConnection(std::shared_ptr<Connection> conn) {
     conn->writebuf_.clear();
     conn->queued_bytes_ = 0;
   }
+  conn->pending_commits_.clear();
+  conn->outbox_bytes_.store(0, std::memory_order_relaxed);
   if (dropped_slots > 0) {
     open_slots_.fetch_sub(dropped_slots, std::memory_order_acq_rel);
   }

@@ -48,6 +48,7 @@
 #include "net/socket.h"
 #include "net/token_bucket.h"
 #include "net/wire.h"
+#include "obs/request_trace.h"
 
 namespace tagg {
 namespace net {
@@ -60,6 +61,12 @@ struct Request {
   bool text = false;
   uint8_t opcode = 0;     // binary mode: a validated Opcode
   std::string payload;    // binary payload bytes, or the text line
+  /// Stage timing opened by the parser (recv + decode recorded, the
+  /// queue-wait stage start stamped).  timing.timed() is false on the
+  /// unsampled fast path; timing.sampled() asks the handler for a full
+  /// sub-span capture.  Trivially copyable, so Request stays usable in
+  /// std::function closures.
+  obs::RequestTiming timing;
 };
 
 struct EventLoopOptions {
@@ -75,6 +82,25 @@ struct EventLoopOptions {
   /// Per-connection token bucket; rate <= 0 disables limiting.
   double rate_limit_per_sec = 0.0;
   double rate_limit_burst = 0.0;
+  /// Server-side trace sampling: record every Nth request per loop in
+  /// full (0 = only requests the client flags via a traced frame).
+  size_t trace_sample_every = 0;
+  /// Capacity of this loop's request-trace ring (rounded up to a power
+  /// of two).
+  size_t trace_ring_capacity = 256;
+};
+
+/// One /statz row: a point-in-time view of a connection's buffers and
+/// limiter, readable from any thread.
+struct ConnectionStatsRow {
+  uint64_t id = 0;
+  char mode = '?';            // 'B' binary, 'T' text, '?' undetected
+  size_t pipeline_depth = 0;  // reserved-but-unflushed slots
+  size_t queued_bytes = 0;    // filled responses waiting for order
+  size_t outbox_bytes = 0;    // bytes sitting in the write buffer
+  bool paused = false;        // reads paused for backpressure
+  double rate_tokens = -1.0;  // token-bucket level; -1 = unlimited
+  int64_t idle_ms = 0;        // since the last read or write
 };
 
 /// One client session owned by exactly one EventLoop.
@@ -83,13 +109,25 @@ class Connection : public std::enable_shared_from_this<Connection> {
   enum class Mode : uint8_t { kUnknown, kBinary, kText };
 
   uint64_t id() const { return id_; }
-  Mode mode() const { return mode_; }
+  Mode mode() const { return mode_.load(std::memory_order_relaxed); }
 
   /// Completes the request with seq `seq`; `bytes` is the fully encoded
   /// response (a binary frame or text lines).  Thread-safe; called by
   /// executor workers and by the loop thread itself.  Responses to a
   /// connection that has since closed are dropped.
   void Respond(uint64_t seq, std::string bytes);
+
+  /// Traced completion: carries the request's finished stage timing and,
+  /// for sampled requests, the captured sub-spans.  The loop stamps the
+  /// write stage when the response bytes reach the socket and commits
+  /// the record to its trace ring.
+  void Respond(uint64_t seq, std::string bytes,
+               const obs::RequestTiming& timing,
+               std::unique_ptr<obs::SubSpanBuffer> subs);
+
+  /// Opaque per-connection protocol state for layered protocols (the
+  /// admin plane's HTTP parser).  Loop-thread-only.
+  std::shared_ptr<void>& user_state() { return user_state_; }
 
   /// The loop-thread-only rate limiter for this session.
   TokenBucket& rate_limiter() { return rate_limiter_; }
@@ -135,20 +173,38 @@ class Connection : public std::enable_shared_from_this<Connection> {
   EventLoop* const loop_;
 
   // --- loop-thread-only state -----------------------------------------
-  Mode mode_ = Mode::kUnknown;
+  // (mode_, paused_, last_activity_ns_, outbox_bytes_ are written only by
+  // the loop thread but read by /statz snapshots, hence relaxed atomics.)
+  std::atomic<Mode> mode_{Mode::kUnknown};
   std::string inbuf_;
   std::string writebuf_;
   uint64_t next_seq_ = 0;
-  bool paused_ = false;            // pipeline/outbox backpressure
-  bool read_closed_ = false;       // peer sent EOF
+  std::atomic<bool> paused_{false};  // pipeline/outbox backpressure
+  bool read_closed_ = false;         // peer sent EOF
   bool close_after_flush_ = false;
-  std::chrono::steady_clock::time_point last_activity_;
+  std::atomic<int64_t> last_activity_ns_{0};
+  std::atomic<size_t> outbox_bytes_{0};
   TokenBucket rate_limiter_;
+  std::shared_ptr<void> user_state_;
+  /// Cumulative response bytes appended to / drained from writebuf_,
+  /// the write-completion ledger trace commits key off.
+  uint64_t wb_enqueued_ = 0;
+  uint64_t wb_written_ = 0;
+  /// Traced responses waiting for their bytes to reach the socket.
+  struct PendingCommit {
+    uint64_t target_written = 0;  // commit once wb_written_ >= this
+    uint64_t seq = 0;
+    obs::RequestTiming timing;
+    std::unique_ptr<obs::SubSpanBuffer> subs;
+  };
+  std::deque<PendingCommit> pending_commits_;
 
   // --- cross-thread reorder buffer ------------------------------------
   struct Slot {
     bool filled = false;
     std::string bytes;
+    obs::RequestTiming timing;
+    std::unique_ptr<obs::SubSpanBuffer> subs;
   };
   std::mutex mutex_;
   std::deque<Slot> slots_;  // slot i answers request base_seq_ + i
@@ -195,6 +251,16 @@ class EventLoop {
     return num_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Point-in-time rows for every live connection on this loop, readable
+  /// from any thread (the /statz backing store).
+  std::vector<ConnectionStatsRow> SnapshotConnections() const;
+
+  /// This loop's request-trace ring (valid between Start and Stop;
+  /// registered with obs::RequestTraceRegistry::Global() for /tracez).
+  const obs::RequestTraceRing* trace_ring() const {
+    return trace_ring_.get();
+  }
+
  private:
   friend class Connection;
 
@@ -207,6 +273,10 @@ class EventLoop {
   // may pass a reference into conns_, and CloseConnection erases that map
   // node — a reference parameter would dangle mid-call.
   void FlushWrites(std::shared_ptr<Connection> conn);
+  /// Stamps the write stage of traced responses whose bytes have fully
+  /// reached the socket, applies the slow-request check, and records
+  /// them into the trace ring.
+  void CommitWrittenTraces(const std::shared_ptr<Connection>& conn);
   void SweepIdle();
   void CloseConnection(std::shared_ptr<Connection> conn);
   /// Queues `conn` for a flush pass and wakes the loop if needed
@@ -234,11 +304,19 @@ class EventLoop {
   // Loop-thread-only.
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
   std::chrono::steady_clock::time_point last_idle_sweep_;
+  /// Rolls over per parsed request for 1-in-N server-side sampling.
+  uint64_t trace_counter_ = 0;
+  /// Single-producer (this loop's thread) ring of completed traces.
+  std::unique_ptr<obs::RequestTraceRing> trace_ring_;
 
-  // Cross-thread queues, guarded by mutex_.
-  std::mutex mutex_;
+  // Cross-thread queues, guarded by mutex_ (mutable: snapshots are
+  // logically const reads).
+  mutable std::mutex mutex_;
   std::vector<UniqueFd> pending_adds_;
   std::vector<uint64_t> ready_conn_ids_;
+  /// Mirror of conns_ for cross-thread /statz snapshots; weak_ptrs so a
+  /// snapshot never extends a closing connection's buffers.
+  std::unordered_map<uint64_t, std::weak_ptr<Connection>> conn_registry_;
 
   static std::atomic<uint64_t> next_conn_id_;
 };

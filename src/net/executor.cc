@@ -1,12 +1,35 @@
 #include "net/executor.h"
 
+#include "obs/metrics.h"
 #include "testing/fault_injector.h"
 
 namespace tagg {
 namespace net {
 
+namespace {
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
+      "tagg_executor_queue_depth",
+      "Tasks waiting in the bounded executor queue");
+  return gauge;
+}
+
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "tagg_executor_queue_wait_seconds",
+      "Time a task spent queued before a worker picked it up");
+  return hist;
+}
+
+}  // namespace
+
 BoundedExecutor::BoundedExecutor(size_t num_threads, size_t queue_capacity)
     : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  // Touch both instruments so they appear in the exposition from the
+  // first scrape, not only after the first task.
+  QueueDepthGauge().Set(0.0);
+  QueueWaitHistogram();
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -27,7 +50,9 @@ Status BoundedExecutor::TrySubmit(std::function<void()> task) {
       return Status::ResourceExhausted("SERVER_BUSY: queue full (" +
                                        std::to_string(capacity_) + ")");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task),
+                                std::chrono::steady_clock::now()});
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   }
   work_ready_.notify_one();
   return Status::OK();
@@ -53,7 +78,7 @@ size_t BoundedExecutor::queue_depth() const {
 
 void BoundedExecutor::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock,
@@ -64,9 +89,15 @@ void BoundedExecutor::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
       ++running_;
     }
-    task();
+    if (obs::Enabled()) {
+      const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+      QueueWaitHistogram().Observe(
+          std::chrono::duration<double>(waited).count());
+    }
+    task.fn();
     {
       std::lock_guard<std::mutex> guard(mutex_);
       --running_;

@@ -10,9 +10,17 @@
 //
 // Drain() is the graceful-shutdown half: it stops admissions, waits until
 // every queued and running task has finished, then joins the workers.
+//
+// The executor publishes its queue pressure into the obs registry — the
+// `tagg_executor_queue_depth` gauge tracks the instantaneous backlog, and
+// `tagg_executor_queue_wait_seconds` observes how long each task sat
+// queued before a worker picked it up (the "queue wait" stage of a
+// request trace).  The histogram observation is gated on obs::Enabled()
+// like every other clock-reading instrument.
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -49,13 +57,18 @@ class BoundedExecutor {
   size_t queue_depth() const;
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable queue_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   size_t running_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

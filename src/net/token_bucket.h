@@ -5,12 +5,15 @@
 // bucket gets RATE_LIMITED replies until tokens accrue again — the
 // session stays open (a paced client recovers without reconnecting).
 //
-// Single-threaded by design: each connection's bucket is only touched by
-// the event-loop thread that owns the connection, so no atomics.
+// Mutated only by the event-loop thread that owns the connection; the
+// token level is a relaxed atomic so /statz snapshots can read it from
+// the admin thread without a lock (a torn-free but possibly stale read
+// is exactly right for a diagnostics table).
 
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 namespace tagg {
@@ -25,27 +28,34 @@ class TokenBucket {
         tokens_(burst_),
         last_(Clock::now()) {}
 
-  /// Spends one token if available; false = rate limited.
+  /// Spends one token if available; false = rate limited.  Owning loop
+  /// thread only.
   bool TryAcquire() {
     if (rate_ <= 0.0) return true;
     const Clock::time_point now = Clock::now();
     const double elapsed =
         std::chrono::duration<double>(now - last_).count();
     last_ = now;
-    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
-    if (tokens_ < 1.0) return false;
-    tokens_ -= 1.0;
-    return true;
+    double t = std::min(burst_,
+                        tokens_.load(std::memory_order_relaxed) +
+                            elapsed * rate_);
+    const bool admitted = t >= 1.0;
+    if (admitted) t -= 1.0;
+    tokens_.store(t, std::memory_order_relaxed);
+    return admitted;
   }
 
-  double tokens() const { return tokens_; }
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  /// Current token level; safe to call from any thread.
+  double tokens() const { return tokens_.load(std::memory_order_relaxed); }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   double rate_;
   double burst_;
-  double tokens_;
+  std::atomic<double> tokens_;
   Clock::time_point last_;
 };
 

@@ -95,6 +95,19 @@ std::string EncodeRequestFrame(Opcode opcode, std::string_view payload) {
   return w.Take();
 }
 
+std::string EncodeTracedRequestFrame(Opcode opcode, uint64_t trace_id,
+                                     uint8_t trace_flags,
+                                     std::string_view payload) {
+  Writer w;
+  w.U8(kTracedRequestMagic);
+  w.U8(static_cast<uint8_t>(opcode));
+  w.U8(trace_flags);
+  w.U64(trace_id);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.Raw(payload);
+  return w.Take();
+}
+
 std::string EncodeResponseFrame(StatusCode code, std::string_view payload) {
   Writer w;
   w.U8(kResponseMagic);
@@ -206,16 +219,33 @@ FrameDecodeState TryDecodeFrame(std::string_view buffer, bool expect_request,
                                 Status* error) {
   if (buffer.empty()) return FrameDecodeState::kNeedMore;
   const uint8_t magic = static_cast<uint8_t>(buffer[0]);
-  const uint8_t want = expect_request ? kRequestMagic : kResponseMagic;
-  if (magic != want) {
+  const bool traced = expect_request && magic == kTracedRequestMagic;
+  const bool plain_ok =
+      magic == (expect_request ? kRequestMagic : kResponseMagic);
+  if (!plain_ok && !traced) {
     *error = Status::Corruption("bad frame magic 0x" + std::to_string(magic));
     return FrameDecodeState::kProtocolError;
   }
-  if (buffer.size() < kFrameHeaderBytes) return FrameDecodeState::kNeedMore;
+  const size_t header_bytes =
+      traced ? kTracedFrameHeaderBytes : kFrameHeaderBytes;
+  if (buffer.size() < header_bytes) return FrameDecodeState::kNeedMore;
   header->magic = magic;
   header->opcode_or_status = static_cast<uint8_t>(buffer[1]);
+  header->traced = traced;
+  header->trace_flags = 0;
+  header->trace_id = 0;
+  size_t len_at = 2;
+  if (traced) {
+    header->trace_flags = static_cast<uint8_t>(buffer[2]);
+    uint64_t id = 0;
+    for (int i = 10; i >= 3; --i) {
+      id = (id << 8) | static_cast<uint8_t>(buffer[i]);
+    }
+    header->trace_id = id;
+    len_at = 11;
+  }
   uint32_t len = 0;
-  for (int i = 5; i >= 2; --i) {
+  for (size_t i = len_at + 3; i + 1 > len_at; --i) {
     len = (len << 8) | static_cast<uint8_t>(buffer[i]);
   }
   header->payload_len = len;
@@ -230,11 +260,11 @@ FrameDecodeState TryDecodeFrame(std::string_view buffer, bool expect_request,
                                 std::to_string(max_payload));
     return FrameDecodeState::kProtocolError;
   }
-  if (buffer.size() - kFrameHeaderBytes < len) {
+  if (buffer.size() - header_bytes < len) {
     return FrameDecodeState::kNeedMore;
   }
-  *payload = buffer.substr(kFrameHeaderBytes, len);
-  *consumed = kFrameHeaderBytes + len;
+  *payload = buffer.substr(header_bytes, len);
+  *consumed = header_bytes + len;
   return FrameDecodeState::kFrame;
 }
 

@@ -5,11 +5,22 @@
 // Binary framing (all integers little-endian):
 //
 //   request:   magic 0xC4 | opcode u8 | payload_len u32 | payload
+//   traced:    magic 0xC6 | opcode u8 | trace_flags u8 | trace_id u64
+//              | payload_len u32 | payload
 //   response:  magic 0xC5 | status u8 | payload_len u32 | payload
 //
-// The first byte of a connection selects the mode: 0xC4 means binary,
-// anything else means text (0xC4 is not printable ASCII, so a taggsql
-// line can never be mistaken for a frame).  `status` carries the
+// A traced request (0xC6) is semantically identical to a plain request
+// but carries client-supplied trace context: a 64-bit trace id and a
+// flags byte whose bit 0 (kTraceFlagSampled) asks the server to record a
+// full per-stage span breakdown for this request.  Old clients keep
+// sending 0xC4 frames and old servers reject 0xC6 as a bad magic, so the
+// extension is opt-in on both sides; opcode stays at byte [1] in both
+// layouts.  Responses are unchanged — the trace id ties server-side
+// records to the client's request stream, it is never echoed.
+//
+// The first byte of a connection selects the mode: 0xC4 or 0xC6 means
+// binary, anything else means text (neither is printable ASCII, so a
+// taggsql line can never be mistaken for a frame).  `status` carries the
 // tagg::StatusCode of the operation; payload is the error message for
 // non-OK responses and an opcode-specific encoding otherwise.  A
 // SERVER_BUSY rejection is StatusCode::kResourceExhausted with a message
@@ -43,9 +54,18 @@ namespace net {
 inline constexpr uint8_t kRequestMagic = 0xC4;
 /// First byte of every binary response frame.
 inline constexpr uint8_t kResponseMagic = 0xC5;
+/// First byte of a request frame carrying trace context.
+inline constexpr uint8_t kTracedRequestMagic = 0xC6;
 
 /// Frame header: magic + opcode/status + u32 payload length.
 inline constexpr size_t kFrameHeaderBytes = 6;
+/// Traced request header: magic + opcode + flags u8 + trace_id u64 +
+/// u32 payload length.
+inline constexpr size_t kTracedFrameHeaderBytes = 15;
+
+/// trace_flags bit 0: the client asks for a sampled (fully recorded)
+/// trace of this request.  Other bits are reserved and ignored.
+inline constexpr uint8_t kTraceFlagSampled = 0x01;
 
 /// Default ceiling on a frame payload; oversized frames are a protocol
 /// error, closing the connection instead of buffering without bound.
@@ -98,6 +118,13 @@ class Writer {
 /// A complete request frame: header + payload.
 std::string EncodeRequestFrame(Opcode opcode, std::string_view payload);
 
+/// A request frame carrying trace context (0xC6 layout).  Servers predating
+/// the extension reject it, so only send after negotiating or when the
+/// deployment is known-new.
+std::string EncodeTracedRequestFrame(Opcode opcode, uint64_t trace_id,
+                                     uint8_t trace_flags,
+                                     std::string_view payload);
+
 /// A complete response frame: header + payload.  `code` is the Status
 /// code of the operation (kOk for success).
 std::string EncodeResponseFrame(StatusCode code, std::string_view payload);
@@ -138,11 +165,19 @@ class Cursor {
   size_t pos_ = 0;
 };
 
-/// One decoded frame header.
+/// One decoded frame header.  `traced`/`trace_flags`/`trace_id` are only
+/// meaningful when magic == kTracedRequestMagic.
 struct FrameHeader {
   uint8_t magic = 0;
   uint8_t opcode_or_status = 0;
   uint32_t payload_len = 0;
+  bool traced = false;
+  uint8_t trace_flags = 0;
+  uint64_t trace_id = 0;
+
+  bool sampled() const {
+    return traced && (trace_flags & kTraceFlagSampled) != 0;
+  }
 };
 
 /// Outcome of TryDecodeFrame on a byte stream.
@@ -156,7 +191,9 @@ enum class FrameDecodeState : uint8_t {
 /// fills header/payload (payload views into `buffer`) and sets
 /// `consumed` to the frame's total size; the caller erases that prefix.
 /// On kProtocolError, `error` explains (bad magic, bad opcode for
-/// `expect_request`, payload over `max_payload`).
+/// `expect_request`, payload over `max_payload`).  With `expect_request`
+/// both the plain (0xC4) and traced (0xC6) layouts are accepted; the
+/// trace context lands in the header.
 FrameDecodeState TryDecodeFrame(std::string_view buffer, bool expect_request,
                                 uint32_t max_payload, FrameHeader* header,
                                 std::string_view* payload, size_t* consumed,

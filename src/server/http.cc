@@ -1,0 +1,80 @@
+#include "server/http.h"
+
+#include "util/str.h"
+
+namespace tagg {
+namespace server {
+
+std::optional<HttpRequest> ParseRequestLine(std::string_view line) {
+  const std::string_view trimmed = Trim(line);
+  const size_t sp1 = trimmed.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const size_t sp2 = trimmed.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return std::nullopt;
+  const std::string_view version = trimmed.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return std::nullopt;
+  HttpRequest req;
+  req.method = std::string(trimmed.substr(0, sp1));
+  std::string_view target = trimmed.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    req.path = std::string(target);
+  } else {
+    req.path = std::string(target.substr(0, qmark));
+    req.query = std::string(target.substr(qmark + 1));
+  }
+  return req;
+}
+
+std::string QueryParam(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    const std::string_view k =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (k == key) {
+      return eq == std::string_view::npos
+                 ? std::string()
+                 : std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
+std::string_view HttpReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status_code) + " " +
+                    std::string(HttpReasonPhrase(status_code)) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace server
+}  // namespace tagg

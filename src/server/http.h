@@ -1,0 +1,44 @@
+// Minimal HTTP/1.0 support for the admin plane.
+//
+// The admin listener reuses the event loop's text-line mode: an HTTP
+// request arrives as a request line, zero or more header lines, and a
+// blank line, each delivered as one text "request".  ParseRequestLine
+// recognizes the request line; the admin handler buffers it per
+// connection, ignores headers, and dispatches at the blank line.  This
+// deliberately covers only what scrapers and curl need — GET requests,
+// one response, connection close — not general HTTP.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tagg {
+namespace server {
+
+/// A parsed HTTP request line ("GET /tracez?fmt=chrome HTTP/1.0").
+struct HttpRequest {
+  std::string method;
+  std::string path;   // without the query string
+  std::string query;  // bytes after '?', possibly empty
+};
+
+/// Parses an HTTP request line; nullopt when the line is not one
+/// (missing method/target/version triplet).
+std::optional<HttpRequest> ParseRequestLine(std::string_view line);
+
+/// One query parameter's value ("fmt=chrome&x=1", "fmt") -> "chrome";
+/// empty when absent.
+std::string QueryParam(std::string_view query, std::string_view key);
+
+/// A complete HTTP/1.0 response with Content-Length and
+/// "Connection: close".
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body);
+
+/// Standard reason phrase for the handful of codes the admin plane uses.
+std::string_view HttpReasonPhrase(int status_code);
+
+}  // namespace server
+}  // namespace tagg

@@ -17,9 +17,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,6 +123,82 @@ double Percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
+/// One cumulative histogram bucket parsed off the exposition text.
+struct HistBucket {
+  double le = 0.0;  // upper bound in seconds; +Inf for the last
+  uint64_t cumulative = 0;
+};
+
+/// Parses the `<name>_bucket{le="..."} N` sample lines of one histogram
+/// family out of a Prometheus text exposition.
+std::vector<HistBucket> ParseHistogramBuckets(const std::string& text,
+                                              const std::string& name) {
+  std::vector<HistBucket> buckets;
+  const std::string key = name + "_bucket{le=\"";
+  size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    if (pos != 0 && text[pos - 1] != '\n') {  // HELP/TYPE line mentions
+      pos += key.size();
+      continue;
+    }
+    const size_t le_start = pos + key.size();
+    const size_t le_end = text.find('"', le_start);
+    if (le_end == std::string::npos) break;
+    const std::string le = text.substr(le_start, le_end - le_start);
+    HistBucket b;
+    b.le = le == "+Inf" ? std::numeric_limits<double>::infinity()
+                        : std::strtod(le.c_str(), nullptr);
+    const size_t value_at = text.find(' ', le_end);
+    if (value_at == std::string::npos) break;
+    b.cumulative = static_cast<uint64_t>(
+        std::strtoull(text.c_str() + value_at + 1, nullptr, 10));
+    buckets.push_back(b);
+    pos = le_end;
+  }
+  return buckets;
+}
+
+/// Interpolated percentile (microseconds) from a delta of two cumulative
+/// bucket snapshots — the standard Prometheus histogram_quantile math.
+double BucketPercentileMicros(const std::vector<HistBucket>& before,
+                              const std::vector<HistBucket>& after,
+                              double p) {
+  if (after.empty() || before.size() != after.size()) return 0.0;
+  std::vector<uint64_t> delta(after.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    delta[i] = after[i].cumulative -
+               std::min(before[i].cumulative, after[i].cumulative);
+  }
+  const uint64_t total = delta.back();
+  if (total == 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (static_cast<double>(delta[i]) < rank) continue;
+    const double hi = after[i].le;
+    if (std::isinf(hi)) {
+      // Open-ended bucket: report its lower bound, like Prometheus.
+      return i == 0 ? 0.0 : after[i - 1].le * 1e6;
+    }
+    const double lo = i == 0 ? 0.0 : after[i - 1].le;
+    const uint64_t below = i == 0 ? 0 : delta[i - 1];
+    const uint64_t in_bucket = delta[i] - below;
+    if (in_bucket == 0) return hi * 1e6;
+    const double frac =
+        (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return (lo + (hi - lo) * frac) * 1e6;
+  }
+  return after.back().le * 1e6;
+}
+
+/// Fetches the full exposition text over the binary protocol; empty on
+/// any failure (the queue-wait decomposition then reports zeros).
+std::string FetchMetricsText(uint16_t port) {
+  Result<tagg::net::Client> client = tagg::net::Client::ConnectTo(port);
+  if (!client.ok()) return std::string();
+  Result<std::string> metrics = client->Metrics();
+  return metrics.ok() ? *metrics : std::string();
+}
+
 /// Post-load check: the serving counters in the Prometheus exposition
 /// must reflect the work just sent.
 int CheckMetrics(const LoadgenOptions& options, uint64_t requests) {
@@ -205,6 +283,12 @@ int main(int argc, char** argv) {
   options.connections = std::max<size_t>(1, options.connections);
   options.pipeline = std::max<size_t>(1, options.pipeline);
 
+  // Snapshot the server-side queue-wait histogram before the load so the
+  // JSON line can report the delta attributable to this run.
+  const std::string kQueueWait = "tagg_executor_queue_wait_seconds";
+  const std::vector<HistBucket> qw_before =
+      ParseHistogramBuckets(FetchMetricsText(options.port), kQueueWait);
+
   std::vector<WorkerResult> results(options.connections);
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
@@ -228,14 +312,34 @@ int main(int argc, char** argv) {
                    r.batch_micros.end());
   }
   std::sort(batches.begin(), batches.end());
+
+  // Server-side queue-wait decomposition: how much of the batch latency
+  // above was spent waiting for an executor worker.
+  const std::vector<HistBucket> qw_after =
+      ParseHistogramBuckets(FetchMetricsText(options.port), kQueueWait);
+  uint64_t qw_samples = 0;
+  if (!qw_after.empty() && qw_after.size() == qw_before.size()) {
+    qw_samples = qw_after.back().cumulative - qw_before.back().cumulative;
+  } else if (!qw_after.empty() && qw_before.empty()) {
+    qw_samples = qw_after.back().cumulative;
+  }
+  const std::vector<HistBucket> qw_base =
+      qw_before.size() == qw_after.size() ? qw_before
+                                          : std::vector<HistBucket>(
+                                                qw_after.size(), HistBucket{});
   std::printf(
       "{\"connections\":%zu,\"pipeline\":%zu,\"seconds\":%.3f,"
       "\"requests\":%llu,\"qps\":%.1f,\"batch_p50_us\":%.1f,"
-      "\"batch_p99_us\":%.1f,\"errors\":%llu}\n",
+      "\"batch_p99_us\":%.1f,\"queue_wait_p50_us\":%.1f,"
+      "\"queue_wait_p99_us\":%.1f,\"queue_wait_samples\":%llu,"
+      "\"errors\":%llu}\n",
       options.connections, options.pipeline, elapsed,
       static_cast<unsigned long long>(requests),
       elapsed > 0 ? static_cast<double>(requests) / elapsed : 0.0,
       Percentile(batches, 0.50), Percentile(batches, 0.99),
+      BucketPercentileMicros(qw_base, qw_after, 0.50),
+      BucketPercentileMicros(qw_base, qw_after, 0.99),
+      static_cast<unsigned long long>(qw_samples),
       static_cast<unsigned long long>(errors));
 
   if (requests == 0 || errors != 0) {

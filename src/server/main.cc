@@ -44,6 +44,14 @@ void PrintUsage(const char* argv0) {
       "  --idle-timeout-ms N    disconnect idle clients (default 0 = off)\n"
       "  --rate-limit R         per-connection requests/sec (default off)\n"
       "  --rate-burst B         token-bucket burst (default = rate)\n"
+      "  --admin-port N         HTTP admin listener (default 7035,\n"
+      "                         0 = ephemeral; see --no-admin)\n"
+      "  --no-admin             disable the admin plane\n"
+      "  --enable-quitz         allow GET /quitz to trigger shutdown\n"
+      "  --trace-sample-every N server-sample every Nth request per loop\n"
+      "                         (default 0 = off, or TAGG_TRACE_SAMPLE_EVERY)\n"
+      "  --slow-request-us N    log+record requests slower than N us\n"
+      "                         (default 0 = off, or TAGG_SLOW_REQUEST_US)\n"
       "  --csv PATH[:NAME]      load a CSV relation (repeatable)\n"
       "  --index REL/AGG[/ATTR] register a live index (repeatable),\n"
       "                         e.g. employed/count, employed/sum/salary\n"
@@ -78,6 +86,11 @@ int main(int argc, char** argv) {
 
   server::ServerOptions options;
   options.port = 7034;
+  options.admin.port = 7035;
+  if (const char* env = std::getenv("TAGG_TRACE_SAMPLE_EVERY")) {
+    options.loop.trace_sample_every =
+        static_cast<size_t>(std::strtoul(env, nullptr, 10));
+  }
   std::vector<std::pair<std::string, std::string>> csvs;  // path, name
   std::vector<std::string> index_specs;
 
@@ -115,6 +128,16 @@ int main(int argc, char** argv) {
       options.loop.rate_limit_per_sec = std::atof(next());
     } else if (arg == "--rate-burst") {
       options.loop.rate_limit_burst = std::atof(next());
+    } else if (arg == "--admin-port") {
+      options.admin.port = static_cast<uint16_t>(next_int());
+    } else if (arg == "--no-admin") {
+      options.admin.enabled = false;
+    } else if (arg == "--enable-quitz") {
+      options.admin.enable_quitz = true;
+    } else if (arg == "--trace-sample-every") {
+      options.loop.trace_sample_every = static_cast<size_t>(next_int());
+    } else if (arg == "--slow-request-us") {
+      options.slow_request_micros = next_int();
     } else if (arg == "--csv") {
       const std::string spec = next();
       const size_t colon = spec.find(':');
@@ -203,7 +226,10 @@ int main(int argc, char** argv) {
 
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
-  while (g_shutdown == 0 && srv.running()) {
+  // /quitz sets a flag on the admin loop thread; the actual Shutdown
+  // must run here (running it from inside the admin plane would
+  // deadlock on the admin loop's own teardown).
+  while (g_shutdown == 0 && srv.running() && !srv.quit_requested()) {
     struct timespec ts = {0, 50 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }

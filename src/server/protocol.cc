@@ -65,7 +65,8 @@ Result<const LiveAggregateIndex*> FindIndex(const ServingState& state,
 // ---------------------------------------------------------------------------
 
 Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
-                              std::string_view payload) {
+                              std::string_view payload,
+                              obs::QueryProfile* profile) {
   switch (opcode) {
     case Opcode::kPing: {
       net::Cursor c(payload);
@@ -73,13 +74,18 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
       return std::string();
     }
     case Opcode::kInsert: {
+      obs::Span decode(profile, "decode_payload");
       TAGG_ASSIGN_OR_RETURN(InsertRequest req, net::DecodeInsert(payload));
       TAGG_ASSIGN_OR_RETURN(Tuple tuple, ToTuple(req.tuple));
+      decode.End();
+      obs::Span ingest(profile, "ingest");
+      ingest.Annotate("relation", req.relation);
       TAGG_RETURN_IF_ERROR(state.live->Ingest(req.relation,
                                               std::move(tuple)));
       return std::string();
     }
     case Opcode::kInsertBatch: {
+      obs::Span decode(profile, "decode_payload");
       TAGG_ASSIGN_OR_RETURN(InsertBatchRequest req,
                             net::DecodeInsertBatch(payload));
       std::vector<Tuple> tuples;
@@ -88,41 +94,66 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
         TAGG_ASSIGN_OR_RETURN(Tuple tuple, ToTuple(wire));
         tuples.push_back(std::move(tuple));
       }
+      decode.End();
+      obs::Span ingest(profile, "ingest_batch");
+      ingest.Annotate("relation", req.relation);
+      ingest.Annotate("tuples", tuples.size());
       size_t ingested = 0;
       TAGG_RETURN_IF_ERROR(state.live->IngestBatch(
           req.relation, std::move(tuples), &ingested));
+      ingest.End();
       net::Writer w;
       w.U32(static_cast<uint32_t>(ingested));
       return w.Take();
     }
     case Opcode::kFlush: {
       TAGG_ASSIGN_OR_RETURN(FlushRequest req, net::DecodeFlush(payload));
+      obs::Span flush(profile, "flush");
       TAGG_RETURN_IF_ERROR(state.live->Flush(req.relation));
       return std::string();
     }
     case Opcode::kAggregateAt: {
+      obs::Span decode(profile, "decode_payload");
       TAGG_ASSIGN_OR_RETURN(AggregateAtRequest req,
                             net::DecodeAggregateAt(payload));
+      decode.End();
+      obs::Span lookup(profile, "index_lookup");
       TAGG_ASSIGN_OR_RETURN(
           const LiveAggregateIndex* index,
           FindIndex(state, req.relation, req.aggregate, req.attribute));
+      lookup.End();
+      obs::Span probe(profile, "aggregate_at");
+      probe.Annotate("relation", req.relation);
       AggregateAtResponse resp;
       TAGG_ASSIGN_OR_RETURN(resp.value,
                             index->AggregateAt(req.t, &resp.epoch));
+      probe.Annotate("epoch", resp.epoch);
+      probe.End();
+      obs::Span encode(profile, "encode_payload");
       return net::EncodeAggregateAtResponse(resp);
     }
     case Opcode::kAggregateOver: {
+      obs::Span decode(profile, "decode_payload");
       TAGG_ASSIGN_OR_RETURN(AggregateOverRequest req,
                             net::DecodeAggregateOver(payload));
+      decode.End();
+      obs::Span lookup(profile, "index_lookup");
       TAGG_ASSIGN_OR_RETURN(
           const LiveAggregateIndex* index,
           FindIndex(state, req.relation, req.aggregate, req.attribute));
+      lookup.End();
       TAGG_ASSIGN_OR_RETURN(Period query,
                             MakePeriod(req.start, req.end));
+      obs::Span probe(profile, "aggregate_over");
+      probe.Annotate("relation", req.relation);
       AggregateOverResponse resp;
       TAGG_ASSIGN_OR_RETURN(
           AggregateSeries series,
           index->AggregateOver(query, req.coalesce, &resp.epoch));
+      probe.Annotate("epoch", resp.epoch);
+      probe.Annotate("intervals", series.intervals.size());
+      probe.End();
+      obs::Span encode(profile, "encode_payload");
       resp.intervals.reserve(series.intervals.size());
       for (const ResultInterval& iv : series.intervals) {
         resp.intervals.push_back(WireInterval{
@@ -133,7 +164,7 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
     case Opcode::kMetrics: {
       net::Cursor c(payload);
       TAGG_RETURN_IF_ERROR(c.ExpectEnd());
-      return obs::MetricsRegistry::Global().PrometheusText();
+      return MetricsExpositionText();
     }
   }
   return Status::InvalidArgument("unknown opcode " +
@@ -209,10 +240,9 @@ Result<std::string> RunText(const ServingState& state,
   }
   if (EqualsIgnoreCase(cmd, "ping")) return std::string("+PONG\n");
   if (EqualsIgnoreCase(cmd, "metrics")) {
-    std::string out = obs::MetricsRegistry::Global().PrometheusText();
-    if (out.empty() || out.back() != '\n') out.push_back('\n');
-    out += ".\n";
-    return out;
+    // Same bytes as the binary kMetrics opcode and HTTP /metrics, plus
+    // the text-mode "." terminator.
+    return MetricsExpositionText() + ".\n";
   }
   if (EqualsIgnoreCase(cmd, "stats")) {
     std::string out = state.live->Stats().ToString();
@@ -319,10 +349,23 @@ std::string TextErrorLine(const Status& status) {
          std::string(status.message()) + "\n";
 }
 
+std::string MetricsExpositionText() {
+  std::string out = obs::MetricsRegistry::Global().PrometheusText();
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  return out;
+}
+
+Result<std::string> ExecuteBinaryRequest(const ServingState& state,
+                                         uint8_t opcode,
+                                         std::string_view payload,
+                                         obs::QueryProfile* profile) {
+  return RunBinary(state, static_cast<Opcode>(opcode), payload, profile);
+}
+
 std::string HandleBinaryRequest(const ServingState& state, uint8_t opcode,
                                 std::string_view payload) {
   Result<std::string> result =
-      RunBinary(state, static_cast<Opcode>(opcode), payload);
+      RunBinary(state, static_cast<Opcode>(opcode), payload, nullptr);
   if (!result.ok()) return net::EncodeErrorFrame(result.status());
   return net::EncodeResponseFrame(StatusCode::kOk, *result);
 }

@@ -20,6 +20,7 @@
 
 #include "live/service.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "temporal/catalog.h"
 
 namespace tagg {
@@ -31,6 +32,22 @@ struct ServingState {
   const Catalog* catalog = nullptr;
   LiveService* live = nullptr;
 };
+
+/// The one metrics exposition every surface serves: the binary kMetrics
+/// opcode, the text-mode `metrics` command, and HTTP GET /metrics all
+/// return exactly these bytes (newline-terminated Prometheus text), so a
+/// scrape is byte-identical no matter which door it came through.
+std::string MetricsExpositionText();
+
+/// Executes one binary request and returns the *payload* of the success
+/// response (the caller frames it), or the operation's error.  When
+/// `profile` is non-null the handler opens EXPLAIN-level spans
+/// (decode_payload, index_lookup, the probe, ...) under it — the nested
+/// stages a sampled request trace shows under `execute`.
+Result<std::string> ExecuteBinaryRequest(const ServingState& state,
+                                         uint8_t opcode,
+                                         std::string_view payload,
+                                         obs::QueryProfile* profile);
 
 /// Executes one binary request and returns the encoded response frame.
 /// Never fails: operation errors become error frames.

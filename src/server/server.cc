@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "util/logging.h"
 #include "util/str.h"
 
@@ -96,6 +97,9 @@ Status Server::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already started");
   }
+  if (options_.slow_request_micros >= 0) {
+    obs::SetSlowRequestThresholdNs(options_.slow_request_micros * 1000);
+  }
   TAGG_ASSIGN_OR_RETURN(net::Acceptor acceptor,
                         net::Acceptor::Listen(options_.port));
   acceptor_.emplace(std::move(acceptor));
@@ -120,6 +124,36 @@ Status Server::Start() {
       return started;
     }
     loops_.push_back(std::move(loop));
+  }
+
+  if (options_.admin.enabled) {
+    AdminHooks hooks;
+    hooks.metrics_text = [] { return MetricsExpositionText(); };
+    hooks.draining = [this] {
+      return draining_.load(std::memory_order_acquire);
+    };
+    hooks.statz = [this] {
+      std::vector<net::ConnectionStatsRow> rows;
+      for (const auto& loop : loops_) {
+        std::vector<net::ConnectionStatsRow> loop_rows =
+            loop->SnapshotConnections();
+        rows.insert(rows.end(), loop_rows.begin(), loop_rows.end());
+      }
+      return rows;
+    };
+    hooks.quit = [this] {
+      quit_requested_.store(true, std::memory_order_release);
+    };
+    admin_ = std::make_unique<AdminPlane>(options_.admin, std::move(hooks));
+    Status admin_started = admin_->Start();
+    if (!admin_started.ok()) {
+      admin_.reset();
+      for (auto& running : loops_) running->Stop();
+      loops_.clear();
+      executor_.reset();
+      acceptor_.reset();
+      return admin_started;
+    }
   }
 
   stop_accepting_.store(false, std::memory_order_release);
@@ -178,8 +212,21 @@ void Server::OnRequest(const std::shared_ptr<net::Connection>& conn,
   // Control operations answered inline on the loop thread: Ping costs
   // nothing, and text `quit` must set close-after-flush loop-side.
   if (!req.text && req.opcode == static_cast<uint8_t>(net::Opcode::kPing)) {
-    conn->Respond(req.seq,
-                  net::EncodeResponseFrame(StatusCode::kOk, ""));
+    std::string reply = net::EncodeResponseFrame(StatusCode::kOk, "");
+    if (req.timing.timed()) {
+      obs::RequestTiming timing = req.timing;
+      const int64_t now = obs::TraceNowNs() - timing.start_ns;
+      // Inline on the loop thread: no queue wait, instant execute/encode.
+      timing.stage_ns[obs::kStageQueueWait] = 0;
+      timing.stage_start_ns[obs::kStageExecute] = now;
+      timing.stage_ns[obs::kStageExecute] = 0;
+      timing.stage_start_ns[obs::kStageEncode] = now;
+      timing.stage_ns[obs::kStageEncode] = 0;
+      timing.status = static_cast<uint8_t>(StatusCode::kOk);
+      conn->Respond(req.seq, std::move(reply), timing, nullptr);
+    } else {
+      conn->Respond(req.seq, std::move(reply));
+    }
     return;
   }
   if (req.text) {
@@ -202,14 +249,69 @@ void Server::OnRequest(const std::shared_ptr<net::Connection>& conn,
   const bool serial_head =
       conn->SerialEnqueue([this, conn, req = std::move(req)]() mutable {
         obs::ScopedLatencyTimer timer(RequestSeconds());
+        obs::RequestTiming timing = req.timing;
+        const bool timed = timing.timed();
+        // Heap-allocated only on the sampled path, inside the lambda
+        // body (the callable itself must stay copyable).
+        std::unique_ptr<obs::SubSpanBuffer> subs;
+        if (timed) {
+          const int64_t now = obs::TraceNowNs() - timing.start_ns;
+          timing.stage_ns[obs::kStageQueueWait] =
+              now - timing.stage_start_ns[obs::kStageQueueWait];
+          timing.stage_start_ns[obs::kStageExecute] = now;
+        }
         std::string reply;
         if (req.text) {
           bool quit = false;  // quit was intercepted on the loop thread
           reply = HandleTextRequest(state_, req.payload, &quit);
-        } else {
+          if (timed) {
+            // Text replies render inside the handler; encode is folded
+            // into execute and measures zero on its own.
+            const int64_t now = obs::TraceNowNs() - timing.start_ns;
+            timing.stage_ns[obs::kStageExecute] =
+                now - timing.stage_start_ns[obs::kStageExecute];
+            timing.stage_start_ns[obs::kStageEncode] = now;
+            timing.stage_ns[obs::kStageEncode] = 0;
+            timing.status = static_cast<uint8_t>(StatusCode::kOk);
+          }
+        } else if (!timed) {
           reply = HandleBinaryRequest(state_, req.opcode, req.payload);
+        } else {
+          // Timed binary path: run the handler unframed so the encode
+          // stage is measured separately, and — when sampled — under a
+          // QueryProfile whose EXPLAIN-level spans nest into the trace.
+          obs::QueryProfile profile;
+          const int64_t profile_base =
+              obs::TraceNowNs() - timing.start_ns;
+          Result<std::string> result = ExecuteBinaryRequest(
+              state_, req.opcode, req.payload,
+              timing.sampled() ? &profile : nullptr);
+          profile.Finish();
+          const int64_t exec_end = obs::TraceNowNs() - timing.start_ns;
+          timing.stage_ns[obs::kStageExecute] =
+              exec_end - timing.stage_start_ns[obs::kStageExecute];
+          if (timing.sampled()) {
+            subs = std::make_unique<obs::SubSpanBuffer>();
+            obs::CollectSubSpans(profile.root(), profile_base, subs.get());
+          }
+          timing.stage_start_ns[obs::kStageEncode] = exec_end;
+          if (result.ok()) {
+            timing.status = static_cast<uint8_t>(StatusCode::kOk);
+            reply = net::EncodeResponseFrame(StatusCode::kOk, *result);
+          } else {
+            timing.status = static_cast<uint8_t>(result.status().code());
+            reply = net::EncodeErrorFrame(result.status());
+          }
+          timing.stage_ns[obs::kStageEncode] =
+              obs::TraceNowNs() - timing.start_ns -
+              timing.stage_start_ns[obs::kStageEncode];
         }
-        conn->Respond(req.seq, std::move(reply));
+        if (timed) {
+          conn->Respond(req.seq, std::move(reply), timing,
+                        std::move(subs));
+        } else {
+          conn->Respond(req.seq, std::move(reply));
+        }
       });
   if (!serial_head) return;  // the in-flight runner will pick it up
   Status submitted = executor_->TrySubmit([conn] {
@@ -230,6 +332,10 @@ void Server::OnRequest(const std::shared_ptr<net::Connection>& conn,
 
 void Server::Shutdown() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // 0. Flip /healthz to 503 while everything below still serves: load
+  //    balancers route away before in-flight requests are cut off.
+  draining_.store(true, std::memory_order_release);
 
   // 1. No new connections.
   stop_accepting_.store(true, std::memory_order_release);
@@ -263,6 +369,13 @@ void Server::Shutdown() {
   for (auto& loop : loops_) loop->Stop();
   loops_.clear();
   executor_.reset();
+
+  // 6. The admin plane goes LAST: /healthz kept answering 503 (and
+  //    /metrics kept scraping) through the whole drain above.
+  if (admin_ != nullptr) {
+    admin_->Shutdown();
+    admin_.reset();
+  }
   TAGG_LOG(Info) << "taggd stopped";
 }
 

@@ -32,6 +32,7 @@
 #include "net/event_loop.h"
 #include "net/executor.h"
 #include "net/socket.h"
+#include "server/admin.h"
 #include "server/protocol.h"
 
 namespace tagg {
@@ -47,10 +48,15 @@ struct ServerOptions {
   /// Bounded executor queue; full queue => SERVER_BUSY.
   size_t executor_queue = 256;
   /// Per-connection parse/backpressure knobs (pipeline cap, idle
-  /// timeout, token-bucket rate limit).
+  /// timeout, token-bucket rate limit, trace sampling).
   net::EventLoopOptions loop;
   /// How long Shutdown waits for reserved responses to reach sockets.
   std::chrono::milliseconds drain_timeout{5000};
+  /// The HTTP introspection listener (second port).
+  AdminOptions admin;
+  /// >= 0 sets the process-wide slow-request threshold (microseconds;
+  /// 0 disables); -1 leaves the TAGG_SLOW_REQUEST_US default alone.
+  int64_t slow_request_micros = -1;
 };
 
 class Server {
@@ -70,7 +76,16 @@ class Server {
   /// The bound port (useful with options.port == 0).
   uint16_t port() const { return port_; }
 
+  /// The admin plane's bound port; 0 when the admin plane is disabled.
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once /quitz (or any other caller of the quit hook) asked for a
+  /// graceful shutdown.  Polled by taggd's main loop.
+  bool quit_requested() const {
+    return quit_requested_.load(std::memory_order_acquire);
+  }
 
   /// Graceful drain as documented above.  Idempotent; also runs from the
   /// destructor if the caller never did.
@@ -98,6 +113,12 @@ class Server {
   std::unique_ptr<net::BoundedExecutor> executor_;
   std::vector<std::unique_ptr<net::EventLoop>> loops_;
   size_t next_loop_ = 0;
+
+  std::unique_ptr<AdminPlane> admin_;
+  /// Set FIRST in Shutdown so /healthz flips to 503 before the data
+  /// listener closes.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> quit_requested_{false};
 };
 
 }  // namespace server

@@ -273,6 +273,106 @@ TEST(WireFrameTest, PipelinedFramesDecodeInSequence) {
   EXPECT_EQ(opcodes, (std::vector<uint8_t>{1, 4, 7}));
 }
 
+TEST(WireTracedFrameTest, TracedRequestRoundTrips) {
+  const std::string frame = EncodeTracedRequestFrame(
+      Opcode::kAggregateOver, 0xDEADBEEFCAFEF00Dull, kTraceFlagSampled,
+      "payload");
+  EXPECT_EQ(static_cast<uint8_t>(frame[0]), kTracedRequestMagic);
+  EXPECT_EQ(frame.size(), kTracedFrameHeaderBytes + 7);
+
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(frame, /*expect_request=*/true,
+                           kDefaultMaxPayloadBytes, &header, &payload,
+                           &consumed, &error),
+            FrameDecodeState::kFrame);
+  EXPECT_TRUE(header.traced);
+  EXPECT_TRUE(header.sampled());
+  EXPECT_EQ(header.trace_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(header.trace_flags, kTraceFlagSampled);
+  EXPECT_EQ(header.opcode_or_status,
+            static_cast<uint8_t>(Opcode::kAggregateOver));
+  EXPECT_EQ(payload, "payload");
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(WireTracedFrameTest, UnsampledFlagAndZeroTraceId) {
+  const std::string frame =
+      EncodeTracedRequestFrame(Opcode::kPing, 0, 0, "");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(frame, true, kDefaultMaxPayloadBytes, &header,
+                           &payload, &consumed, &error),
+            FrameDecodeState::kFrame);
+  EXPECT_TRUE(header.traced);
+  EXPECT_FALSE(header.sampled());
+  EXPECT_EQ(header.trace_id, 0u);
+}
+
+TEST(WireTracedFrameTest, OldClientsStayCompatible) {
+  // A plain 0xC4 frame must decode exactly as before the 0xC6 extension:
+  // untraced, no trace id, same header length.
+  const std::string frame = EncodeRequestFrame(Opcode::kInsert, "abc");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(frame, true, kDefaultMaxPayloadBytes, &header,
+                           &payload, &consumed, &error),
+            FrameDecodeState::kFrame);
+  EXPECT_FALSE(header.traced);
+  EXPECT_FALSE(header.sampled());
+  EXPECT_EQ(header.trace_id, 0u);
+  EXPECT_EQ(consumed, kFrameHeaderBytes + 3);
+}
+
+TEST(WireTracedFrameTest, TruncatedTracedHeaderNeedsMore) {
+  const std::string frame = EncodeTracedRequestFrame(
+      Opcode::kFlush, 0x0123456789ABCDEFull, kTraceFlagSampled, "xyz");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_EQ(TryDecodeFrame(std::string_view(frame).substr(0, n), true,
+                             kDefaultMaxPayloadBytes, &header, &payload,
+                             &consumed, &error),
+              FrameDecodeState::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(WireTracedFrameTest, TracedMagicRejectedInResponses) {
+  // 0xC6 is a request-side magic only; a server response starting with
+  // it is a protocol error on the client.
+  const std::string frame = EncodeTracedRequestFrame(
+      Opcode::kPing, 1, kTraceFlagSampled, "");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryDecodeFrame(frame, /*expect_request=*/false,
+                           kDefaultMaxPayloadBytes, &header, &payload,
+                           &consumed, &error),
+            FrameDecodeState::kProtocolError);
+}
+
+TEST(WireTracedFrameTest, BadOpcodeInTracedFrameIsProtocolError) {
+  std::string frame = EncodeTracedRequestFrame(Opcode::kPing, 1, 0, "");
+  frame[1] = static_cast<char>(0xEE);
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryDecodeFrame(frame, true, kDefaultMaxPayloadBytes, &header,
+                           &payload, &consumed, &error),
+            FrameDecodeState::kProtocolError);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace tagg

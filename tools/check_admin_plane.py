@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Smoke-checks a running taggd's HTTP admin plane.
+
+Fetches /healthz, /metrics, /statz, and /tracez (text + Chrome JSON)
+from the admin port and validates the contracts CI relies on:
+
+  * /healthz answers 200 "ok" while the daemon serves;
+  * /metrics is Prometheus text carrying the serving + executor-queue
+    families (every sample line parses as `name[{labels}] value`);
+  * /statz renders the per-connection table;
+  * /tracez?fmt=chrome is valid Chrome-trace JSON, and with
+    --expect-traces the event list is non-empty with the request
+    lifecycle stages present.
+
+No third-party dependencies — stdlib urllib + json only.
+
+Usage: tools/check_admin_plane.py --port 7035 [--expect-traces]
+"""
+
+import argparse
+import json
+import re
+import sys
+import urllib.request
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(inf|nan)?$")
+
+REQUIRED_FAMILIES = (
+    "tagg_server_requests_total",
+    "tagg_net_connections_total",
+    "tagg_executor_queue_depth",
+    "tagg_executor_queue_wait_seconds_bucket",
+    "tagg_admin_requests_total",
+)
+
+LIFECYCLE_STAGES = ("recv", "decode", "queue_wait", "execute", "encode",
+                    "write")
+
+
+def fail(msg: str) -> None:
+    print(f"check_admin_plane: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(port: int, path: str) -> tuple:
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), \
+                resp.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as e:
+        return e.code, e.headers.get("Content-Type", ""), \
+            e.read().decode("utf-8", "replace")
+    except OSError as e:
+        fail(f"GET {url}: {e}")
+
+
+def check_healthz(port: int) -> None:
+    status, _, body = fetch(port, "/healthz")
+    if status != 200 or body != "ok\n":
+        fail(f"/healthz: expected 200 'ok', got {status} {body!r}")
+    print("check_admin_plane: OK: /healthz serving")
+
+
+def check_metrics(port: int) -> None:
+    status, ctype, body = fetch(port, "/metrics")
+    if status != 200:
+        fail(f"/metrics: status {status}")
+    if "text/plain" not in ctype or "version=0.0.4" not in ctype:
+        fail(f"/metrics: unexpected content type {ctype!r}")
+    samples = 0
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not SAMPLE_LINE.match(line):
+            fail(f"/metrics: unparseable sample line {line!r}")
+        samples += 1
+    if samples == 0:
+        fail("/metrics: no sample lines")
+    for family in REQUIRED_FAMILIES:
+        if family not in body:
+            fail(f"/metrics: missing family '{family}'")
+    print(f"check_admin_plane: OK: /metrics ({samples} samples)")
+
+
+def check_statz(port: int) -> None:
+    status, _, body = fetch(port, "/statz")
+    if status != 200:
+        fail(f"/statz: status {status}")
+    if "connection(s)" not in body or "outbox_bytes" not in body:
+        fail(f"/statz: missing table markers in {body!r}")
+    print("check_admin_plane: OK: /statz")
+
+
+def check_tracez(port: int, expect_traces: bool) -> None:
+    status, _, text = fetch(port, "/tracez")
+    if status != 200:
+        fail(f"/tracez: status {status}")
+    status, ctype, raw = fetch(port, "/tracez?fmt=chrome")
+    if status != 200:
+        fail(f"/tracez?fmt=chrome: status {status}")
+    if "application/json" not in ctype:
+        fail(f"/tracez?fmt=chrome: content type {ctype!r}")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        fail(f"/tracez?fmt=chrome: invalid JSON: {e}")
+    if not isinstance(doc.get("traceEvents"), list):
+        fail("/tracez?fmt=chrome: missing traceEvents list")
+    events = doc["traceEvents"]
+    for event in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"/tracez?fmt=chrome: event missing '{key}': {event}")
+        if event["ph"] != "X":
+            fail(f"/tracez?fmt=chrome: expected complete events, "
+                 f"got ph={event['ph']!r}")
+    if expect_traces:
+        if not events:
+            fail("/tracez?fmt=chrome: no trace events recorded (was "
+                 "sampling enabled and load sent?)")
+        names = {e["name"] for e in events}
+        for stage in LIFECYCLE_STAGES:
+            if stage not in names:
+                fail(f"/tracez?fmt=chrome: lifecycle stage '{stage}' "
+                     f"missing from events (have {sorted(names)})")
+        if "trace" not in text:
+            fail("/tracez: text view has no rendered traces")
+    print(f"check_admin_plane: OK: /tracez ({len(events)} events)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True,
+                        help="admin plane port")
+    parser.add_argument("--expect-traces", action="store_true",
+                        help="require recorded request traces with the "
+                             "full stage breakdown")
+    args = parser.parse_args()
+
+    check_healthz(args.port)
+    check_metrics(args.port)
+    check_statz(args.port)
+    check_tracez(args.port, args.expect_traces)
+    print("check_admin_plane: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,11 @@ NET_METRIC_COUNTERS = (
     "tagg_net_bytes_read_total",
     "tagg_net_bytes_written_total",
 )
-NET_METRIC_HISTOGRAMS = ("tagg_server_request_seconds",)
+NET_METRIC_HISTOGRAMS = (
+    "tagg_server_request_seconds",
+    "tagg_executor_queue_wait_seconds",
+)
+NET_METRIC_GAUGES = ("tagg_executor_queue_depth",)
 
 
 def fail(msg: str) -> None:
@@ -133,6 +137,9 @@ def check_net_serving(path: pathlib.Path, benchmarks: list,
     for hist in NET_METRIC_HISTOGRAMS:
         if hist not in metrics["histograms"]:
             fail(f"{path}: metrics snapshot missing histogram '{hist}'")
+    for gauge in NET_METRIC_GAUGES:
+        if gauge not in metrics["gauges"]:
+            fail(f"{path}: metrics snapshot missing gauge '{gauge}'")
 
 
 def check_timings(path: pathlib.Path) -> int:
