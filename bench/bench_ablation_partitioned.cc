@@ -10,8 +10,13 @@
 //     (sharded routing, per-region builds) parallelize; per-region spill
 //     files make the spill X parallel combination legal.
 //   * Kernel: the phase-2 kernel ablation — the Section 5.1 aggregation
-//     tree vs. the endpoint-event delta sweep for the invertible
-//     aggregates (COUNT/SUM).
+//     tree vs. the AoS endpoint-event delta sweep (PR 3) vs. the columnar
+//     SoA kernel in both dispatch modes (forced scalar and the AVX2 body,
+//     which silently equals scalar on hardware without AVX2).
+//   * SpillBytes: the compressed-spill ablation — identical spilled
+//     evaluations with the temporal-column codec on and off, reporting
+//     raw vs. encoded spill bytes and the compression ratio from the obs
+//     counters.
 //
 // Results land in bench_results/ as JSON via TAGG_BENCH_MAIN; CI diffs
 // them against bench_results/baseline with tools/bench_compare.py.
@@ -27,6 +32,7 @@
 
 #include "core/partitioned_agg.h"
 #include "core/workload.h"
+#include "obs/metrics.h"
 
 namespace tagg {
 namespace {
@@ -121,21 +127,37 @@ void ParallelSpillArgs(benchmark::internal::Benchmark* b) {
   b->ArgsProduct({{1 << 14, 1 << 20}, workers, {0, 1}});
 }
 
-// Phase-2 kernel ablation: sorting 2n endpoint events and delta-sweeping
-// (kSweep) vs. building the Section 5.1 tree (kTree), for the
-// group-invertible aggregates.
+// Phase-2 kernel ablation, one family per range(1) value:
+//   0 = tree            (Section 5.1 aggregation tree)
+//   1 = sweep           (PR 3 AoS std::sort + scalar delta sweep)
+//   2 = columnar-scalar (SoA radix sort, scalar body forced)
+//   3 = columnar-simd   (SoA radix sort, AVX2 body via runtime dispatch;
+//                        identical to columnar-scalar on non-AVX2 hosts)
+struct KernelFamily {
+  PartitionKernel kernel;
+  bool force_scalar;
+  const char* name;
+};
+
+const KernelFamily kKernelFamilies[] = {
+    {PartitionKernel::kTree, false, "tree"},
+    {PartitionKernel::kSweep, false, "sweep"},
+    {PartitionKernel::kColumnar, true, "columnar-scalar"},
+    {PartitionKernel::kColumnar, false, "columnar-simd"},
+};
+
 void BM_Partitioned_Kernel(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
-  const PartitionKernel kernel = state.range(1) != 0
-                                     ? PartitionKernel::kSweep
-                                     : PartitionKernel::kTree;
+  const KernelFamily& family =
+      kKernelFamilies[static_cast<size_t>(state.range(1))];
   const AggregateKind kind = state.range(2) != 0 ? AggregateKind::kSum
                                                  : AggregateKind::kCount;
   const Relation& relation = CachedWorkload(n, 0.0);
   for (auto _ : state) {
     PartitionedOptions options;
     options.partitions = 64;
-    options.kernel = kernel;
+    options.kernel = family.kernel;
+    options.force_scalar_kernel = family.force_scalar;
     options.aggregate = kind;
     options.attribute =
         kind == AggregateKind::kCount ? AggregateOptions::kNoAttribute : 1;
@@ -146,8 +168,51 @@ void BM_Partitioned_Kernel(benchmark::State& state) {
     }
     bench::KeepAlive(series->intervals);
   }
-  state.SetLabel(std::string(PartitionKernelToString(kernel)) + "/" +
+  state.SetLabel(std::string(family.name) + "/" +
                  std::string(AggregateKindToString(kind)));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+// Compressed-spill ablation: the same spilled columnar evaluation with
+// the temporal-column codec on and off.  Byte counts come from the obs
+// counters (deltas across the timed loop), so the reported ratio is the
+// production metric, not a bench-side estimate.
+void BM_Partitioned_SpillBytes(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const bool compress = state.range(1) != 0;
+  const Relation& relation = CachedWorkload(n, 0.0);
+  obs::Counter& raw_counter = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_spill_raw_bytes_total",
+      "Pre-codec bytes routed through partitioned spill files");
+  obs::Counter& encoded_counter = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_spill_encoded_bytes_total",
+      "On-disk bytes written by partitioned spill files");
+  const uint64_t raw_before = raw_counter.Value();
+  const uint64_t encoded_before = encoded_counter.Value();
+  for (auto _ : state) {
+    PartitionedOptions options;
+    options.partitions = 64;
+    options.spill_to_disk = true;
+    options.compress_spill = compress;
+    options.aggregate = AggregateKind::kSum;
+    options.attribute = 1;
+    auto series = ComputePartitionedAggregate(relation, options);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series->intervals);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  const double raw =
+      static_cast<double>(raw_counter.Value() - raw_before) / iters;
+  const double encoded =
+      static_cast<double>(encoded_counter.Value() - encoded_before) / iters;
+  state.counters["spill_raw_bytes"] = raw;
+  state.counters["spill_encoded_bytes"] = encoded;
+  state.counters["compression_ratio"] = encoded > 0 ? raw / encoded : 0.0;
+  state.SetLabel(compress ? "compressed" : "raw");
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
@@ -182,7 +247,10 @@ BENCHMARK(BM_Partitioned_ParallelSpill)
     ->Apply(ParallelSpillArgs)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Partitioned_Kernel)
-    ->ArgsProduct({{1 << 14, 1 << 20}, {0, 1}, {0, 1}})
+    ->ArgsProduct({{1 << 14, 1 << 20}, {0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partitioned_SpillBytes)
+    ->ArgsProduct({{1 << 14, 1 << 20}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Partitioned_LongLived80)
     ->ArgsProduct({{1 << 14}, {1, 16}})

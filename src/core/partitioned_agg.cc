@@ -13,9 +13,12 @@
 
 #include "core/aggregation_tree.h"
 #include "core/node_arena.h"
+#include "core/sweep_columnar.h"
 #include "obs/metrics.h"
 #include "storage/external_sort.h"
 #include "storage/spill_file.h"
+#include "storage/temporal_column.h"
+#include "util/cpu_features.h"
 
 namespace tagg {
 
@@ -27,6 +30,8 @@ std::string_view PartitionKernelToString(PartitionKernel kernel) {
       return "tree";
     case PartitionKernel::kSweep:
       return "sweep";
+    case PartitionKernel::kColumnar:
+      return "columnar";
   }
   return "?";
 }
@@ -52,6 +57,18 @@ static_assert(std::is_trivially_copyable_v<Event>);
 
 bool EventLess(const void* a, const void* b) {
   return static_cast<const Event*>(a)->at < static_cast<const Event*>(b)->at;
+}
+
+/// Column layouts for the spill codec (storage/temporal_column): fields in
+/// declaration order of the POD structs above.
+TemporalColumnLayout EntryLayout() {
+  using Field = TemporalColumnLayout::Field;
+  return {{Field::kTime, Field::kTime, Field::kDouble}};
+}
+
+TemporalColumnLayout EventLayout() {
+  using Field = TemporalColumnLayout::Field;
+  return {{Field::kTime, Field::kDouble, Field::kInt}};
 }
 
 /// Neumaier-compensated running sum.  The sweep's add-then-subtract
@@ -186,15 +203,23 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   using State = typename Op::State;
   constexpr bool kInvertible = SweepTraits<Op>::kInvertible;
 
-  const bool use_sweep =
-      options.kernel == PartitionKernel::kSweep ||
+  // kAuto routes invertible aggregates through the columnar kernel; the
+  // AoS sweep stays reachable explicitly for the ablation.
+  const bool use_columnar =
+      options.kernel == PartitionKernel::kColumnar ||
       (options.kernel == PartitionKernel::kAuto && kInvertible);
+  const bool use_sweep = options.kernel == PartitionKernel::kSweep;
+  const SimdLevel simd = options.force_scalar_kernel ? SimdLevel::kScalar
+                                                     : ActiveSimdLevel();
   const bool spill = options.spill_to_disk;
   const size_t workers = std::max<size_t>(options.parallel_workers, 1);
 
   obs::Span part_span(options.profile, "partitioned");
   part_span.Annotate("workers", workers);
-  part_span.Annotate("kernel", use_sweep ? "sweep" : "tree");
+  part_span.Annotate("kernel", use_columnar ? "columnar"
+                               : use_sweep  ? "sweep"
+                                            : "tree");
+  if (use_columnar) part_span.Annotate("simd", SimdLevelToString(simd));
   part_span.Annotate("spill", spill ? "true" : "false");
 
   // Region boundaries: uniform over the bounded lifespan, then the
@@ -237,13 +262,16 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   };
 
   // Per-region spill files, created up front so workers never race on
-  // lazy construction.
+  // lazy construction.  With compress_spill every staged batch becomes
+  // one temporal-column block.
+  const TemporalColumnLayout entry_layout =
+      options.compress_spill ? EntryLayout() : TemporalColumnLayout{};
   std::vector<std::unique_ptr<SpillFile>> files;
   if (spill) {
     files.reserve(regions);
     for (size_t r = 0; r < regions; ++r) {
       TAGG_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> f,
-                            SpillFile::Create(sizeof(Entry)));
+                            SpillFile::Create(sizeof(Entry), entry_layout));
       files.push_back(std::move(f));
     }
   }
@@ -349,10 +377,26 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   }
   route_span.Annotate("tuples", tuples_processed);
 
+  // Before/after-codec byte accounting for everything the evaluation
+  // spills: phase-1 region files here, phase-2 sort runs after the build
+  // join.  Equal when compress_spill is off.
+  obs::Counter& spill_raw_total = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_spill_raw_bytes_total",
+      "Spilled record bytes before the temporal column codec");
+  obs::Counter& spill_encoded_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "tagg_partitioned_spill_encoded_bytes_total",
+          "Spilled bytes actually written after the codec");
+  uint64_t eval_spill_raw = 0;
+  uint64_t eval_spill_encoded = 0;
   if (spill) {
     uint64_t spilled = 0;
+    uint64_t file_raw = 0;
+    uint64_t file_encoded = 0;
     for (const std::unique_ptr<SpillFile>& f : files) {
       spilled += f->record_count();
+      file_raw += f->raw_bytes();
+      file_encoded += f->encoded_bytes();
     }
     obs::MetricsRegistry::Global()
         .GetCounter("tagg_partitioned_spill_entries_total",
@@ -361,8 +405,13 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     obs::MetricsRegistry::Global()
         .GetCounter("tagg_partitioned_spill_bytes_total",
                     "Bytes written to spill files")
-        .Increment(spilled * sizeof(Entry));
+        .Increment(file_encoded);
+    spill_raw_total.Increment(file_raw);
+    spill_encoded_total.Increment(file_encoded);
+    eval_spill_raw += file_raw;
+    eval_spill_encoded += file_encoded;
     route_span.Annotate("spill_entries", spilled);
+    route_span.Annotate("spill_encoded_bytes", file_encoded);
   }
   route_span.End();
 
@@ -375,6 +424,8 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   std::vector<Status> per_region_status(regions);
   std::vector<BuildSlot> slots(workers);
   std::atomic<uint64_t> sort_runs{0};
+  std::atomic<uint64_t> run_raw_bytes{0};
+  std::atomic<uint64_t> run_encoded_bytes{0};
 
   // Per-region build latency: with parallel_workers > 1 each sample is one
   // worker's unit of work, so the histogram is the per-worker time
@@ -391,6 +442,15 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
   obs::Counter& tree_regions = obs::MetricsRegistry::Global().GetCounter(
       "tagg_partitioned_tree_regions_total",
       "Regions built with the aggregation-tree kernel");
+  obs::Counter& columnar_regions = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_columnar_regions_total",
+      "Regions built with the columnar sweep kernel");
+  obs::Counter& columnar_simd = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_columnar_simd_regions_total",
+      "Columnar regions dispatched to the AVX2 body");
+  obs::Counter& columnar_scalar = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_partitioned_columnar_scalar_regions_total",
+      "Columnar regions dispatched to the scalar body");
 
   auto build_tree_region = [&](size_t r) {
     AggregationTreeAggregator<Op> tree;
@@ -458,7 +518,9 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
         peak_events = events.size();
       } else {
         PodRunSorter sorter(sizeof(Event), EventLess,
-                            options.spill_sort_budget_records);
+                            options.spill_sort_budget_records,
+                            options.compress_spill ? EventLayout()
+                                                   : TemporalColumnLayout{});
         SpillFile::Reader reader(*files[r]);
         Status status;
         while (status.ok()) {
@@ -494,6 +556,10 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
         peak_events = sorter.peak_buffered_records();
         sort_runs.fetch_add(sorter.runs_generated(),
                             std::memory_order_relaxed);
+        run_raw_bytes.fetch_add(sorter.run_raw_bytes(),
+                                std::memory_order_relaxed);
+        run_encoded_bytes.fetch_add(sorter.run_encoded_bytes(),
+                                    std::memory_order_relaxed);
       }
       st.relation_scans = 1;
       st.peak_live_nodes = peak_events;
@@ -510,6 +576,133 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     }
   };
 
+  auto build_columnar_region = [&](size_t r) {
+    if constexpr (kInvertible) {
+      const Instant rlo = boundaries[r];
+      const Instant rhi = region_end(r);
+      // COUNT carries no aggregated value: the dv column is skipped
+      // outright and the fully vectorized count body runs.
+      constexpr bool count_only = std::is_same_v<Op, CountOp>;
+      std::vector<TypedInterval<State>> out;
+      ColumnarSweeper sweeper(rlo, rhi, simd, count_only);
+      // Converts completed segments to typed intervals; called between
+      // chunks on the spilled path so segment memory stays bounded too.
+      auto drain = [&] {
+        const std::vector<Instant>& lo = sweeper.seg_lo();
+        const std::vector<Instant>& hi = sweeper.seg_hi();
+        const std::vector<double>& sums = sweeper.seg_sum();
+        const std::vector<int64_t>& ns = sweeper.seg_n();
+        for (size_t i = 0; i < lo.size(); ++i) {
+          out.push_back(
+              {lo[i], hi[i], SweepTraits<Op>::Make(sums[i], ns[i])});
+        }
+        sweeper.ClearSegments();
+      };
+      ExecutionStats st;
+      size_t events_total = 0;
+      size_t peak_events = 0;
+      if (!spill) {
+        size_t entries = 0;
+        for (size_t w = 0; w < workers; ++w) entries += shards[w].mem[r].size();
+        EventColumns cols;
+        cols.reserve(2 * entries, !count_only);
+        for (size_t w = 0; w < workers; ++w) {
+          for (const Entry& e : shards[w].mem[r]) {
+            cols.at.push_back(e.start);
+            if (!count_only) cols.dv.push_back(e.input);
+            cols.dn.push_back(1);
+            if (e.end < rhi) {
+              cols.at.push_back(e.end + 1);
+              if (!count_only) cols.dv.push_back(-e.input);
+              cols.dn.push_back(-1);
+            }
+          }
+        }
+        EventColumns scratch;
+        SortEventColumns(cols, scratch);
+        sweeper.Consume(cols);
+        sweeper.Finish();
+        drain();
+        events_total = cols.size();
+        peak_events = cols.size();
+      } else {
+        PodRunSorter sorter(sizeof(Event), EventLess,
+                            options.spill_sort_budget_records,
+                            options.compress_spill ? EventLayout()
+                                                   : TemporalColumnLayout{});
+        SpillFile::Reader reader(*files[r]);
+        Status status;
+        while (status.ok()) {
+          auto rec = reader.Next();
+          if (!rec.ok()) {
+            status = rec.status();
+            break;
+          }
+          if (rec.value() == nullptr) break;
+          Entry e;
+          std::memcpy(&e, rec.value(), sizeof(Entry));
+          const Event open{e.start, e.input, 1};
+          status = sorter.Add(&open);
+          if (status.ok() && e.end < rhi) {
+            const Event close{e.end + 1, -e.input, -1};
+            status = sorter.Add(&close);
+          }
+          events_total += e.end < rhi ? 2 : 1;
+        }
+        if (status.ok()) {
+          // The merge streams sorted events into bounded column chunks;
+          // the sweeper's carry state makes chunk edges (even mid-run of
+          // equal timestamps) semantically invisible.
+          EventColumns chunk;
+          chunk.reserve(SpillFile::kDefaultChunkRecords, !count_only);
+          status = sorter.Merge([&](const void* rec) {
+            Event ev;
+            std::memcpy(&ev, rec, sizeof(Event));
+            chunk.at.push_back(ev.at);
+            if (!count_only) chunk.dv.push_back(ev.dv);
+            chunk.dn.push_back(ev.dn);
+            if (chunk.size() >= SpillFile::kDefaultChunkRecords) {
+              sweeper.Consume(chunk);
+              drain();
+              chunk.clear();
+            }
+            return Status::OK();
+          });
+          if (status.ok()) {
+            sweeper.Consume(chunk);
+            sweeper.Finish();
+            drain();
+          }
+        }
+        if (!status.ok()) {
+          per_region_status[r] = status;
+          return;
+        }
+        peak_events = sorter.peak_buffered_records();
+        sort_runs.fetch_add(sorter.runs_generated(),
+                            std::memory_order_relaxed);
+        run_raw_bytes.fetch_add(sorter.run_raw_bytes(),
+                                std::memory_order_relaxed);
+        run_encoded_bytes.fetch_add(sorter.run_encoded_bytes(),
+                                    std::memory_order_relaxed);
+      }
+      st.relation_scans = 1;
+      st.peak_live_nodes = peak_events;
+      st.peak_live_bytes = peak_events * sizeof(Event);
+      st.peak_paper_bytes = peak_events * kPaperNodeBytes;
+      st.nodes_allocated = events_total;
+      st.work_steps = events_total;
+      st.intervals_emitted = out.size();
+      per_region[r] = std::move(out);
+      per_region_stats[r] = st;
+      columnar_regions.Increment();
+      (simd == SimdLevel::kAvx2 ? columnar_simd : columnar_scalar)
+          .Increment();
+    } else {
+      (void)r;  // unreachable: use_columnar is false for non-invertible ops
+    }
+  };
+
   obs::Span build_span(options.profile, "build");
   std::atomic<size_t> next{0};
   auto build_worker = [&](size_t w) {
@@ -519,7 +712,9 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
       if (r >= regions) break;
       obs::ScopedLatencyTimer timer(region_seconds);
       regions_built.Increment();
-      if (use_sweep) {
+      if (use_columnar) {
+        build_columnar_region(r);
+      } else if (use_sweep) {
         build_sweep_region(r);
       } else {
         build_tree_region(r);
@@ -539,13 +734,29 @@ Result<AggregateSeries> RunPartitioned(const Relation& relation,
     build_span.Annotate("w" + std::to_string(w) + "_ns",
                         slots[w].elapsed_ns);
   }
-  if (use_sweep && spill) {
+  if ((use_sweep || use_columnar) && spill) {
     const uint64_t runs = sort_runs.load(std::memory_order_relaxed);
     obs::MetricsRegistry::Global()
         .GetCounter("tagg_partitioned_sort_runs_total",
                     "Event-sort run files written by the spill sweep")
         .Increment(runs);
+    const uint64_t raw = run_raw_bytes.load(std::memory_order_relaxed);
+    const uint64_t encoded =
+        run_encoded_bytes.load(std::memory_order_relaxed);
+    spill_raw_total.Increment(raw);
+    spill_encoded_total.Increment(encoded);
+    eval_spill_raw += raw;
+    eval_spill_encoded += encoded;
     build_span.Annotate("sort_runs", runs);
+  }
+  if (eval_spill_encoded > 0) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("tagg_partitioned_spill_compression_ratio",
+                      "Raw/encoded byte ratio of one evaluation's spill "
+                      "traffic (1.0 = incompressible or codec off)",
+                      {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0})
+        .Observe(static_cast<double>(eval_spill_raw) /
+                 static_cast<double>(eval_spill_encoded));
   }
   build_span.End();
 
@@ -607,11 +818,12 @@ Result<AggregateSeries> ComputePartitionedAggregate(
   if (options.partitions == 0) {
     return Status::InvalidArgument("partitions must be >= 1");
   }
-  if (options.kernel == PartitionKernel::kSweep &&
+  if ((options.kernel == PartitionKernel::kSweep ||
+       options.kernel == PartitionKernel::kColumnar) &&
       (options.aggregate == AggregateKind::kMin ||
        options.aggregate == AggregateKind::kMax)) {
     return Status::InvalidArgument(
-        "the sweep kernel requires a group-invertible aggregate "
+        "the sweep kernels require a group-invertible aggregate "
         "(COUNT/SUM/AVG); MIN and MAX have no inverse — use kernel=tree "
         "or kernel=auto");
   }

@@ -46,17 +46,25 @@ namespace tagg {
 
 /// How a region's constant intervals are computed in phase 2.
 enum class PartitionKernel : uint8_t {
-  /// Sweep for the group-invertible aggregates (COUNT, SUM, AVG — states
-  /// admit an inverse, so a closing endpoint can subtract what the opening
-  /// endpoint added), aggregation tree for MIN/MAX (not invertible: an
-  /// expiring maximum cannot be "subtracted" without the remaining set).
+  /// Columnar sweep for the group-invertible aggregates (COUNT, SUM, AVG
+  /// — states admit an inverse, so a closing endpoint can subtract what
+  /// the opening endpoint added), aggregation tree for MIN/MAX (not
+  /// invertible: an expiring maximum cannot be "subtracted" without the
+  /// remaining set).
   kAuto,
   /// Always the Section 5.1 aggregation tree.
   kTree,
-  /// Always the endpoint-event delta sweep: sort the region's 2n endpoint
-  /// events, then emit constant intervals in one linear pass over a
-  /// running (sum, active-count) state.  Rejected for MIN/MAX.
+  /// The array-of-structs endpoint-event delta sweep (the PR 3 kernel):
+  /// sort the region's 2n endpoint events with std::sort, then emit
+  /// constant intervals in one linear pass over a running
+  /// (sum, active-count) state.  Rejected for MIN/MAX.  Kept selectable
+  /// for the kernel ablation; kAuto prefers kColumnar.
   kSweep,
+  /// The structure-of-arrays rewrite of the sweep (core/sweep_columnar):
+  /// radix-sorted timestamp column, prefix-scan-style accumulation with
+  /// an AVX2 body behind runtime dispatch (util/cpu_features).  Same
+  /// semantics and restrictions as kSweep.
+  kColumnar,
 };
 
 std::string_view PartitionKernelToString(PartitionKernel kernel);
@@ -89,14 +97,26 @@ struct PartitionedOptions {
   /// docs/TESTING.md.  1 = sequential.
   size_t parallel_workers = 1;
 
-  /// Phase-2 kernel selection; kAuto picks the sweep for invertible
-  /// aggregates and the tree otherwise.
+  /// Phase-2 kernel selection; kAuto picks the columnar sweep for
+  /// invertible aggregates and the tree otherwise.
   PartitionKernel kernel = PartitionKernel::kAuto;
 
   /// Endpoint events held in memory while sorting one spilled region
-  /// (sweep kernel only); larger regions sort through temp-file runs via
+  /// (sweep kernels only); larger regions sort through temp-file runs via
   /// storage/external_sort's PodRunSorter.
   size_t spill_sort_budget_records = 1 << 18;
+
+  /// Pins the columnar kernel to its scalar body regardless of what the
+  /// CPU supports — the per-evaluation form of the TAGG_NO_AVX2
+  /// environment override (util/cpu_features), used by the differential
+  /// harness and the bench ablation to exercise both dispatch paths.
+  bool force_scalar_kernel = false;
+
+  /// Write spill files and external-sort runs as compressed temporal
+  /// column blocks (storage/temporal_column) instead of raw records.
+  /// Transparent to results; raw/encoded byte counters record the
+  /// savings.  Only meaningful with spill_to_disk.
+  bool compress_spill = true;
 
   /// When set, the evaluation records route/build/stitch child spans with
   /// per-worker timings and per-phase totals.  All spans are written from

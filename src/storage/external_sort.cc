@@ -193,10 +193,12 @@ Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
 }
 
 PodRunSorter::PodRunSorter(size_t record_size, Less less,
-                           size_t memory_budget_records)
+                           size_t memory_budget_records,
+                           TemporalColumnLayout layout)
     : record_size_(record_size),
       less_(std::move(less)),
-      budget_(std::max<size_t>(memory_budget_records, 2)) {
+      budget_(std::max<size_t>(memory_budget_records, 2)),
+      layout_(std::move(layout)) {
   buffer_.reserve(std::min<size_t>(budget_, 64 * 1024) * record_size_);
 }
 
@@ -214,12 +216,26 @@ Status PodRunSorter::FlushRun() {
   std::vector<const char*> order;
   SortBuffer(order);
   TAGG_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> run,
-                        SpillFile::Create(record_size_));
-  // Records are appended one by one through stdio's own buffering; the
-  // file is private to this sorter, so there is no lock contention.
+                        SpillFile::Create(record_size_, layout_));
+  // Appends go out in contiguous chunks: with the codec every chunk is one
+  // compressed block (1-record blocks would defeat the delta encoding),
+  // and raw runs get fewer fwrite round trips.
+  std::vector<char> chunk;
+  chunk.reserve(SpillFile::kDefaultChunkRecords * record_size_);
   for (const char* rec : order) {
-    TAGG_RETURN_IF_ERROR(run->Append(rec, 1));
+    chunk.insert(chunk.end(), rec, rec + record_size_);
+    if (chunk.size() == SpillFile::kDefaultChunkRecords * record_size_) {
+      TAGG_RETURN_IF_ERROR(
+          run->Append(chunk.data(), chunk.size() / record_size_));
+      chunk.clear();
+    }
   }
+  if (!chunk.empty()) {
+    TAGG_RETURN_IF_ERROR(
+        run->Append(chunk.data(), chunk.size() / record_size_));
+  }
+  run_raw_bytes_ += run->raw_bytes();
+  run_encoded_bytes_ += run->encoded_bytes();
   runs_.push_back(std::move(run));
   ++runs_generated_;
   buffered_ = 0;

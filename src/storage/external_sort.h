@@ -50,13 +50,18 @@ Result<std::unique_ptr<HeapFile>> ExternalSortByTime(
 /// sorted order.  While at most `memory_budget_records` records have been
 /// added, no run is written and Merge sorts and emits straight from the
 /// buffer — the common case for small regions.
+///
+/// A non-empty `layout` routes run files through the compressed temporal
+/// column codec (storage/temporal_column): runs are written sorted, so
+/// the delta-of-delta timestamp encoding is at its best there.
 class PodRunSorter {
  public:
   using Less = std::function<bool(const void*, const void*)>;
   using Emit = std::function<Status(const void*)>;
 
   PodRunSorter(size_t record_size, Less less,
-               size_t memory_budget_records);
+               size_t memory_budget_records,
+               TemporalColumnLayout layout = {});
 
   /// Buffers one record, flushing a sorted run when the budget is full.
   Status Add(const void* record);
@@ -72,6 +77,12 @@ class PodRunSorter {
   /// Largest number of records simultaneously held in memory.
   size_t peak_buffered_records() const { return peak_buffered_; }
 
+  /// Bytes of run records before/after the codec, accumulated as runs are
+  /// flushed (stable across Merge, which frees the files).  Equal without
+  /// a layout.
+  uint64_t run_raw_bytes() const { return run_raw_bytes_; }
+  uint64_t run_encoded_bytes() const { return run_encoded_bytes_; }
+
  private:
   Status FlushRun();
   void SortBuffer(std::vector<const char*>& order) const;
@@ -79,10 +90,13 @@ class PodRunSorter {
   size_t record_size_;
   Less less_;
   size_t budget_;
+  TemporalColumnLayout layout_;
   std::vector<char> buffer_;
   size_t buffered_ = 0;
   size_t peak_buffered_ = 0;
   size_t runs_generated_ = 0;
+  uint64_t run_raw_bytes_ = 0;
+  uint64_t run_encoded_bytes_ = 0;
   std::vector<std::unique_ptr<SpillFile>> runs_;
 };
 

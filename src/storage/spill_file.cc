@@ -1,15 +1,21 @@
 #include "storage/spill_file.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "testing/fault_injector.h"
 
 namespace tagg {
 
-Result<std::unique_ptr<SpillFile>> SpillFile::Create(size_t record_size) {
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(
+    size_t record_size, TemporalColumnLayout layout) {
   if (record_size == 0) {
     return Status::InvalidArgument("spill record size must be positive");
+  }
+  if (!layout.empty() && layout.record_size() != record_size) {
+    return Status::InvalidArgument(
+        "temporal column layout does not match the spill record size");
   }
   TAGG_INJECT_FAULT("spill_file.create");
   std::FILE* f = std::tmpfile();
@@ -19,7 +25,8 @@ Result<std::unique_ptr<SpillFile>> SpillFile::Create(size_t record_size) {
   obs::MetricsRegistry::Global()
       .GetCounter("tagg_spill_files_total", "Spill temp files created")
       .Increment();
-  return std::unique_ptr<SpillFile>(new SpillFile(f, record_size));
+  return std::unique_ptr<SpillFile>(
+      new SpillFile(f, record_size, std::move(layout)));
 }
 
 SpillFile::~SpillFile() {
@@ -29,11 +36,25 @@ SpillFile::~SpillFile() {
 Status SpillFile::Append(const void* records, size_t n) {
   if (n == 0) return Status::OK();
   TAGG_INJECT_FAULT("spill_file.append");
+  if (compressed()) {
+    // Encode outside the lock so concurrent appenders only serialize on
+    // the final fwrite; each batch is one self-contained block.
+    std::string block;
+    TAGG_RETURN_IF_ERROR(EncodeTemporalBlock(layout_, records, n, &block));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fwrite(block.data(), 1, block.size(), file_) != block.size()) {
+      return Status::IOError("cannot write spill block");
+    }
+    count_ += n;
+    file_bytes_ += block.size();
+    return Status::OK();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (std::fwrite(records, record_size_, n, file_) != n) {
     return Status::IOError("cannot write spill records");
   }
   count_ += n;
+  file_bytes_ += n * record_size_;
   return Status::OK();
 }
 
@@ -43,15 +64,56 @@ size_t SpillFile::record_count() const {
 }
 
 uint64_t SpillFile::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_bytes_;
+}
+
+uint64_t SpillFile::raw_bytes() const {
   return static_cast<uint64_t>(record_count()) * record_size_;
 }
 
 SpillFile::Reader::Reader(SpillFile& file, size_t chunk_records)
-    : file_(file),
-      buffer_(file.record_size() * std::max<size_t>(chunk_records, 1)) {}
+    : file_(file) {
+  if (!file.compressed()) {
+    buffer_.resize(file.record_size() * std::max<size_t>(chunk_records, 1));
+  }
+}
+
+Status SpillFile::Reader::FillBlock() {
+  // One compressed block per fill: header first (it carries the payload
+  // size), then the payload, then decode into the record buffer.
+  uint8_t header[kTemporalBlockHeaderSize];
+  if (std::fread(header, 1, sizeof(header), file_.file_) != sizeof(header)) {
+    return Status::Corruption("spill block: truncated header");
+  }
+  uint32_t payload_size;
+  std::memcpy(&payload_size, header + 8, 4);
+  block_.resize(kTemporalBlockHeaderSize + payload_size);
+  std::memcpy(block_.data(), header, sizeof(header));
+  if (payload_size > 0 &&
+      std::fread(block_.data() + kTemporalBlockHeaderSize, 1, payload_size,
+                 file_.file_) != payload_size) {
+    return Status::Corruption("spill block: truncated payload");
+  }
+  buffer_.clear();
+  TAGG_ASSIGN_OR_RETURN(
+      size_t consumed,
+      DecodeTemporalBlock(file_.layout_, block_.data(), block_.size(),
+                          &buffer_));
+  (void)consumed;
+  const size_t decoded = buffer_.size() / file_.record_size_;
+  if (decoded > remaining_) {
+    return Status::Corruption("spill block: more records than written");
+  }
+  remaining_ -= decoded;
+  records_in_buffer_ = decoded;
+  next_in_buffer_ = 0;
+  return Status::OK();
+}
 
 Status SpillFile::Reader::Fill() {
   TAGG_INJECT_FAULT("spill_file.read");
+  if (file_.compressed()) return FillBlock();
   const size_t chunk = buffer_.size() / file_.record_size_;
   const size_t want = std::min(remaining_, chunk);
   if (want == 0) {
@@ -77,7 +139,9 @@ Result<const void*> SpillFile::Reader::Next() {
       return Status::IOError("cannot rewind spill file");
     }
     primed_ = true;
-    TAGG_RETURN_IF_ERROR(Fill());
+    if (remaining_ > 0) {
+      TAGG_RETURN_IF_ERROR(Fill());
+    }
   }
   if (next_in_buffer_ == records_in_buffer_) {
     if (remaining_ == 0) return static_cast<const void*>(nullptr);

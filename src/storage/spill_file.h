@@ -11,6 +11,13 @@
 // per record.  Readers: a Reader is a single-threaded sequential cursor
 // with its own chunked read buffer; open one only after all writers have
 // finished (the partitioned build's phase barrier guarantees this).
+//
+// Codec seam: Create with a non-empty TemporalColumnLayout turns the file
+// into a sequence of compressed column blocks (storage/temporal_column) —
+// each Append encodes its batch as one self-contained block outside the
+// lock, and the Reader decodes block by block, so writers and readers see
+// the same record API either way.  raw_bytes()/encoded_bytes() expose the
+// before/after sizes for the compression metrics.
 
 #pragma once
 
@@ -19,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "storage/temporal_column.h"
 #include "util/result.h"
 
 namespace tagg {
@@ -31,24 +39,38 @@ class SpillFile {
 
   /// Creates an anonymous temp file (std::tmpfile: unlinked on creation,
   /// reclaimed by the OS even on crash) holding `record_size`-byte records.
-  static Result<std::unique_ptr<SpillFile>> Create(size_t record_size);
+  /// A non-empty `layout` (whose record_size must match) selects the
+  /// compressed column-block codec; an empty layout stores raw records.
+  static Result<std::unique_ptr<SpillFile>> Create(
+      size_t record_size, TemporalColumnLayout layout = {});
 
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
   ~SpillFile();
 
   /// Appends `n` contiguous records.  Thread-safe; concurrent appends are
-  /// serialized per file, and records of one call stay contiguous.
+  /// serialized per file, and records of one call stay contiguous.  With
+  /// the codec, each call becomes one compressed block (encode happens
+  /// outside the lock), so batch appends as kDefaultChunkRecords chunks.
   Status Append(const void* records, size_t n);
 
   size_t record_size() const { return record_size_; }
+
+  /// True when the file stores compressed column blocks.
+  bool compressed() const { return !layout_.empty(); }
 
   /// Records appended so far.  Takes the append lock; cheap, but intended
   /// for after-the-write accounting, not per-record hot paths.
   size_t record_count() const;
 
-  /// record_count() * record_size().
+  /// Bytes actually written to the file (encoded size with the codec).
   uint64_t bytes_written() const;
+
+  /// record_count() * record_size(): what the records occupy in memory.
+  uint64_t raw_bytes() const;
+
+  /// Synonym of bytes_written(), named for the compression accounting.
+  uint64_t encoded_bytes() const { return bytes_written(); }
 
   /// Sequential cursor over the file's records.  Construct after all
   /// writers finished; exactly one Reader should be active per file.
@@ -63,9 +85,11 @@ class SpillFile {
 
    private:
     Status Fill();
+    Status FillBlock();
 
     SpillFile& file_;
     std::vector<char> buffer_;
+    std::vector<char> block_;  // encoded block scratch (codec mode)
     size_t records_in_buffer_ = 0;
     size_t next_in_buffer_ = 0;
     size_t remaining_ = 0;
@@ -73,13 +97,15 @@ class SpillFile {
   };
 
  private:
-  SpillFile(std::FILE* file, size_t record_size)
-      : file_(file), record_size_(record_size) {}
+  SpillFile(std::FILE* file, size_t record_size, TemporalColumnLayout layout)
+      : file_(file), record_size_(record_size), layout_(std::move(layout)) {}
 
   std::FILE* file_;
   size_t record_size_;
+  TemporalColumnLayout layout_;
   mutable std::mutex mutex_;
   size_t count_ = 0;
+  uint64_t file_bytes_ = 0;
 };
 
 }  // namespace tagg

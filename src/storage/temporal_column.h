@@ -1,0 +1,75 @@
+// Compressed temporal column blocks for spill files.
+//
+// The partitioned aggregation spills two POD record shapes — clipped
+// tuples ({start, end, input}) and endpoint events ({at, dv, dn}) — whose
+// fields compress extremely well column-wise: timestamps are clustered
+// (sorted outright inside external-sort runs), values repeat, and count
+// deltas are ±1.  This module is the block codec behind SpillFile's codec
+// seam:
+//
+//   * timestamps: delta-of-delta, zigzag varint (Gorilla-style; a sorted
+//     run of near-regular instants costs ~1 byte each),
+//   * doubles: XOR against the previous value, byte-aligned
+//     leading/meaningful-window encoding (repeats cost 1 byte; the
+//     payload bits round-trip exactly, including NaN/Inf/-0.0),
+//   * small ints: zigzag varint (±1 count deltas cost 1 byte).
+//
+// Every Append becomes one self-contained block — the encoder state never
+// crosses blocks, so concurrent writers interleaving blocks in one file
+// stay decodable, and a corrupt block cannot poison its neighbours.  Each
+// block carries a header (magic, record count, payload size, CRC32) and
+// decode fails with Status::Corruption on any truncation, bit flip, or
+// malformed stream, never with undefined behaviour.
+//
+// Fault-injector seams: `temporal_column.encode` (block encode, i.e. the
+// spill write path) and `temporal_column.decode` (block decode, the
+// replay path) — see testing/fault_injector.h.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tagg {
+
+/// Describes a POD record as a sequence of 8-byte fields, each encoded by
+/// the codec matching its kind.  An empty layout means "no codec" (raw
+/// records) wherever a layout parameter is optional.
+struct TemporalColumnLayout {
+  enum class Field : uint8_t {
+    kTime,    // int64 instants: delta-of-delta zigzag varint
+    kDouble,  // IEEE doubles: XOR + byte-aligned meaningful window
+    kInt,     // small int64 deltas: zigzag varint
+  };
+
+  std::vector<Field> fields;
+
+  size_t record_size() const { return fields.size() * 8; }
+  bool empty() const { return fields.empty(); }
+};
+
+/// On-disk block header size (magic, count, payload size, CRC32).
+constexpr size_t kTemporalBlockHeaderSize = 16;
+
+/// Encodes `n` records (contiguous AoS, layout.record_size() bytes each)
+/// as one self-contained block appended to `out`.
+Status EncodeTemporalBlock(const TemporalColumnLayout& layout,
+                           const void* records, size_t n, std::string* out);
+
+/// Decodes the block at `data` (up to `size` readable bytes), appending
+/// the records to `out` and returning the encoded block's total size in
+/// bytes.  Truncated, bit-flipped, or otherwise malformed blocks return
+/// Status::Corruption without reading out of bounds.
+Result<size_t> DecodeTemporalBlock(const TemporalColumnLayout& layout,
+                                   const void* data, size_t size,
+                                   std::vector<char>* out);
+
+/// CRC32 (reflected, poly 0xEDB88320) over `n` bytes, continuing `crc`
+/// (pass 0 to start).  Exposed for tests that forge corrupt blocks.
+uint32_t Crc32(uint32_t crc, const void* data, size_t n);
+
+}  // namespace tagg

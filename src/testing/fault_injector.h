@@ -22,6 +22,8 @@
 //   buffer_pool.fetch        BufferPool::Fetch (miss path)
 //   external_sort.run        ExternalSortByTime run generation /
 //                            PodRunSorter::FlushRun
+//   temporal_column.encode   EncodeTemporalBlock (compressed spill write)
+//   temporal_column.decode   DecodeTemporalBlock (compressed spill replay)
 //
 // Arming is process-global and not meant for concurrent arm/disarm; the
 // instrumented seams themselves may be hit from any thread (the armed

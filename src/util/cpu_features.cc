@@ -1,0 +1,58 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace tagg {
+namespace {
+
+// -1 = no override; otherwise a SimdLevel cast to int.
+std::atomic<int> g_override{-1};
+
+bool ScalarForcedByEnv() {
+  static const bool forced = [] {
+    const char* env = std::getenv("TAGG_NO_AVX2");
+    return env != nullptr && env[0] != '\0';
+  }();
+  return forced;
+}
+
+}  // namespace
+
+std::string_view SimdLevelToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel hardware = DetectSimdLevel();
+  const int override = g_override.load(std::memory_order_relaxed);
+  if (override >= 0) {
+    const auto requested = static_cast<SimdLevel>(override);
+    return requested <= hardware ? requested : hardware;
+  }
+  if (ScalarForcedByEnv()) return SimdLevel::kScalar;
+  return hardware;
+}
+
+SimdLevelOverride::SimdLevelOverride(SimdLevel level)
+    : previous_(g_override.exchange(static_cast<int>(level),
+                                    std::memory_order_relaxed)) {}
+
+SimdLevelOverride::~SimdLevelOverride() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace tagg

@@ -187,6 +187,30 @@ TEST_F(PartitionedFaultSweep, SweepKernelSurvivesRunFlushFaults) {
                      PartitionKernel::kSweep));
 }
 
+TEST_F(PartitionedFaultSweep, ColumnarKernelSurvivesEncodeFaults) {
+  // With compress_spill (the default) every phase-1 batch and every
+  // phase-2 sort-run flush passes through the temporal-column encoder; a
+  // failed encode must abort the evaluation cleanly.
+  SweepSite("temporal_column.encode",
+            Scenario(AggregateKind::kSum, 1, PartitionKernel::kColumnar));
+}
+
+TEST_F(PartitionedFaultSweep, ColumnarKernelSurvivesDecodeFaults) {
+  SweepSite("temporal_column.decode",
+            Scenario(AggregateKind::kAvg, 1, PartitionKernel::kColumnar));
+}
+
+TEST_F(PartitionedFaultSweep, ColumnarKernelSurvivesSpillFileFaults) {
+  SweepSite("spill_file",
+            Scenario(AggregateKind::kCount, AggregateOptions::kNoAttribute,
+                     PartitionKernel::kColumnar));
+}
+
+TEST_F(PartitionedFaultSweep, ColumnarKernelSurvivesRunFlushFaults) {
+  SweepSite("external_sort.run",
+            Scenario(AggregateKind::kSum, 1, PartitionKernel::kColumnar));
+}
+
 TEST_F(PartitionedFaultSweep, TreeKernelSurvivesSpillFaults) {
   // MIN/MAX route through the aggregation-tree kernel; a worker whose
   // replay fails must not leak its half-built per-region tree.

@@ -1,0 +1,410 @@
+#include "storage/temporal_column.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/external_sort.h"
+#include "storage/spill_file.h"
+#include "testing/fault_injector.h"
+
+namespace tagg {
+namespace {
+
+using Field = TemporalColumnLayout::Field;
+
+// The two record shapes the partitioned aggregation actually spills.
+struct EntryRec {
+  int64_t start;
+  int64_t end;
+  double input;
+};
+struct EventRec {
+  int64_t at;
+  double dv;
+  int64_t dn;
+};
+
+TemporalColumnLayout EntryLayout() {
+  return {{Field::kTime, Field::kTime, Field::kDouble}};
+}
+TemporalColumnLayout EventLayout() {
+  return {{Field::kTime, Field::kDouble, Field::kInt}};
+}
+
+uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// Encodes `recs`, decodes the block back, and asserts a byte-exact round
+// trip (doubles compared as bit patterns, so NaN payloads count).
+template <typename Rec>
+void ExpectRoundTrip(const TemporalColumnLayout& layout,
+                     const std::vector<Rec>& recs) {
+  std::string block;
+  ASSERT_TRUE(
+      EncodeTemporalBlock(layout, recs.data(), recs.size(), &block).ok());
+  ASSERT_GE(block.size(), kTemporalBlockHeaderSize);
+
+  std::vector<char> out;
+  auto consumed = DecodeTemporalBlock(layout, block.data(), block.size(), &out);
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_EQ(consumed.value(), block.size());
+  ASSERT_EQ(out.size(), recs.size() * sizeof(Rec));
+  EXPECT_EQ(std::memcmp(out.data(), recs.data(), out.size()), 0)
+      << "decoded records differ from the originals";
+}
+
+TEST(TemporalColumnTest, RoundTripsSortedRegularTimestamps) {
+  std::vector<EventRec> recs;
+  for (int64_t i = 0; i < 1000; ++i) {
+    recs.push_back({i * 10, static_cast<double>(i % 7), (i % 2) ? 1 : -1});
+  }
+  ExpectRoundTrip(EventLayout(), recs);
+
+  // A perfectly regular sorted run is the codec's best case: after the
+  // first two timestamps every delta-of-delta is zero.
+  std::string block;
+  ASSERT_TRUE(
+      EncodeTemporalBlock(EventLayout(), recs.data(), recs.size(), &block)
+          .ok());
+  EXPECT_LT(block.size(), recs.size() * sizeof(EventRec) / 4)
+      << "sorted regular events should compress at least 4x";
+}
+
+TEST(TemporalColumnTest, RoundTripsAdversarialTimestampGaps) {
+  // Alternating huge jumps exercise the widest zigzag varints, including
+  // deltas that overflow the naive (unwrapped) int64 subtraction.
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  std::vector<EntryRec> recs = {
+      {0, max - 1, 1.0},  {min, max, -1.0},       {max, min, 0.5},
+      {-1, 1, 2.0},       {max / 2, min / 2, 3.0}, {0, 0, 4.0},
+      {min + 1, -7, 5.0},
+  };
+  ExpectRoundTrip(EntryLayout(), recs);
+}
+
+TEST(TemporalColumnTest, RoundTripsExtremeAndSpecialDoubles) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // A NaN with a distinctive payload: bit-exactness means even this
+  // round-trips unchanged.
+  uint64_t payload_bits = 0x7FF8DEADBEEF0001ULL;
+  double payload_nan;
+  std::memcpy(&payload_nan, &payload_bits, sizeof(payload_nan));
+
+  std::vector<EventRec> recs;
+  recs.push_back({0, 1e17, 1});
+  recs.push_back({1, -1e17, -1});
+  recs.push_back({2, 0.0, 1});
+  recs.push_back({3, -0.0, -1});
+  recs.push_back({4, inf, 1});
+  recs.push_back({5, -inf, -1});
+  recs.push_back({6, qnan, 1});
+  recs.push_back({7, payload_nan, -1});
+  recs.push_back({8, std::numeric_limits<double>::denorm_min(), 1});
+  recs.push_back({9, std::numeric_limits<double>::max(), -1});
+  ExpectRoundTrip(EventLayout(), recs);
+
+  // Spot-check the signs/payloads explicitly (memcmp already covers this,
+  // but a targeted failure message beats a byte-offset diff).
+  std::string block;
+  ASSERT_TRUE(
+      EncodeTemporalBlock(EventLayout(), recs.data(), recs.size(), &block)
+          .ok());
+  std::vector<char> out;
+  ASSERT_TRUE(
+      DecodeTemporalBlock(EventLayout(), block.data(), block.size(), &out)
+          .ok());
+  std::vector<EventRec> got(recs.size());
+  std::memcpy(got.data(), out.data(), out.size());
+  EXPECT_EQ(BitsOf(got[3].dv), BitsOf(-0.0));
+  EXPECT_EQ(BitsOf(got[7].dv), payload_bits);
+}
+
+TEST(TemporalColumnTest, RoundTripsRandomRecords) {
+  std::mt19937_64 rng(20260807);
+  std::vector<EventRec> recs;
+  for (int i = 0; i < 4096; ++i) {
+    EventRec r;
+    r.at = static_cast<int64_t>(rng());
+    const uint64_t bits = rng();
+    std::memcpy(&r.dv, &bits, sizeof(r.dv));
+    r.dn = static_cast<int64_t>(rng() % 5) - 2;
+    recs.push_back(r);
+  }
+  ExpectRoundTrip(EventLayout(), recs);
+}
+
+TEST(TemporalColumnTest, EmptyBlockRoundTrips) {
+  std::string block;
+  ASSERT_TRUE(EncodeTemporalBlock(EventLayout(), nullptr, 0, &block).ok());
+  std::vector<char> out;
+  auto consumed =
+      DecodeTemporalBlock(EventLayout(), block.data(), block.size(), &out);
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_EQ(consumed.value(), block.size());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TemporalColumnTest, RejectsEmptyLayout) {
+  const EventRec r{0, 0.0, 1};
+  std::string block;
+  EXPECT_TRUE(EncodeTemporalBlock({}, &r, 1, &block)
+                  .IsInvalidArgument());
+}
+
+TEST(TemporalColumnTest, ConcatenatedBlocksDecodeSequentially) {
+  // Concurrent spill writers interleave self-contained blocks in one
+  // file; the decoder must consume exactly one block per call.
+  std::vector<EventRec> a = {{1, 2.0, 1}, {5, -2.0, -1}};
+  std::vector<EventRec> b = {{100, 7.0, 1}};
+  std::string file;
+  ASSERT_TRUE(EncodeTemporalBlock(EventLayout(), a.data(), a.size(), &file)
+                  .ok());
+  const size_t first = file.size();
+  ASSERT_TRUE(EncodeTemporalBlock(EventLayout(), b.data(), b.size(), &file)
+                  .ok());
+
+  std::vector<char> out;
+  auto c1 = DecodeTemporalBlock(EventLayout(), file.data(), file.size(), &out);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1.value(), first);
+  ASSERT_EQ(out.size(), a.size() * sizeof(EventRec));
+  auto c2 = DecodeTemporalBlock(EventLayout(), file.data() + first,
+                                file.size() - first, &out);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(first + c2.value(), file.size());
+  ASSERT_EQ(out.size(), (a.size() + b.size()) * sizeof(EventRec));
+  EventRec last;
+  std::memcpy(&last, out.data() + a.size() * sizeof(EventRec),
+              sizeof(last));
+  EXPECT_EQ(last.at, 100);
+}
+
+std::string EncodeSampleBlock() {
+  std::vector<EventRec> recs;
+  for (int64_t i = 0; i < 64; ++i) recs.push_back({i * 3, i * 0.25, 1});
+  std::string block;
+  EXPECT_TRUE(
+      EncodeTemporalBlock(EventLayout(), recs.data(), recs.size(), &block)
+          .ok());
+  return block;
+}
+
+TEST(TemporalColumnTest, EveryTruncationFailsCleanly) {
+  const std::string block = EncodeSampleBlock();
+  for (size_t len = 0; len < block.size(); ++len) {
+    std::vector<char> out;
+    auto got = DecodeTemporalBlock(EventLayout(), block.data(), len, &out);
+    EXPECT_TRUE(got.status().IsCorruption())
+        << "prefix of " << len << " bytes: " << got.status().ToString();
+    EXPECT_TRUE(out.empty())
+        << "prefix of " << len << " bytes left partial records in out";
+  }
+}
+
+TEST(TemporalColumnTest, EveryBitFlipFailsCleanlyOrRoundTrips) {
+  // Flip every bit of the block.  Header/payload flips are all covered by
+  // the magic check, the size bounds, or the CRC, so each one must be
+  // Corruption, never a wrong answer or out-of-bounds read.
+  const std::string block = EncodeSampleBlock();
+  std::vector<char> want;
+  ASSERT_TRUE(
+      DecodeTemporalBlock(EventLayout(), block.data(), block.size(), &want)
+          .ok());
+  for (size_t byte = 0; byte < block.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = block;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      std::vector<char> out;
+      auto got = DecodeTemporalBlock(EventLayout(), mutated.data(),
+                                     mutated.size(), &out);
+      ASSERT_FALSE(got.ok())
+          << "bit flip at byte " << byte << " bit " << bit
+          << " was not detected";
+      EXPECT_TRUE(got.status().IsCorruption())
+          << "byte " << byte << " bit " << bit << ": "
+          << got.status().ToString();
+      EXPECT_TRUE(out.empty())
+          << "byte " << byte << " bit " << bit
+          << " left partial records in out";
+    }
+  }
+}
+
+TEST(TemporalColumnTest, TrailingPayloadBytesAreCorruption) {
+  // A payload that decodes all records before reaching payload_size means
+  // the stream is inconsistent with its own header.
+  const std::string block = EncodeSampleBlock();
+  std::string mutated = block;
+  // Grow the payload by one byte and patch payload_size + CRC so only the
+  // "cursor != end" consistency check can catch it.
+  mutated.push_back('\0');
+  uint32_t payload_size;
+  std::memcpy(&payload_size, mutated.data() + 8, sizeof(payload_size));
+  ++payload_size;
+  std::memcpy(mutated.data() + 8, &payload_size, sizeof(payload_size));
+  uint32_t crc = Crc32(0, mutated.data() + kTemporalBlockHeaderSize,
+                       payload_size);
+  crc = Crc32(crc, mutated.data() + 4, 8);  // count + payload_size
+  std::memcpy(mutated.data() + 12, &crc, sizeof(crc));
+  std::vector<char> out;
+  auto got = DecodeTemporalBlock(EventLayout(), mutated.data(),
+                                 mutated.size(), &out);
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status().ToString();
+}
+
+TEST(TemporalColumnTest, Crc32MatchesKnownVector) {
+  // The reflected CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32(0, "123456789", 9), 0xCBF43926u);
+}
+
+// --- the SpillFile codec seam ----------------------------------------------
+
+TEST(TemporalColumnSpillTest, SpillFileCompressedRoundTrip) {
+  auto file = SpillFile::Create(sizeof(EventRec), EventLayout());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_TRUE((*file)->compressed());
+
+  std::vector<EventRec> batch1, batch2;
+  for (int64_t i = 0; i < 500; ++i) batch1.push_back({i * 2, 1.5, 1});
+  for (int64_t i = 0; i < 300; ++i) batch2.push_back({i * 2 + 1, -1.5, -1});
+  ASSERT_TRUE((*file)->Append(batch1.data(), batch1.size()).ok());
+  ASSERT_TRUE((*file)->Append(batch2.data(), batch2.size()).ok());
+  EXPECT_EQ((*file)->record_count(), 800u);
+  EXPECT_EQ((*file)->raw_bytes(), 800 * sizeof(EventRec));
+  EXPECT_GT((*file)->encoded_bytes(), 0u);
+  EXPECT_LT((*file)->encoded_bytes(), (*file)->raw_bytes())
+      << "compressible events must shrink on disk";
+
+  SpillFile::Reader reader(**file);
+  size_t i = 0;
+  while (true) {
+    auto rec = reader.Next();
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    if (rec.value() == nullptr) break;
+    EventRec r;
+    std::memcpy(&r, rec.value(), sizeof(r));
+    const EventRec& want =
+        i < batch1.size() ? batch1[i] : batch2[i - batch1.size()];
+    EXPECT_EQ(r.at, want.at) << "record " << i;
+    EXPECT_EQ(r.dv, want.dv) << "record " << i;
+    EXPECT_EQ(r.dn, want.dn) << "record " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, 800u);
+}
+
+TEST(TemporalColumnSpillTest, EmptyCompressedFileReadsAsEof) {
+  auto file = SpillFile::Create(sizeof(EventRec), EventLayout());
+  ASSERT_TRUE(file.ok());
+  SpillFile::Reader reader(**file);
+  auto rec = reader.Next();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec.value(), nullptr);
+}
+
+TEST(TemporalColumnSpillTest, LayoutMustMatchRecordSize) {
+  auto file = SpillFile::Create(sizeof(EventRec) + 8, EventLayout());
+  EXPECT_TRUE(file.status().IsInvalidArgument())
+      << file.status().ToString();
+}
+
+TEST(TemporalColumnSpillTest, RawModeIsUnchanged) {
+  auto file = SpillFile::Create(sizeof(EventRec));
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->compressed());
+  const EventRec r{42, 1.0, 1};
+  ASSERT_TRUE((*file)->Append(&r, 1).ok());
+  EXPECT_EQ((*file)->raw_bytes(), sizeof(EventRec));
+  EXPECT_EQ((*file)->encoded_bytes(), sizeof(EventRec));
+}
+
+bool EventAtLess(const void* a, const void* b) {
+  return static_cast<const EventRec*>(a)->at <
+         static_cast<const EventRec*>(b)->at;
+}
+
+TEST(TemporalColumnSpillTest, PodRunSorterCompressedMatchesRaw) {
+  // The same reverse-ordered stream through a raw and a compressed
+  // sorter must merge identically; the compressed one must report a
+  // smaller encoded footprint.
+  std::vector<EventRec> input;
+  for (int64_t i = 999; i >= 0; --i) input.push_back({i, i * 0.5, 1});
+
+  auto run = [&](const TemporalColumnLayout& layout,
+                 std::vector<EventRec>* out, size_t* raw, size_t* encoded) {
+    PodRunSorter sorter(sizeof(EventRec), EventAtLess, 64, layout);
+    for (const EventRec& r : input) ASSERT_TRUE(sorter.Add(&r).ok());
+    ASSERT_TRUE(sorter
+                    .Merge([&](const void* rec) {
+                      EventRec r;
+                      std::memcpy(&r, rec, sizeof(r));
+                      out->push_back(r);
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_GE(sorter.runs_generated(), 2u);
+    *raw = sorter.run_raw_bytes();
+    *encoded = sorter.run_encoded_bytes();
+  };
+
+  std::vector<EventRec> raw_out, comp_out;
+  size_t raw_raw = 0, raw_enc = 0, comp_raw = 0, comp_enc = 0;
+  run({}, &raw_out, &raw_raw, &raw_enc);
+  run(EventLayout(), &comp_out, &comp_raw, &comp_enc);
+
+  ASSERT_EQ(raw_out.size(), comp_out.size());
+  EXPECT_EQ(std::memcmp(raw_out.data(), comp_out.data(),
+                        raw_out.size() * sizeof(EventRec)),
+            0);
+  EXPECT_EQ(raw_raw, raw_enc) << "raw runs have no codec";
+  EXPECT_EQ(comp_raw, raw_raw) << "same records, same raw footprint";
+  EXPECT_LT(comp_enc, comp_raw) << "sorted runs must compress";
+}
+
+// --- fault seams ------------------------------------------------------------
+
+TEST(TemporalColumnFaultTest, EncodeSeamSurfacesInjectedFault) {
+  auto file = SpillFile::Create(sizeof(EventRec), EventLayout());
+  ASSERT_TRUE(file.ok());
+  testing::FaultInjector& injector = testing::FaultInjector::Global();
+  injector.Arm("temporal_column.encode", 1);
+  const EventRec r{1, 1.0, 1};
+  const Status st = (*file)->Append(&r, 1);
+  injector.Disarm();
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_EQ((*file)->record_count(), 0u)
+      << "a failed Append must not count records";
+  // The fault is transient: the next Append and a full replay succeed.
+  ASSERT_TRUE((*file)->Append(&r, 1).ok());
+  SpillFile::Reader reader(**file);
+  auto rec = reader.Next();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_NE(rec.value(), nullptr);
+}
+
+TEST(TemporalColumnFaultTest, DecodeSeamSurfacesInjectedFault) {
+  auto file = SpillFile::Create(sizeof(EventRec), EventLayout());
+  ASSERT_TRUE(file.ok());
+  const EventRec r{1, 1.0, 1};
+  ASSERT_TRUE((*file)->Append(&r, 1).ok());
+  testing::FaultInjector& injector = testing::FaultInjector::Global();
+  injector.Arm("temporal_column.decode", 1);
+  SpillFile::Reader reader(**file);
+  const auto got = reader.Next();
+  injector.Disarm();
+  EXPECT_TRUE(got.status().IsIOError()) << got.status().ToString();
+}
+
+}  // namespace
+}  // namespace tagg

@@ -13,6 +13,14 @@ order-of-magnitude accidents (an O(n log n) path degrading to O(n^2), a
 debug assert left in a hot loop), not percent-level drift.  Track the
 fine-grained numbers in EXPERIMENTS.md instead.
 
+Benchmarks that report spill byte counters (spill_raw_bytes /
+spill_encoded_bytes, from the partitioned ablation's SpillBytes series)
+get a second, much tighter gate: encoded bytes are a deterministic
+function of the workload and the temporal-column codec, so growth beyond
+--bytes-threshold (default 1.10x) means the codec itself regressed — a
+format change that inflates blocks, a batching change that shrinks them
+below compressibility — and fails the run even when timings pass.
+
 Benchmarks present on only one side are reported but never fail the run:
 a fresh baseline directory (first run, renamed benchmarks) should not
 break CI.  A missing baseline directory is likewise a warning, so the
@@ -30,9 +38,14 @@ import pathlib
 import sys
 
 
-def load_timings(results_dir: pathlib.Path) -> dict:
-    """Maps benchmark name -> (real_time, time_unit) across all files."""
+SPILL_COUNTER = "spill_encoded_bytes"
+
+
+def load_timings(results_dir: pathlib.Path) -> tuple:
+    """Maps benchmark name -> (real_time, time_unit) across all files,
+    plus name -> encoded spill bytes for benchmarks reporting them."""
     timings = {}
+    spill_bytes = {}
     for path in sorted(results_dir.glob("*.json")):
         if path.name.endswith(".metrics.json"):
             continue
@@ -50,7 +63,9 @@ def load_timings(results_dir: pathlib.Path) -> dict:
                 continue
             timings[name] = (float(real_time),
                              bench.get("time_unit", "ns"))
-    return timings
+            if isinstance(bench.get(SPILL_COUNTER), (int, float)):
+                spill_bytes[name] = float(bench[SPILL_COUNTER])
+    return timings, spill_bytes
 
 
 def main() -> int:
@@ -60,6 +75,9 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=3.0,
                         help="fail when current > threshold * baseline "
                              "(default: 3.0)")
+    parser.add_argument("--bytes-threshold", type=float, default=1.10,
+                        help="fail when encoded spill bytes grow past "
+                             "this ratio of baseline (default: 1.10)")
     args = parser.parse_args()
 
     if not args.current.is_dir():
@@ -71,8 +89,8 @@ def main() -> int:
               "nothing to compare (record one to enable the gate)")
         return 0
 
-    baseline = load_timings(args.baseline)
-    current = load_timings(args.current)
+    baseline, baseline_bytes = load_timings(args.baseline)
+    current, current_bytes = load_timings(args.current)
     if not baseline:
         print(f"bench_compare: WARN: no timings under {args.baseline}; "
               "nothing to compare")
@@ -98,19 +116,41 @@ def main() -> int:
         print(f"bench_compare: {name}: {base_time:.3f} -> "
               f"{cur_time:.3f} {cur_unit} ({ratio:.2f}x){marker}")
 
+    byte_regressions = []
+    bytes_compared = 0
+    for name in sorted(baseline_bytes.keys() & current_bytes.keys()):
+        base_bytes = baseline_bytes[name]
+        cur_bytes = current_bytes[name]
+        if base_bytes <= 0:
+            continue
+        bytes_compared += 1
+        ratio = cur_bytes / base_bytes
+        marker = ""
+        if ratio > args.bytes_threshold:
+            byte_regressions.append((name, ratio))
+            marker = f"  REGRESSION (> {args.bytes_threshold:.2f}x)"
+        print(f"bench_compare: {name}: {SPILL_COUNTER} "
+              f"{base_bytes:.0f} -> {cur_bytes:.0f} "
+              f"({ratio:.2f}x){marker}")
+
     for name in sorted(baseline.keys() - current.keys()):
         print(f"bench_compare: WARN: {name} only in baseline")
     for name in sorted(current.keys() - baseline.keys()):
         print(f"bench_compare: NOTE: {name} is new (no baseline)")
 
-    if regressions:
+    if regressions or byte_regressions:
         print(f"bench_compare: FAIL: {len(regressions)}/{compared} "
-              "benchmarks regressed:", file=sys.stderr)
+              f"benchmarks regressed on time, "
+              f"{len(byte_regressions)}/{bytes_compared} on spill bytes:",
+              file=sys.stderr)
         for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+            print(f"  {name}: {ratio:.2f}x (time)", file=sys.stderr)
+        for name, ratio in byte_regressions:
+            print(f"  {name}: {ratio:.2f}x (spill bytes)", file=sys.stderr)
         return 1
     print(f"bench_compare: OK: {compared} benchmarks within "
-          f"{args.threshold:.1f}x of baseline")
+          f"{args.threshold:.1f}x of baseline; {bytes_compared} spill-byte "
+          f"series within {args.bytes_threshold:.2f}x")
     return 0
 
 

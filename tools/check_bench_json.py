@@ -50,6 +50,24 @@ NET_METRIC_HISTOGRAMS = (
 )
 NET_METRIC_GAUGES = ("tagg_executor_queue_depth",)
 
+# The partitioned ablation must cover every phase-2 kernel family (tree,
+# the AoS sweep, and the columnar kernel in both dispatch modes) and the
+# compressed-spill series.  Dropping a family from the sweep would let a
+# kernel regress invisibly; dropping the byte counters would blind the
+# bench_compare spill gate.
+PARTITIONED_KERNEL_FAMILIES = (
+    "tree", "sweep", "columnar-scalar", "columnar-simd")
+PARTITIONED_SPILL_COUNTERS = (
+    "spill_raw_bytes", "spill_encoded_bytes", "compression_ratio")
+PARTITIONED_METRIC_COUNTERS = (
+    "tagg_partitioned_spill_raw_bytes_total",
+    "tagg_partitioned_spill_encoded_bytes_total",
+    "tagg_partitioned_columnar_regions_total",
+)
+PARTITIONED_METRIC_HISTOGRAMS = (
+    "tagg_partitioned_spill_compression_ratio",
+)
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -142,6 +160,50 @@ def check_net_serving(path: pathlib.Path, benchmarks: list,
             fail(f"{path}: metrics snapshot missing gauge '{gauge}'")
 
 
+def check_partitioned_kernels(path: pathlib.Path, benchmarks: list,
+                              metrics: dict) -> None:
+    """bench_ablation_partitioned only: the kernel sweep must cover every
+    kernel family (each entry labels itself '<family>/<aggregate>'), the
+    SpillBytes series must carry the raw/encoded byte counters, and the
+    metrics snapshot the spill instruments."""
+    families = set()
+    spill_entries = []
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "BM_Partitioned_Kernel/" in bench["name"]:
+            label = bench.get("label", "")
+            families.add(label.split("/")[0])
+        if "BM_Partitioned_SpillBytes/" in bench["name"]:
+            spill_entries.append(bench)
+    missing = [f for f in PARTITIONED_KERNEL_FAMILIES if f not in families]
+    if missing:
+        fail(f"{path}: kernel sweep is missing families {missing} "
+             f"(found {sorted(families)})")
+    if not spill_entries:
+        fail(f"{path}: no BM_Partitioned_SpillBytes entries — the "
+             "compressed-spill series is part of the schema")
+    for bench in spill_entries:
+        for counter in PARTITIONED_SPILL_COUNTERS:
+            if counter not in bench:
+                fail(f"{path}: '{bench['name']}' is missing spill "
+                     f"counter '{counter}'")
+        if bench["spill_raw_bytes"] <= 0:
+            fail(f"{path}: '{bench['name']}' spilled no bytes — the "
+                 "series no longer exercises the spill path")
+        if bench.get("label") == "compressed":
+            if bench["compression_ratio"] < 1.0:
+                fail(f"{path}: '{bench['name']}' compression ratio "
+                     f"{bench['compression_ratio']:.2f} < 1.0 — the codec "
+                     "is inflating spill data")
+    for counter in PARTITIONED_METRIC_COUNTERS:
+        if counter not in metrics["counters"]:
+            fail(f"{path}: metrics snapshot missing counter '{counter}'")
+    for hist in PARTITIONED_METRIC_HISTOGRAMS:
+        if hist not in metrics["histograms"]:
+            fail(f"{path}: metrics snapshot missing histogram '{hist}'")
+
+
 def check_timings(path: pathlib.Path) -> int:
     with path.open() as f:
         doc = json.load(f)
@@ -205,17 +267,18 @@ def main() -> None:
         if not metrics.exists():
             fail(f"{metrics} missing next to {timing}")
         m = check_metrics(metrics)
-        if timing.stem in ("bench_live_index", "bench_net_serving"):
+        special = {
+            "bench_live_index": check_live_reclaim,
+            "bench_net_serving": check_net_serving,
+            "bench_ablation_partitioned": check_partitioned_kernels,
+        }
+        if timing.stem in special:
             with timing.open() as f:
                 timing_doc = json.load(f)
             with metrics.open() as f:
                 metrics_doc = json.load(f)
-            if timing.stem == "bench_live_index":
-                check_live_reclaim(timing, timing_doc["benchmarks"],
-                                   metrics_doc)
-            else:
-                check_net_serving(timing, timing_doc["benchmarks"],
-                                  metrics_doc)
+            special[timing.stem](timing, timing_doc["benchmarks"],
+                                 metrics_doc)
         print(f"check_bench_json: OK: {timing.name} "
               f"({n} benchmarks, {m} instruments)")
 
