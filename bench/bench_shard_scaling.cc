@@ -1,0 +1,230 @@
+// Shard-scaling benchmark: the horizontally sharded live service
+// (src/shard) against its own 1-shard configuration, which serves through
+// the identical code path minus the scatter.
+//
+//   * BM_Shard_ScatterOverAll    — full-line AggregateOver across shard
+//     counts {1,2,4,8}: the scatter fans one sub-query per shard onto the
+//     bounded executor and stitches the series; 1 shard is the no-scatter
+//     baseline.
+//   * BM_Shard_ScatterOverNarrow — a 1%-of-lifespan range: the router
+//     clips first, so most shards are never touched and the cost should
+//     stay flat in the shard count.
+//   * BM_Shard_AggregateAt       — the point probe: routed to exactly one
+//     shard, O(depth) regardless of topology size.
+//   * BM_Shard_Ingest            — batch-load throughput: per-shard
+//     fragment batches + one COW publish per shard; straddle clipping is
+//     the marginal cost over the unsharded writer.
+//   * BM_Shard_Rebalance         — Reshard() round-trips between two
+//     topologies: the full replay of every tuple plus the one-swap cutover,
+//     i.e. the price of a live rebalance readers never block on.
+//
+// Counters carry the shard count and logical tuple count so
+// tools/check_bench_json.py can assert the scaling family stayed intact.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "shard/sharded_service.h"
+#include "temporal/catalog.h"
+
+namespace tagg {
+namespace {
+
+constexpr size_t kTuples = 50'000;
+constexpr Instant kLifespan = 1'000'000;
+
+std::vector<Tuple> EventTuples(size_t n, uint64_t seed = 42) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (const Period& p :
+       bench::MakePeriods(n, /*long_lived_fraction=*/0.4,
+                          TupleOrder::kRandom, /*k=*/1,
+                          /*k_percentage=*/0.02, seed)) {
+    tuples.emplace_back(std::vector<Value>{Value::Double(0.0)}, p);
+  }
+  return tuples;
+}
+
+struct LoadedShards {
+  Catalog catalog;
+  std::unique_ptr<shard::ShardedLiveService> service;
+};
+
+std::unique_ptr<LoadedShards> MakeService(size_t shards) {
+  auto loaded = std::make_unique<LoadedShards>();
+  Result<Schema> schema = Schema::Make({{"value", ValueType::kDouble}});
+  if (!schema.ok()) std::abort();
+  if (!loaded->catalog
+           .Register(std::make_shared<Relation>(std::move(*schema),
+                                                "events"))
+           .ok()) {
+    std::abort();
+  }
+  shard::ShardedServiceOptions options;
+  options.shards = shards;
+  options.hot_window = Period(0, kLifespan - 1);
+  loaded->service = std::make_unique<shard::ShardedLiveService>(options);
+  if (!loaded->service
+           ->RegisterIndex(loaded->catalog, "events", AggregateKind::kCount)
+           .ok()) {
+    std::abort();
+  }
+  return loaded;
+}
+
+/// One preloaded service per shard count, shared across the read benches
+/// (single-threaded registration: none of these benches use ->Threads).
+shard::ShardedLiveService& LoadedFor(size_t shards) {
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<LoadedShards>>();
+  auto it = cache->find(shards);
+  if (it == cache->end()) {
+    std::unique_ptr<LoadedShards> loaded = MakeService(shards);
+    if (!loaded->service->IngestBatch("events", EventTuples(kTuples)).ok() ||
+        !loaded->service->Flush().ok()) {
+      std::abort();
+    }
+    // Re-cut the uniform boot boundaries at the data's quantiles — the
+    // topology a live deployment would actually serve.
+    if (shards > 1 && !loaded->service->Reshard(shards).ok()) std::abort();
+    it = cache->emplace(shards, std::move(loaded)).first;
+  }
+  return *it->second->service;
+}
+
+void ReportShardCounters(benchmark::State& state,
+                         const shard::ShardedLiveService& service) {
+  state.counters["shards"] = static_cast<double>(service.num_shards());
+  state.counters["tuples"] = static_cast<double>(kTuples);
+}
+
+void BM_Shard_ScatterOverAll(benchmark::State& state) {
+  shard::ShardedLiveService& service =
+      LoadedFor(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<AggregateSeries> series = service.AggregateOver(
+        "events", AggregateKind::kCount, AggregateOptions::kNoAttribute,
+        Period::All());
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  ReportShardCounters(state, service);
+}
+BENCHMARK(BM_Shard_ScatterOverAll)
+    ->ArgNames({"shards"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Shard_ScatterOverNarrow(benchmark::State& state) {
+  shard::ShardedLiveService& service =
+      LoadedFor(static_cast<size_t>(state.range(0)));
+  const Period narrow(kLifespan / 2, kLifespan / 2 + kLifespan / 100);
+  for (auto _ : state) {
+    Result<AggregateSeries> series = service.AggregateOver(
+        "events", AggregateKind::kCount, AggregateOptions::kNoAttribute,
+        narrow);
+    if (!series.ok()) {
+      state.SkipWithError(series.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(series);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  ReportShardCounters(state, service);
+}
+BENCHMARK(BM_Shard_ScatterOverNarrow)
+    ->ArgNames({"shards"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Shard_AggregateAt(benchmark::State& state) {
+  shard::ShardedLiveService& service =
+      LoadedFor(static_cast<size_t>(state.range(0)));
+  Instant t = 0;
+  for (auto _ : state) {
+    Result<Value> value = service.AggregateAt(
+        "events", AggregateKind::kCount, AggregateOptions::kNoAttribute, t);
+    if (!value.ok()) {
+      state.SkipWithError(value.status().ToString().c_str());
+      return;
+    }
+    bench::KeepAlive(value);
+    t = (t + 7919) % kLifespan;  // stride the probes across the shards
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  ReportShardCounters(state, service);
+}
+BENCHMARK(BM_Shard_AggregateAt)
+    ->ArgNames({"shards"})
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Shard_Ingest(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const std::vector<Tuple> tuples = EventTuples(kTuples / 5, /*seed=*/7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::unique_ptr<LoadedShards> loaded = MakeService(shards);
+    state.ResumeTiming();
+    std::vector<Tuple> batch = tuples;
+    if (!loaded->service->IngestBatch("events", std::move(batch)).ok() ||
+        !loaded->service->Flush().ok()) {
+      state.SkipWithError("sharded ingest failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples.size()));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["tuples"] = static_cast<double>(tuples.size());
+}
+BENCHMARK(BM_Shard_Ingest)
+    ->ArgNames({"shards"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Shard_Rebalance(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  std::unique_ptr<LoadedShards> loaded = MakeService(shards);
+  if (!loaded->service->IngestBatch("events", EventTuples(kTuples)).ok() ||
+      !loaded->service->Flush().ok()) {
+    state.SkipWithError("sharded load failed");
+    return;
+  }
+  size_t next = shards + 1;
+  for (auto _ : state) {
+    if (!loaded->service->Reshard(next).ok()) {
+      state.SkipWithError("reshard failed");
+      return;
+    }
+    next = next == shards ? shards + 1 : shards;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kTuples));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["tuples"] = static_cast<double>(kTuples);
+}
+BENCHMARK(BM_Shard_Rebalance)
+    ->ArgNames({"shards"})
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagg
+
+TAGG_BENCH_MAIN()

@@ -9,6 +9,7 @@
 #include "core/span_agg.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
+#include "util/env.h"
 #include "util/str.h"
 
 namespace tagg {
@@ -104,18 +105,19 @@ obs::Counter& PartitionedRoutedTotal() {
   return c;
 }
 
+obs::Counter& ShardRoutedTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_query_shard_routed_total",
+      "queries answered scatter-gather by the sharded live index");
+  return c;
+}
+
 /// Resolves the worker count: explicit option, else the TAGG_WORKERS
-/// environment variable, else 1 (sequential).
+/// environment variable (hardened: garbage, negatives, and huge values
+/// warn and clamp — util/env.h), else 1 (sequential).
 size_t ResolveWorkers(size_t requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("TAGG_WORKERS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return static_cast<size_t>(v);
-    }
-  }
-  return 1;
+  return ResolveCountEnv("TAGG_WORKERS", 1, 256);
 }
 
 }  // namespace
@@ -181,6 +183,47 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
   obs::Span exec_span(profile, "execute");
   exec_span.Annotate("relation", relation.name());
   exec_span.Annotate("input_tuples", relation.size());
+
+  // 0a. Sharded routing: the same eligibility gate as live routing below,
+  // answered scatter-gather across the shard topology (src/shard) when
+  // every shard has absorbed exactly the relation's current contents.
+  if (options.sharded_service != nullptr && query.where == nullptr &&
+      query.group_attributes.empty() && query.aggregates.size() == 1 &&
+      query.temporal.kind == TemporalGrouping::Kind::kInstant) {
+    const BoundAggregate& agg = query.aggregates[0];
+    const shard::ShardedLiveService& sharded = *options.sharded_service;
+    if (sharded.ServesFresh(relation, agg.kind, agg.attribute)) {
+      QueryResult routed;
+      routed.analyzed = query.analyze;
+      for (const BoundOutputColumn& col : query.columns) {
+        routed.column_names.push_back(col.name);
+      }
+      routed.plan.algorithm = AlgorithmKind::kLiveIndex;
+      routed.plan.rationale =
+          "served scatter-gather from the sharded live index for '" +
+          relation.name() + "' (" + std::to_string(sharded.num_shards()) +
+          " shard(s), topology v" +
+          std::to_string(sharded.topology_version()) + ")";
+      if (query.explain && !query.analyze) return routed;
+      ShardRoutedTotal().Increment();
+      obs::Span probe_span(profile, "shard_scatter");
+      probe_span.Annotate("shards", sharded.num_shards());
+      uint64_t epoch = 0;
+      TAGG_ASSIGN_OR_RETURN(
+          AggregateSeries series,
+          sharded.AggregateOver(relation.name(), agg.kind, agg.attribute,
+                                Period::All(), options.coalesce, &epoch));
+      probe_span.Annotate("intervals", series.intervals.size());
+      probe_span.End();
+      const Value empty = EmptyValueOf(agg.kind);
+      routed.rows.reserve(series.intervals.size());
+      for (ResultInterval& ri : series.intervals) {
+        if (options.drop_empty && ri.value == empty) continue;
+        routed.rows.push_back({{std::move(ri.value)}, ri.period});
+      }
+      return routed;
+    }
+  }
 
   // 0. Live-index routing: when the service holds a registered index that
   // is exactly as fresh as the relation, a single-aggregate instant-grouped

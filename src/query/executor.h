@@ -19,6 +19,7 @@
 #include "live/service.h"
 #include "obs/trace.h"
 #include "query/analyzer.h"
+#include "shard/sharded_service.h"
 #include "util/result.h"
 
 namespace tagg {
@@ -46,6 +47,11 @@ struct ExecutorOptions {
   /// of rebuilding an aggregation tree per query (src/live).  Queries the
   /// service cannot serve fall back to the batch path transparently.
   const LiveService* live_service = nullptr;
+  /// When set, the same eligible queries are answered scatter-gather by
+  /// the horizontally sharded live index (src/shard) — checked before
+  /// `live_service`.  Ineligible or stale queries fall back exactly like
+  /// the unsharded route.
+  const shard::ShardedLiveService* sharded_service = nullptr;
   /// When set, the executor records a span per pipeline stage (filter,
   /// plan, group, aggregate, coalesce) into this profile.  Null disables
   /// tracing at zero cost; RunQuery supplies one automatically.

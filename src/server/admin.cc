@@ -177,8 +177,15 @@ std::string AdminPlane::Dispatch(const HttpRequest& req) {
   if (req.path == "/statz") {
     std::vector<net::ConnectionStatsRow> rows;
     if (hooks_.statz) rows = hooks_.statz();
-    return BuildHttpResponse(200, "text/plain; charset=utf-8",
-                             RenderStatzTable(rows));
+    std::string body = RenderStatzTable(rows);
+    if (hooks_.extra_statz) {
+      std::string extra = hooks_.extra_statz();
+      if (!extra.empty()) {
+        if (body.empty() || body.back() != '\n') body.push_back('\n');
+        body += "\n" + extra;
+      }
+    }
+    return BuildHttpResponse(200, "text/plain; charset=utf-8", body);
   }
   if (req.path == "/tracez") {
     std::vector<obs::RequestTraceRecord> records =

@@ -58,6 +58,9 @@ struct AdminHooks {
   std::function<std::string()> metrics_text;
   std::function<bool()> draining;
   std::function<std::vector<net::ConnectionStatsRow>()> statz;
+  /// Extra text appended below the /statz connection table — the shard
+  /// topology and per-shard health when the sharded service runs.
+  std::function<std::string()> extra_statz;
   /// Request a graceful shutdown (must NOT block — /quitz sets a flag
   /// the daemon's main thread polls).  Null disables /quitz outright.
   std::function<void()> quit;

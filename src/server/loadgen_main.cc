@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -259,12 +260,29 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Checked flag parsing, taggd-style: atoi silently turned garbage
+    // into 0 and "70000" into a wrapped port; reject both with a usage
+    // error instead.
+    auto next_int = [&](long max_value) -> long {
+      const char* value = next();
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || errno == ERANGE || v < 0 ||
+          v > max_value) {
+        std::fprintf(stderr,
+                     "%s wants an integer in [0, %ld], got '%s'\n",
+                     arg.c_str(), max_value, value);
+        std::exit(2);
+      }
+      return v;
+    };
     if (arg == "--port") {
-      options.port = static_cast<uint16_t>(std::atoi(next()));
+      options.port = static_cast<uint16_t>(next_int(65535));
     } else if (arg == "--connections") {
-      options.connections = static_cast<size_t>(std::atoi(next()));
+      options.connections = static_cast<size_t>(next_int(4096));
     } else if (arg == "--pipeline") {
-      options.pipeline = static_cast<size_t>(std::atoi(next()));
+      options.pipeline = static_cast<size_t>(next_int(1 << 20));
     } else if (arg == "--seconds") {
       options.seconds = std::atof(next());
     } else if (arg == "--insert-fraction") {

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "server/server.h"
+#include "shard/sharded_service.h"
 #include "temporal/csv.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/str.h"
 
@@ -52,6 +54,9 @@ void PrintUsage(const char* argv0) {
       "                         (default 0 = off, or TAGG_TRACE_SAMPLE_EVERY)\n"
       "  --slow-request-us N    log+record requests slower than N us\n"
       "                         (default 0 = off, or TAGG_SLOW_REQUEST_US)\n"
+      "  --shards N             partition the live index across N\n"
+      "                         time-range shards (default 1, or\n"
+      "                         TAGG_SHARDS; runtime: `set shards N`)\n"
       "  --csv PATH[:NAME]      load a CSV relation (repeatable)\n"
       "  --index REL/AGG[/ATTR] register a live index (repeatable),\n"
       "                         e.g. employed/count, employed/sum/salary\n"
@@ -93,6 +98,10 @@ int main(int argc, char** argv) {
   }
   std::vector<std::pair<std::string, std::string>> csvs;  // path, name
   std::vector<std::string> index_specs;
+  // Hardened count resolution (util/env.h): garbage or out-of-range
+  // TAGG_SHARDS values warn and fall back instead of being taken at
+  // face value.
+  size_t shards = ResolveCountEnv("TAGG_SHARDS", 1, 64);
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +147,8 @@ int main(int argc, char** argv) {
       options.loop.trace_sample_every = static_cast<size_t>(next_int());
     } else if (arg == "--slow-request-us") {
       options.slow_request_micros = next_int();
+    } else if (arg == "--shards") {
+      shards = ClampCount("--shards", next_int(), 1, 64);
     } else if (arg == "--csv") {
       const std::string spec = next();
       const size_t colon = spec.find(':');
@@ -193,7 +204,12 @@ int main(int argc, char** argv) {
                  path.c_str(), n, name.c_str());
   }
 
-  LiveService live;
+  // The daemon always serves through the sharded front (a 1-shard
+  // topology behaves exactly like the plain LiveService) so a runtime
+  // `set shards N` can scale out without a restart.
+  shard::ShardedServiceOptions shard_options;
+  shard_options.shards = shards;
+  shard::ShardedLiveService sharded(shard_options);
   for (const std::string& spec : index_specs) {
     const std::vector<std::string> parts = Split(spec, '/');
     if (parts.size() != 2 && parts.size() != 3) {
@@ -207,7 +223,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
       return 2;
     }
-    Status registered = live.RegisterIndex(
+    Status registered = sharded.RegisterIndex(
         catalog, parts[0], *kind, parts.size() == 3 ? parts[2] : "");
     if (!registered.ok()) {
       std::fprintf(stderr, "registering %s: %s\n", spec.c_str(),
@@ -216,8 +232,21 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "registered live index %s\n", spec.c_str());
   }
+  if (shards > 1) {
+    // Re-cut the uniform boot boundaries at the loaded data's start
+    // quantiles so CSV-loaded relations spread across the shards.
+    Status resharded = sharded.Reshard(shards);
+    if (!resharded.ok()) {
+      std::fprintf(stderr, "resharding: %s\n",
+                   resharded.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "live index topology: %s\n",
+               sharded.map().ToString().c_str());
 
-  server::Server srv(options, server::ServingState{&catalog, &live});
+  server::Server srv(options,
+                     server::ServingState{&catalog, nullptr, &sharded});
   Status started = srv.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());

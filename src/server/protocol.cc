@@ -44,20 +44,64 @@ size_t ToAttribute(uint32_t wire_attribute) {
              : static_cast<size_t>(wire_attribute);
 }
 
-/// Looks up the live index serving (relation, aggregate, attribute).
-Result<const LiveAggregateIndex*> FindIndex(const ServingState& state,
-                                            std::string_view relation,
-                                            uint8_t raw_kind,
-                                            uint32_t raw_attribute) {
-  TAGG_ASSIGN_OR_RETURN(AggregateKind kind, ToAggregateKind(raw_kind));
-  const LiveAggregateIndex* index =
-      state.live->Find(relation, kind, ToAttribute(raw_attribute));
+// --- backend dispatch: sharded service when present, LiveService
+// otherwise.  Both modes (binary and text) funnel through these so the
+// routing decision lives in exactly one place.
+
+Status DoIngest(const ServingState& state, std::string_view relation,
+                Tuple tuple) {
+  if (state.shards != nullptr) {
+    return state.shards->Ingest(relation, std::move(tuple));
+  }
+  return state.live->Ingest(relation, std::move(tuple));
+}
+
+Status DoIngestBatch(const ServingState& state, std::string_view relation,
+                     std::vector<Tuple> tuples, size_t* ingested) {
+  if (state.shards != nullptr) {
+    return state.shards->IngestBatch(relation, std::move(tuples), ingested);
+  }
+  return state.live->IngestBatch(relation, std::move(tuples), ingested);
+}
+
+Status DoFlush(const ServingState& state, std::string_view relation) {
+  if (state.shards != nullptr) return state.shards->Flush(relation);
+  return state.live->Flush(relation);
+}
+
+Result<Value> DoAggregateAt(const ServingState& state,
+                            std::string_view relation, AggregateKind kind,
+                            size_t attribute, Instant t, uint64_t* epoch) {
+  if (state.shards != nullptr) {
+    return state.shards->AggregateAt(relation, kind, attribute, t, epoch);
+  }
+  const LiveAggregateIndex* index = state.live->Find(relation, kind,
+                                                     attribute);
   if (index == nullptr) {
     return Status::NotFound(
         "no live index registered for " + std::string(relation) + "/" +
         std::string(AggregateKindToString(kind)));
   }
-  return index;
+  return index->AggregateAt(t, epoch);
+}
+
+Result<AggregateSeries> DoAggregateOver(const ServingState& state,
+                                        std::string_view relation,
+                                        AggregateKind kind, size_t attribute,
+                                        const Period& query, bool coalesce,
+                                        uint64_t* epoch) {
+  if (state.shards != nullptr) {
+    return state.shards->AggregateOver(relation, kind, attribute, query,
+                                       coalesce, epoch);
+  }
+  const LiveAggregateIndex* index = state.live->Find(relation, kind,
+                                                     attribute);
+  if (index == nullptr) {
+    return Status::NotFound(
+        "no live index registered for " + std::string(relation) + "/" +
+        std::string(AggregateKindToString(kind)));
+  }
+  return index->AggregateOver(query, coalesce, epoch);
 }
 
 // ---------------------------------------------------------------------------
@@ -80,8 +124,7 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
       decode.End();
       obs::Span ingest(profile, "ingest");
       ingest.Annotate("relation", req.relation);
-      TAGG_RETURN_IF_ERROR(state.live->Ingest(req.relation,
-                                              std::move(tuple)));
+      TAGG_RETURN_IF_ERROR(DoIngest(state, req.relation, std::move(tuple)));
       return std::string();
     }
     case Opcode::kInsertBatch: {
@@ -99,8 +142,8 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
       ingest.Annotate("relation", req.relation);
       ingest.Annotate("tuples", tuples.size());
       size_t ingested = 0;
-      TAGG_RETURN_IF_ERROR(state.live->IngestBatch(
-          req.relation, std::move(tuples), &ingested));
+      TAGG_RETURN_IF_ERROR(
+          DoIngestBatch(state, req.relation, std::move(tuples), &ingested));
       ingest.End();
       net::Writer w;
       w.U32(static_cast<uint32_t>(ingested));
@@ -109,7 +152,7 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
     case Opcode::kFlush: {
       TAGG_ASSIGN_OR_RETURN(FlushRequest req, net::DecodeFlush(payload));
       obs::Span flush(profile, "flush");
-      TAGG_RETURN_IF_ERROR(state.live->Flush(req.relation));
+      TAGG_RETURN_IF_ERROR(DoFlush(state, req.relation));
       return std::string();
     }
     case Opcode::kAggregateAt: {
@@ -117,16 +160,15 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
       TAGG_ASSIGN_OR_RETURN(AggregateAtRequest req,
                             net::DecodeAggregateAt(payload));
       decode.End();
-      obs::Span lookup(profile, "index_lookup");
-      TAGG_ASSIGN_OR_RETURN(
-          const LiveAggregateIndex* index,
-          FindIndex(state, req.relation, req.aggregate, req.attribute));
-      lookup.End();
+      TAGG_ASSIGN_OR_RETURN(AggregateKind kind,
+                            ToAggregateKind(req.aggregate));
       obs::Span probe(profile, "aggregate_at");
       probe.Annotate("relation", req.relation);
       AggregateAtResponse resp;
-      TAGG_ASSIGN_OR_RETURN(resp.value,
-                            index->AggregateAt(req.t, &resp.epoch));
+      TAGG_ASSIGN_OR_RETURN(
+          resp.value,
+          DoAggregateAt(state, req.relation, kind, ToAttribute(req.attribute),
+                        req.t, &resp.epoch));
       probe.Annotate("epoch", resp.epoch);
       probe.End();
       obs::Span encode(profile, "encode_payload");
@@ -137,11 +179,8 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
       TAGG_ASSIGN_OR_RETURN(AggregateOverRequest req,
                             net::DecodeAggregateOver(payload));
       decode.End();
-      obs::Span lookup(profile, "index_lookup");
-      TAGG_ASSIGN_OR_RETURN(
-          const LiveAggregateIndex* index,
-          FindIndex(state, req.relation, req.aggregate, req.attribute));
-      lookup.End();
+      TAGG_ASSIGN_OR_RETURN(AggregateKind kind,
+                            ToAggregateKind(req.aggregate));
       TAGG_ASSIGN_OR_RETURN(Period query,
                             MakePeriod(req.start, req.end));
       obs::Span probe(profile, "aggregate_over");
@@ -149,7 +188,9 @@ Result<std::string> RunBinary(const ServingState& state, Opcode opcode,
       AggregateOverResponse resp;
       TAGG_ASSIGN_OR_RETURN(
           AggregateSeries series,
-          index->AggregateOver(query, req.coalesce, &resp.epoch));
+          DoAggregateOver(state, req.relation, kind,
+                          ToAttribute(req.attribute), query, req.coalesce,
+                          &resp.epoch));
       probe.Annotate("epoch", resp.epoch);
       probe.Annotate("intervals", series.intervals.size());
       probe.End();
@@ -213,8 +254,19 @@ Result<std::pair<AggregateKind, size_t>> ParseAggAttr(
     return std::make_pair(kind, AggregateOptions::kNoAttribute);
   }
   char* end = nullptr;
+  errno = 0;
   const long long idx = std::strtoll(attr_word.c_str(), &end, 10);
-  if (end != attr_word.c_str() && *end == '\0' && idx >= 0) {
+  if (end != attr_word.c_str() && *end == '\0') {
+    // A fully numeric attribute word must be a usable index: reject
+    // overflow (strtoll clamps to LLONG_MAX/LLONG_MIN and the old code
+    // silently accepted the clamp) and negatives instead of falling
+    // through to name resolution.
+    if (errno == ERANGE || idx < 0 ||
+        static_cast<unsigned long long>(idx) >=
+            static_cast<unsigned long long>(AggregateOptions::kNoAttribute)) {
+      return Status::InvalidArgument("attribute index '" + attr_word +
+                                     "' is out of range");
+    }
     return std::make_pair(kind, static_cast<size_t>(idx));
   }
   TAGG_ASSIGN_OR_RETURN(std::shared_ptr<Relation> relation_ptr,
@@ -245,17 +297,49 @@ Result<std::string> RunText(const ServingState& state,
     return MetricsExpositionText() + ".\n";
   }
   if (EqualsIgnoreCase(cmd, "stats")) {
-    std::string out = state.live->Stats().ToString();
+    std::string out = state.shards != nullptr
+                          ? state.shards->Stats().ToString()
+                          : state.live->Stats().ToString();
     if (out.empty() || out.back() != '\n') out.push_back('\n');
     out += ".\n";
     return out;
+  }
+  if (EqualsIgnoreCase(cmd, "shards")) {
+    // shards — the published topology plus per-shard health.
+    if (words.size() != 1) return Status::InvalidArgument("usage: shards");
+    if (state.shards == nullptr) {
+      return Status::NotSupported(
+          "this server does not run the sharded live service");
+    }
+    std::string out = state.shards->map().ToString() + "\n" +
+                      state.shards->Stats().ToString();
+    if (out.back() != '\n') out.push_back('\n');
+    out += ".\n";
+    return out;
+  }
+  if (EqualsIgnoreCase(cmd, "set")) {
+    // set shards <n> — live rebalance to n data-quantile shards.
+    if (words.size() != 3 || !EqualsIgnoreCase(words[1], "shards")) {
+      return Status::InvalidArgument("usage: set shards <n>");
+    }
+    if (state.shards == nullptr) {
+      return Status::NotSupported(
+          "this server does not run the sharded live service");
+    }
+    TAGG_ASSIGN_OR_RETURN(int64_t n, ParseInt64(words[2]));
+    if (n <= 0) {
+      return Status::InvalidArgument("shard count must be positive");
+    }
+    TAGG_RETURN_IF_ERROR(state.shards->Reshard(static_cast<size_t>(n)));
+    return "+OK " + std::to_string(state.shards->num_shards()) +
+           " shard(s), topology v" +
+           std::to_string(state.shards->topology_version()) + "\n";
   }
   if (EqualsIgnoreCase(cmd, "flush")) {
     if (words.size() > 2) {
       return Status::InvalidArgument("usage: flush [relation]");
     }
-    TAGG_RETURN_IF_ERROR(
-        state.live->Flush(words.size() == 2 ? words[1] : ""));
+    TAGG_RETURN_IF_ERROR(DoFlush(state, words.size() == 2 ? words[1] : ""));
     return std::string("+OK\n");
   }
   if (EqualsIgnoreCase(cmd, "insert")) {
@@ -273,7 +357,7 @@ Result<std::string> RunText(const ServingState& state,
       values.push_back(ParseValueWord(words[i]));
     }
     TAGG_RETURN_IF_ERROR(
-        state.live->Ingest(words[1], Tuple(std::move(values), valid)));
+        DoIngest(state, words[1], Tuple(std::move(values), valid)));
     return std::string("+OK\n");
   }
   if (EqualsIgnoreCase(cmd, "at")) {
@@ -285,14 +369,10 @@ Result<std::string> RunText(const ServingState& state,
     TAGG_ASSIGN_OR_RETURN(auto agg_attr,
                           ParseAggAttr(state, words[1], words[2], words[3]));
     TAGG_ASSIGN_OR_RETURN(int64_t t, ParseInt64(words[4]));
-    const LiveAggregateIndex* index =
-        state.live->Find(words[1], agg_attr.first, agg_attr.second);
-    if (index == nullptr) {
-      return Status::NotFound("no live index registered for " + words[1] +
-                              "/" + words[2]);
-    }
     uint64_t epoch = 0;
-    TAGG_ASSIGN_OR_RETURN(Value value, index->AggregateAt(t, &epoch));
+    TAGG_ASSIGN_OR_RETURN(
+        Value value, DoAggregateAt(state, words[1], agg_attr.first,
+                                   agg_attr.second, t, &epoch));
     return "+OK " + value.ToString() + " epoch=" + std::to_string(epoch) +
            "\n";
   }
@@ -315,15 +395,11 @@ Result<std::string> RunText(const ServingState& state,
     TAGG_ASSIGN_OR_RETURN(int64_t start, ParseInt64(words[4]));
     TAGG_ASSIGN_OR_RETURN(int64_t end, ParseInt64(words[5]));
     TAGG_ASSIGN_OR_RETURN(Period query, Period::Make(start, end));
-    const LiveAggregateIndex* index =
-        state.live->Find(words[1], agg_attr.first, agg_attr.second);
-    if (index == nullptr) {
-      return Status::NotFound("no live index registered for " + words[1] +
-                              "/" + words[2]);
-    }
     uint64_t epoch = 0;
-    TAGG_ASSIGN_OR_RETURN(AggregateSeries series,
-                          index->AggregateOver(query, coalesce, &epoch));
+    TAGG_ASSIGN_OR_RETURN(
+        AggregateSeries series,
+        DoAggregateOver(state, words[1], agg_attr.first, agg_attr.second,
+                        query, coalesce, &epoch));
     std::string out = "+OK " + std::to_string(series.intervals.size()) +
                       " epoch=" + std::to_string(epoch) + "\n";
     for (const ResultInterval& iv : series.intervals) {
@@ -336,7 +412,8 @@ Result<std::string> RunText(const ServingState& state,
   }
   return Status::InvalidArgument("unknown command '" + cmd +
                                  "' (ping, insert, flush, at, over, "
-                                 "metrics, stats, quit)");
+                                 "metrics, stats, shards, set shards <n>, "
+                                 "quit)");
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "live/service.h"
 #include "net/wire.h"
 #include "obs/trace.h"
+#include "shard/sharded_service.h"
 #include "temporal/catalog.h"
 
 namespace tagg {
@@ -28,9 +29,14 @@ namespace server {
 
 /// What the handlers serve: the registered relations and their live
 /// indexes.  The catalog must not be mutated while the server runs.
+/// Exactly one of `live` / `shards` backs the operations: when `shards`
+/// is set every ingest/flush/probe routes through the sharded service
+/// (scatter-gather reads, boundary-clipped writes) and `live` may be
+/// null; otherwise the unsharded LiveService serves as before.
 struct ServingState {
   const Catalog* catalog = nullptr;
   LiveService* live = nullptr;
+  shard::ShardedLiveService* shards = nullptr;
 };
 
 /// The one metrics exposition every surface serves: the binary kMetrics

@@ -141,6 +141,12 @@ Status Server::Start() {
       }
       return rows;
     };
+    if (state_.shards != nullptr) {
+      hooks.extra_statz = [this] {
+        return state_.shards->map().ToString() + "\n" +
+               state_.shards->Stats().ToString();
+      };
+    }
     hooks.quit = [this] {
       quit_requested_.store(true, std::memory_order_release);
     };
@@ -353,6 +359,12 @@ void Server::Shutdown() {
     Status flushed = state_.live->Flush();
     if (!flushed.ok() && !flushed.IsNotFound()) {
       TAGG_LOG(Warn) << "drain flush failed: " << flushed.ToString();
+    }
+  }
+  if (state_.shards != nullptr) {
+    Status flushed = state_.shards->Flush();
+    if (!flushed.ok() && !flushed.IsNotFound()) {
+      TAGG_LOG(Warn) << "drain shard flush failed: " << flushed.ToString();
     }
   }
 

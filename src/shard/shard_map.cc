@@ -1,0 +1,84 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+
+namespace tagg {
+namespace shard {
+
+ShardMap::ShardMap() : starts_{kOrigin} {}
+
+Result<ShardMap> ShardMap::FromStarts(std::vector<Instant> starts) {
+  if (starts.empty() || starts.front() != kOrigin) {
+    return Status::InvalidArgument(
+        "shard map starts must begin with the time-line origin");
+  }
+  for (size_t i = 1; i < starts.size(); ++i) {
+    if (starts[i] <= starts[i - 1]) {
+      return Status::InvalidArgument(
+          "shard map starts must be strictly increasing");
+    }
+    if (starts[i] > kForever) {
+      return Status::InvalidArgument(
+          "shard map start beyond the end of the time-line");
+    }
+  }
+  return ShardMap(std::move(starts));
+}
+
+Result<ShardMap> ShardMap::MakeUniform(size_t shards, const Period& hot) {
+  if (shards == 0) {
+    return Status::InvalidArgument("shard count must be at least 1");
+  }
+  std::vector<Instant> starts{kOrigin};
+  // Unsigned width arithmetic: hot may legally span the whole line.
+  const uint64_t width = static_cast<uint64_t>(hot.end()) -
+                         static_cast<uint64_t>(hot.start()) + 1;
+  for (size_t i = 1; i < shards; ++i) {
+    const Instant candidate =
+        hot.start() + static_cast<Instant>(width / shards * i);
+    if (candidate > starts.back() && candidate <= kForever) {
+      starts.push_back(candidate);
+    }
+  }
+  return ShardMap(std::move(starts));
+}
+
+size_t ShardMap::OwnerOf(Instant t) const {
+  // First start > t, minus one: the shard whose range begins at or
+  // before t.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  return static_cast<size_t>(it - starts_.begin()) - 1;
+}
+
+Period ShardMap::RangeOf(size_t shard) const {
+  const Instant lo = starts_[shard];
+  const Instant hi =
+      shard + 1 < starts_.size() ? starts_[shard + 1] - 1 : kForever;
+  return Period(lo, hi);
+}
+
+std::vector<ShardSlice> ShardMap::SplitOver(const Period& p) const {
+  std::vector<ShardSlice> slices;
+  const size_t first = OwnerOf(p.start());
+  const size_t last = OwnerOf(p.end());
+  slices.reserve(last - first + 1);
+  for (size_t shard = first; shard <= last; ++shard) {
+    const Period range = RangeOf(shard);
+    slices.push_back(ShardSlice{
+        shard, Period(std::max(range.start(), p.start()),
+                      std::min(range.end(), p.end()))});
+  }
+  return slices;
+}
+
+std::string ShardMap::ToString() const {
+  std::string out = std::to_string(num_shards()) + " shard" +
+                    (num_shards() == 1 ? "" : "s") + ":";
+  for (size_t i = 0; i < num_shards(); ++i) {
+    out += " " + RangeOf(i).ToString();
+  }
+  return out;
+}
+
+}  // namespace shard
+}  // namespace tagg

@@ -14,6 +14,8 @@
 #include "core/partitioned_agg.h"
 #include "core/workload.h"
 #include "live/live_index.h"
+#include "shard/sharded_service.h"
+#include "temporal/catalog.h"
 #include "util/random.h"
 
 namespace tagg {
@@ -215,6 +217,77 @@ Result<std::vector<ResultInterval>> LiveSeries(const Relation& relation,
   TAGG_ASSIGN_OR_RETURN(AggregateSeries series,
                         index->AggregateOver(Period::All(),
                                              /*coalesce=*/true));
+  return std::move(series.intervals);
+}
+
+/// The aggregated attribute's registration name, as ShardedLiveService
+/// wants it ("" for COUNT's kNoAttribute).
+std::string AttributeNameFor(const Relation& relation, size_t attribute) {
+  if (attribute == AggregateOptions::kNoAttribute) return {};
+  return relation.schema().attribute(attribute).name;
+}
+
+/// A catalog holding an empty same-name, same-schema clone of `relation`
+/// for the sharded service to register against and ingest into; the
+/// caller's relation stays untouched.
+Result<Catalog> ShardedCatalogFor(const Relation& relation) {
+  Catalog catalog;
+  TAGG_RETURN_IF_ERROR(catalog.Register(
+      std::make_shared<Relation>(relation.schema(), relation.name())));
+  return catalog;
+}
+
+/// Loads `relation` through a ShardedLiveService — tuple-at-a-time or
+/// batched, optionally rebalancing mid-stream or splitting a shard after
+/// the load — and scatter-gathers the full series.
+Result<std::vector<ResultInterval>> ShardedSeries(
+    const Relation& relation, AggregateKind aggregate, size_t attribute,
+    size_t shards, size_t workers, bool use_batch, bool rebalance_midway,
+    bool split_after) {
+  TAGG_ASSIGN_OR_RETURN(Catalog catalog, ShardedCatalogFor(relation));
+  shard::ShardedServiceOptions options;
+  options.shards = shards;
+  // A tiny hot window forces the boot boundaries through the generated
+  // workloads' small domains, so tuples straddle and spread across the
+  // shards even before any data-driven rebalance.
+  options.hot_window = Period(0, 63);
+  options.scatter_workers = workers;
+  shard::ShardedLiveService service(options);
+  TAGG_RETURN_IF_ERROR(
+      service.RegisterIndex(catalog, relation.name(), aggregate,
+                            AttributeNameFor(relation, attribute)));
+  const size_t rebalance_at = relation.size() / 2;
+  std::vector<Tuple> batch;
+  size_t ingested = 0;
+  for (const Tuple& tuple : relation) {
+    if (use_batch) {
+      batch.push_back(tuple);
+    } else {
+      TAGG_RETURN_IF_ERROR(service.Ingest(relation.name(), tuple));
+    }
+    if (rebalance_midway && ++ingested == rebalance_at) {
+      if (!batch.empty()) {
+        TAGG_RETURN_IF_ERROR(
+            service.IngestBatch(relation.name(), std::move(batch)));
+        batch.clear();
+      }
+      // Re-cut at the quantiles of what has arrived so far; the rest of
+      // the stream lands on the new map.
+      TAGG_RETURN_IF_ERROR(service.Reshard(shards));
+    }
+  }
+  if (!batch.empty()) {
+    TAGG_RETURN_IF_ERROR(
+        service.IngestBatch(relation.name(), std::move(batch)));
+  }
+  TAGG_RETURN_IF_ERROR(service.Flush());
+  if (split_after) {
+    TAGG_RETURN_IF_ERROR(service.SplitShard(0));
+  }
+  TAGG_ASSIGN_OR_RETURN(
+      AggregateSeries series,
+      service.AggregateOver(relation.name(), aggregate, attribute,
+                            Period::All(), /*coalesce=*/true));
   return std::move(series.intervals);
 }
 
@@ -586,6 +659,11 @@ Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
       }
     }
 
+    // The unsharded COW series doubles as the identity oracle for the
+    // sharded configurations below.
+    std::vector<ResultInterval> cow_series;
+    bool have_cow = false;
+
     if (options.include_live_index) {
       Result<std::vector<ResultInterval>> locked =
           LiveSeries(relation, aggregate, attribute,
@@ -611,6 +689,48 @@ Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
                           identical.message());
       }
       if (comparisons != nullptr) *comparisons += 2;
+      cow_series = std::move(cow.value());
+      have_cow = true;
+    }
+
+    if (options.include_sharded) {
+      struct ShardConfig {
+        const char* name;
+        size_t shards;
+        size_t workers;
+        bool batch;
+        bool rebalance;
+        bool split = false;
+      };
+      const ShardConfig grid[] = {
+          {"sharded/s2-w1-batch", 2, 1, true, false},
+          {"sharded/s2-w2-rebalance", 2, 2, false, true},
+          {"sharded/s4-w2-batch-rebalance", 4, 2, true, true},
+          {"sharded/s4-w1-split", 4, 1, false, false, /*split=*/true},
+      };
+      for (const ShardConfig& cfg : grid) {
+        Result<std::vector<ResultInterval>> sharded = ShardedSeries(
+            relation, aggregate, attribute, cfg.shards, cfg.workers,
+            cfg.batch, cfg.rebalance, cfg.split);
+        TAGG_RETURN_IF_ERROR(check(cfg.name, sharded));
+        // Boundary clipping preserves each instant's covering multiset,
+        // so for the order-insensitive aggregates the stitched
+        // scatter-gather series must match the unsharded COW series bit
+        // for bit.  SUM/AVG sum the same multiset in a different tree
+        // shape; the tolerance-based check() above already covered them.
+        if (have_cow && (aggregate == AggregateKind::kCount ||
+                         aggregate == AggregateKind::kMin ||
+                         aggregate == AggregateKind::kMax)) {
+          const Status identical =
+              SeriesTupleIdentical(cow_series, sharded.value());
+          if (!identical.ok()) {
+            return Divergence(seed, info, aggregate,
+                              std::string(cfg.name) + "/unsharded-equality",
+                              identical.message());
+          }
+          if (comparisons != nullptr) ++*comparisons;
+        }
+      }
     }
   }
 
@@ -632,6 +752,21 @@ Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
                 std::string(LiveConcurrencyToString(concurrency)),
             live.message());
       }
+    }
+  }
+
+  if (options.concurrent_sharded_check && !relation.empty()) {
+    // Offset the rotation so consecutive seeds exercise a different
+    // aggregate here than in the unsharded concurrent check above.
+    const AggregateKind aggregate = kAllAggregates[(seed + 3) % 5];
+    const Status sharded = CheckShardedServiceConcurrent(
+        relation, aggregate, AttributeFor(aggregate),
+        seed ^ 0xA0761D6478BD642Full,
+        /*shards=*/2 + static_cast<size_t>(seed % 3),
+        options.relative_tolerance);
+    if (!sharded.ok()) {
+      return Divergence(seed, info, aggregate, "sharded/concurrent",
+                        sharded.message());
     }
   }
   return Status::OK();
@@ -735,6 +870,118 @@ Status CheckLiveIndexConcurrent(const Relation& relation,
   TAGG_ASSIGN_OR_RETURN(AggregateSeries actual,
                         index->AggregateOver(Period::All(),
                                              /*coalesce=*/true));
+  std::vector<ResultInterval> conditioning;
+  const std::vector<ResultInterval>* condition = nullptr;
+  if (aggregate == AggregateKind::kSum || aggregate == AggregateKind::kAvg) {
+    TAGG_ASSIGN_OR_RETURN(conditioning,
+                          ComputeConditioningSeries(relation, attribute));
+    condition = &conditioning;
+  }
+  return CompareSeries(expected.intervals, actual.intervals, aggregate,
+                       relative_tolerance, condition);
+}
+
+Status CheckShardedServiceConcurrent(const Relation& relation,
+                                     AggregateKind aggregate,
+                                     size_t attribute, uint64_t seed,
+                                     size_t shards,
+                                     double relative_tolerance) {
+  TAGG_ASSIGN_OR_RETURN(Catalog catalog, ShardedCatalogFor(relation));
+  shard::ShardedServiceOptions options;
+  options.shards = shards;
+  options.hot_window = Period(0, 63);
+  shard::ShardedLiveService service(options);
+  TAGG_RETURN_IF_ERROR(
+      service.RegisterIndex(catalog, relation.name(), aggregate,
+                            AttributeNameFor(relation, attribute)));
+
+  std::atomic<bool> done{false};
+  std::mutex mutex;
+  Status first_error;
+  const auto record = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (first_error.ok()) first_error = status;
+  };
+
+  // The writer interleaves single-tuple ingests with a mid-stream
+  // data-quantile rebalance and a shard split: the reader-facing
+  // topology cutover is exactly the code under test.
+  std::thread writer([&] {
+    const size_t rebalance_at = relation.size() / 2;
+    size_t ingested = 0;
+    for (const Tuple& tuple : relation) {
+      Status status = service.Ingest(relation.name(), tuple);
+      if (status.ok() && ++ingested == rebalance_at) {
+        status = service.Reshard(shards + 1);
+        if (status.ok()) {
+          // A quantile cut over dense starts can leave shard 0 owning a
+          // single instant; an unsplittable shard is a legitimate
+          // rejection, not a divergence.
+          const Status split = service.SplitShard(0);
+          if (!split.ok() && split.code() != StatusCode::kInvalidArgument) {
+            status = split;
+          }
+        }
+      }
+      if (!status.ok()) {
+        record(status);
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  const auto reader = [&](uint64_t reader_seed) {
+    Rng rng(reader_seed);
+    bool once = false;
+    while (!once || !done.load(std::memory_order_acquire)) {
+      once = true;
+      // Point probes route to exactly one owning shard and must succeed
+      // whichever topology version they land on.  Epochs are NOT
+      // asserted monotone: a rebalance restarts the shard instances.
+      const Result<Value> at = service.AggregateAt(
+          relation.name(), aggregate, attribute, rng.Uniform(0, 2000));
+      if (!at.ok()) {
+        record(at.status());
+        return;
+      }
+      const Result<AggregateSeries> over = service.AggregateOver(
+          relation.name(), aggregate, attribute, Period::All(),
+          /*coalesce=*/true);
+      if (!over.ok()) {
+        record(over.status());
+        return;
+      }
+      const Status partition = ValidatePartition(over.value().intervals);
+      if (!partition.ok()) {
+        record(Status::Internal("sharded snapshot is not a partition: " +
+                                std::string(partition.message())));
+        return;
+      }
+    }
+  };
+  std::thread reader_a(reader, seed * 2 + 1);
+  std::thread reader_b(reader, seed * 2 + 2);
+  writer.join();
+  reader_a.join();
+  reader_b.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    TAGG_RETURN_IF_ERROR(first_error);
+  }
+
+  TAGG_RETURN_IF_ERROR(service.Flush());
+  AggregateOptions ref;
+  ref.aggregate = aggregate;
+  ref.attribute = attribute;
+  ref.algorithm = AlgorithmKind::kReference;
+  ref.coalesce_equal_values = true;
+  TAGG_ASSIGN_OR_RETURN(AggregateSeries expected,
+                        ComputeTemporalAggregate(relation, ref));
+  TAGG_ASSIGN_OR_RETURN(
+      AggregateSeries actual,
+      service.AggregateOver(relation.name(), aggregate, attribute,
+                            Period::All(), /*coalesce=*/true));
   std::vector<ResultInterval> conditioning;
   const std::vector<ResultInterval>* condition = nullptr;
   if (aggregate == AggregateKind::kSum || aggregate == AggregateKind::kAvg) {

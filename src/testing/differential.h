@@ -76,6 +76,23 @@ struct DifferentialOptions {
   /// threads while a writer inserts, asserting epoch monotonicity and
   /// partition validity of every snapshot, then diff the final series.
   bool concurrent_live_check = true;
+
+  /// Include the sharded live service (src/shard): the relation is loaded
+  /// through a ShardedLiveService under a grid of shard-count × worker ×
+  /// ingest-path × rebalance/split configurations, and every
+  /// scatter-gathered series is diffed against the reference.  Clipping
+  /// at the shard boundaries preserves each instant's covering multiset,
+  /// so COUNT/MIN/MAX must additionally be *tuple-identical* to the
+  /// unsharded COW live series; SUM/AVG keep the tolerance policy because
+  /// the per-shard summation tree differs from the unsharded one.
+  bool include_sharded = true;
+
+  /// Additionally drive one ShardedLiveService from concurrent reader
+  /// threads while a writer ingests and rebalances mid-stream, asserting
+  /// partition validity of every snapshot, then diff the final series.
+  /// Snapshot epochs are deliberately NOT asserted monotone here: a
+  /// rebalance publishes fresh shard instances whose epochs restart.
+  bool concurrent_sharded_check = true;
 };
 
 /// What one seed generated, for diagnostics.
@@ -138,6 +155,19 @@ Status CheckLiveIndexConcurrent(
     const Relation& relation, AggregateKind aggregate, size_t attribute,
     uint64_t seed, double relative_tolerance = 1e-9,
     LiveConcurrency concurrency = LiveConcurrency::kCowEpoch);
+
+/// Drives one ShardedLiveService with a writer thread ingesting
+/// `relation`'s tuples — triggering a data-quantile Reshard plus a
+/// SplitShard mid-stream — while reader threads scatter-gather full
+/// series and point probes across the topology cutover, asserting every
+/// snapshot partitions the time-line, then diffs the final series against
+/// the reference.  Used by RunDifferentialSeed and directly by the shard
+/// tests (the TSan job runs both).
+Status CheckShardedServiceConcurrent(const Relation& relation,
+                                     AggregateKind aggregate,
+                                     size_t attribute, uint64_t seed,
+                                     size_t shards,
+                                     double relative_tolerance = 1e-9);
 
 }  // namespace testing
 }  // namespace tagg

@@ -1,0 +1,48 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tagg {
+
+size_t ClampCount(const char* what, long long value, size_t fallback,
+                  size_t max_value) {
+  if (max_value == 0) max_value = 1;
+  if (fallback < 1) fallback = 1;
+  if (fallback > max_value) fallback = max_value;
+  if (value <= 0) {
+    TAGG_LOG(Warn) << what << "=" << value
+                   << " is not a positive count; using " << fallback;
+    return fallback;
+  }
+  const unsigned long long unsigned_value =
+      static_cast<unsigned long long>(value);
+  if (unsigned_value > static_cast<unsigned long long>(max_value)) {
+    TAGG_LOG(Warn) << what << "=" << value << " exceeds the maximum "
+                   << max_value << "; clamping";
+    return max_value;
+  }
+  return static_cast<size_t>(value);
+}
+
+size_t ResolveCountEnv(const char* name, size_t fallback, size_t max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return ClampCount(name, static_cast<long long>(fallback), fallback,
+                      max_value);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    TAGG_LOG(Warn) << name << "='" << raw
+                   << "' is not an integer; using " << fallback;
+    return ClampCount(name, static_cast<long long>(fallback), fallback,
+                      max_value);
+  }
+  return ClampCount(name, value, fallback, max_value);
+}
+
+}  // namespace tagg

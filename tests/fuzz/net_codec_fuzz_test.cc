@@ -14,6 +14,7 @@
 #include "live/service.h"
 #include "net/wire.h"
 #include "server/protocol.h"
+#include "shard/sharded_service.h"
 
 namespace tagg {
 namespace net {
@@ -184,6 +185,65 @@ TEST(NetCodecFuzzTest, TextCommandsNeverCrashTheHandler) {
     const std::string reply = server::HandleTextRequest(state, line, &quit);
     ASSERT_FALSE(reply.empty());
     ASSERT_EQ(reply.back(), '\n');
+  }
+}
+
+TEST(NetCodecFuzzTest, HostileIntegersAreRejectedNotTruncated) {
+  // Overflowed, negative, and trailing-garbage integers through every
+  // strtoll site of the text parser (timestamps, attribute indexes,
+  // values): each must come back "-ERR", never wrap around, and never be
+  // silently accepted via prefix parsing or size_t truncation.  Runs
+  // against both serving states so the sharded dispatch path parses
+  // identically.
+  Catalog catalog;
+  Result<Schema> schema = Schema::Make({{"value", ValueType::kDouble}});
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(
+      catalog.Register(std::make_shared<Relation>(*schema, "events")).ok());
+  LiveService live;
+  ASSERT_TRUE(
+      live.RegisterIndex(catalog, "events", AggregateKind::kCount).ok());
+  ASSERT_TRUE(
+      live.RegisterIndex(catalog, "events", AggregateKind::kSum, "value")
+          .ok());
+  shard::ShardedLiveService sharded;
+  ASSERT_TRUE(
+      sharded.RegisterIndex(catalog, "events", AggregateKind::kCount).ok());
+
+  const std::vector<std::string> hostile = {
+      // Timestamps beyond int64: ParseInt64 must see ERANGE.
+      "insert events 99999999999999999999999999 5 1.0",
+      "insert events 5 99999999999999999999999999 1.0",
+      "at events count * 99999999999999999999999999",
+      "over events count * 0 18446744073709551616",
+      // Attribute indexes that overflow long long, or that fit in an
+      // unsigned wraparound (2^64) — ParseAggAttr must reject both
+      // instead of truncating into a bogus small index.
+      "at events count 99999999999999999999999999 5",
+      "at events sum 18446744073709551616 5",
+      "at events sum -1 5",
+      "over events sum 99999999999999999999999999 0 10",
+      // kNoAttribute itself (2^64 - 1) is reserved, not addressable.
+      "at events sum 18446744073709551615 5",
+      // Trailing garbage after a valid prefix.
+      "at events count * 15zzz",
+      "insert events 10 20 1.0 trailing",
+      "set shards 99999999999999999999999999",
+      "set shards 2x",
+      "set shards -4",
+  };
+  const server::ServingState unsharded_state{&catalog, &live};
+  const server::ServingState sharded_state{&catalog, nullptr, &sharded};
+  for (const server::ServingState& state :
+       {unsharded_state, sharded_state}) {
+    for (const std::string& line : hostile) {
+      bool quit = false;
+      const std::string reply =
+          server::HandleTextRequest(state, line, &quit);
+      EXPECT_EQ(reply.rfind("-ERR", 0), 0u)
+          << "'" << line << "' got: " << reply;
+      EXPECT_FALSE(quit);
+    }
   }
 }
 

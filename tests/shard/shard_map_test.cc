@@ -1,0 +1,136 @@
+// ShardMap: construction validation, ownership totality, and the clipping
+// invariants that make range-sharded aggregation exact — SplitOver's
+// slices must cover the query period exactly, meeting at the boundaries
+// with no gap and no overlap.
+
+#include "shard/shard_map.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tagg {
+namespace shard {
+namespace {
+
+TEST(ShardMapTest, DefaultMapOwnsWholeTimeline) {
+  ShardMap map;
+  EXPECT_EQ(map.num_shards(), 1u);
+  EXPECT_EQ(map.OwnerOf(kOrigin), 0u);
+  EXPECT_EQ(map.OwnerOf(kForever), 0u);
+  EXPECT_EQ(map.RangeOf(0), Period(kOrigin, kForever));
+}
+
+TEST(ShardMapTest, FromStartsValidates) {
+  // Must begin at kOrigin.
+  EXPECT_FALSE(ShardMap::FromStarts({5, 10}).ok());
+  // Strictly increasing: duplicates and inversions are rejected.
+  EXPECT_FALSE(ShardMap::FromStarts({kOrigin, 10, 10}).ok());
+  EXPECT_FALSE(ShardMap::FromStarts({kOrigin, 20, 10}).ok());
+  // Empty start list has no shard to own anything.
+  EXPECT_FALSE(ShardMap::FromStarts({}).ok());
+
+  const Result<ShardMap> map = ShardMap::FromStarts({kOrigin, 10, 100});
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->num_shards(), 3u);
+  EXPECT_EQ(map->RangeOf(0), Period(kOrigin, 9));
+  EXPECT_EQ(map->RangeOf(1), Period(10, 99));
+  EXPECT_EQ(map->RangeOf(2), Period(100, kForever));
+}
+
+TEST(ShardMapTest, OwnershipIsTotalAndMatchesRanges) {
+  const Result<ShardMap> map = ShardMap::FromStarts({kOrigin, 10, 100});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->OwnerOf(kOrigin), 0u);
+  EXPECT_EQ(map->OwnerOf(9), 0u);
+  EXPECT_EQ(map->OwnerOf(10), 1u);   // boundary instant belongs right
+  EXPECT_EQ(map->OwnerOf(99), 1u);
+  EXPECT_EQ(map->OwnerOf(100), 2u);
+  EXPECT_EQ(map->OwnerOf(kForever), 2u);
+  for (size_t i = 0; i < map->num_shards(); ++i) {
+    const Period range = map->RangeOf(i);
+    EXPECT_EQ(map->OwnerOf(range.start()), i);
+    EXPECT_EQ(map->OwnerOf(range.end()), i);
+  }
+}
+
+TEST(ShardMapTest, MakeUniformCoversTimelineWithTails) {
+  const Result<ShardMap> map = ShardMap::MakeUniform(4, Period(100, 199));
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->num_shards(), 4u);
+  // Shard 0 owns the pre-hot tail, the last shard runs to forever.
+  EXPECT_EQ(map->RangeOf(0).start(), kOrigin);
+  EXPECT_EQ(map->RangeOf(3).end(), kForever);
+  // Consecutive ranges meet exactly.
+  for (size_t i = 0; i + 1 < map->num_shards(); ++i) {
+    EXPECT_EQ(map->RangeOf(i).end() + 1, map->RangeOf(i + 1).start());
+  }
+}
+
+TEST(ShardMapTest, MakeUniformDropsCollidingBoundaries) {
+  // A 3-chronon hot window cannot support 8 distinct boundaries; the map
+  // degrades to fewer shards instead of producing duplicate starts.
+  const Result<ShardMap> map = ShardMap::MakeUniform(8, Period(10, 12));
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_LT(map->num_shards(), 8u);
+  EXPECT_GE(map->num_shards(), 1u);
+  const std::vector<Instant>& starts = map->starts();
+  for (size_t i = 0; i + 1 < starts.size(); ++i) {
+    EXPECT_LT(starts[i], starts[i + 1]);
+  }
+}
+
+TEST(ShardMapTest, SplitOverClipsExactly) {
+  const Result<ShardMap> map = ShardMap::FromStarts({kOrigin, 10, 100});
+  ASSERT_TRUE(map.ok());
+
+  // Fully inside one shard: one slice, the period itself.
+  std::vector<ShardSlice> slices = map->SplitOver(Period(20, 30));
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].shard, 1u);
+  EXPECT_EQ(slices[0].range, Period(20, 30));
+
+  // Straddling two boundaries: three slices meeting exactly.
+  slices = map->SplitOver(Period(5, 150));
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].shard, 0u);
+  EXPECT_EQ(slices[0].range, Period(5, 9));
+  EXPECT_EQ(slices[1].shard, 1u);
+  EXPECT_EQ(slices[1].range, Period(10, 99));
+  EXPECT_EQ(slices[2].shard, 2u);
+  EXPECT_EQ(slices[2].range, Period(100, 150));
+
+  // The whole time-line covers every shard.
+  slices = map->SplitOver(Period::All());
+  ASSERT_EQ(slices.size(), 3u);
+  for (size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].shard, i);
+    EXPECT_EQ(slices[i].range, map->RangeOf(i));
+  }
+
+  // A 1-chronon period at a boundary lands entirely on the right shard.
+  slices = map->SplitOver(Period(10, 10));
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].shard, 1u);
+}
+
+TEST(ShardMapTest, ToStringNamesTheRanges) {
+  const Result<ShardMap> map = ShardMap::FromStarts({kOrigin, 10});
+  ASSERT_TRUE(map.ok());
+  const std::string text = map->ToString();
+  EXPECT_NE(text.find("2 shards"), std::string::npos) << text;
+  EXPECT_NE(text.find("[0, 9]"), std::string::npos) << text;
+}
+
+TEST(ShardMapTest, EqualityFollowsStarts) {
+  const Result<ShardMap> a = ShardMap::FromStarts({kOrigin, 10});
+  const Result<ShardMap> b = ShardMap::FromStarts({kOrigin, 10});
+  const Result<ShardMap> c = ShardMap::FromStarts({kOrigin, 11});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace tagg

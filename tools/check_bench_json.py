@@ -68,6 +68,22 @@ PARTITIONED_METRIC_HISTOGRAMS = (
     "tagg_partitioned_spill_compression_ratio",
 )
 
+# The shard-scaling bench must keep its shard sweep: the scatter family
+# must cover several shard counts (each entry carrying a 'shards' counter
+# matching its arg), and the metrics snapshot must include the router's
+# scatter/rebalance instruments so a refactor cannot silently unhook the
+# sharded service from the registry.
+SHARD_ARG = re.compile(r"/shards:(\d+)")
+SHARD_METRIC_COUNTERS = (
+    "tagg_shard_ingest_routed_total",
+    "tagg_shard_straddle_splits_total",
+    "tagg_shard_scatter_total",
+    "tagg_shard_scatter_subqueries_total",
+    "tagg_shard_rebalance_total",
+    "tagg_shard_rebalance_tuples_total",
+)
+SHARD_METRIC_GAUGES = ("tagg_shard_count", "tagg_shard_topology_version")
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -204,6 +220,39 @@ def check_partitioned_kernels(path: pathlib.Path, benchmarks: list,
             fail(f"{path}: metrics snapshot missing histogram '{hist}'")
 
 
+def check_shard_scaling(path: pathlib.Path, benchmarks: list,
+                        metrics: dict) -> None:
+    """bench_shard_scaling only: the full-line scatter family must sweep
+    several shard counts (each entry's 'shards' counter agreeing with its
+    arg), and the metrics snapshot must carry the shard router's
+    instruments."""
+    scatter_counts = set()
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        match = SHARD_ARG.search(bench["name"])
+        if not match:
+            continue
+        shards = int(match.group(1))
+        if bench.get("shards") != shards:
+            fail(f"{path}: '{bench['name']}' reports shards="
+                 f"{bench.get('shards')}, expected {shards}")
+        if "tuples" not in bench:
+            fail(f"{path}: '{bench['name']}' is missing its 'tuples' "
+                 "counter")
+        if "ScatterOverAll" in bench["name"]:
+            scatter_counts.add(shards)
+    if len(scatter_counts) < 2:
+        fail(f"{path}: scatter family covers shard counts "
+             f"{sorted(scatter_counts)} — a scaling sweep needs several")
+    for counter in SHARD_METRIC_COUNTERS:
+        if counter not in metrics["counters"]:
+            fail(f"{path}: metrics snapshot missing counter '{counter}'")
+    for gauge in SHARD_METRIC_GAUGES:
+        if gauge not in metrics["gauges"]:
+            fail(f"{path}: metrics snapshot missing gauge '{gauge}'")
+
+
 def check_timings(path: pathlib.Path) -> int:
     with path.open() as f:
         doc = json.load(f)
@@ -271,6 +320,7 @@ def main() -> None:
             "bench_live_index": check_live_reclaim,
             "bench_net_serving": check_net_serving,
             "bench_ablation_partitioned": check_partitioned_kernels,
+            "bench_shard_scaling": check_shard_scaling,
         }
         if timing.stem in special:
             with timing.open() as f:
