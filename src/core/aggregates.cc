@@ -46,6 +46,8 @@ std::string_view AlgorithmKindToString(AlgorithmKind kind) {
       return "live-index";
     case AlgorithmKind::kPartitioned:
       return "partitioned";
+    case AlgorithmKind::kColumnScan:
+      return "column-scan";
   }
   return "?";
 }
@@ -141,6 +143,11 @@ Result<std::unique_ptr<TemporalAggregator>> MakeForOp(
           "partitioned evaluation is whole-relation, not incremental; "
           "call ComputePartitionedAggregate (core/partitioned_agg.h) or "
           "set parallel workers on the executor");
+    case AlgorithmKind::kColumnScan:
+      return Status::InvalidArgument(
+          "the pruned column scan is whole-relation, not incremental; "
+          "call ComputeColumnScanAggregate (core/column_scan.h) or attach "
+          "a columnar backing to the relation in the catalog");
   }
   return Status::InvalidArgument("unknown algorithm kind");
 }

@@ -175,6 +175,12 @@ enum class AlgorithmKind : uint8_t {
   /// evaluation, not an incremental one; the executor reports this kind
   /// when it routed the query through ComputePartitionedAggregate.
   kPartitioned,
+  /// Pruned scan over a columnar stored relation (core/column_scan):
+  /// zone-map block skipping plus footer-summary composition.  Like
+  /// kPartitioned it is a whole-relation evaluation and not constructible
+  /// through MakeAggregator; the executor reports this kind when it
+  /// served the query from the relation's columnar backing.
+  kColumnScan,
 };
 
 std::string_view AggregateKindToString(AggregateKind kind);

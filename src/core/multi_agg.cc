@@ -214,6 +214,11 @@ Result<MultiSeries> ComputeMultiAggregate(
           "partitioned evaluation does not fuse multiple aggregates; the "
           "executor routes single-aggregate queries to "
           "ComputePartitionedAggregate before reaching this path");
+    case AlgorithmKind::kColumnScan:
+      return Status::InvalidArgument(
+          "the pruned column scan does not fuse multiple aggregates; the "
+          "executor routes single-aggregate queries to "
+          "ComputeColumnScanAggregate before reaching this path");
   }
   return Status::InvalidArgument("unknown algorithm kind");
 }

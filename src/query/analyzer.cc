@@ -69,6 +69,7 @@ Result<BoundQuery> Analyze(const SelectStmt& stmt, const Catalog& catalog) {
   query.analyze = stmt.analyze;
   TAGG_ASSIGN_OR_RETURN(query.relation, catalog.Get(stmt.relation));
   TAGG_ASSIGN_OR_RETURN(query.stats, catalog.GetStats(stmt.relation));
+  query.column_backing = catalog.GetColumnBacking(stmt.relation);
   const Schema& schema = query.relation->schema();
 
   if (stmt.items.empty()) {

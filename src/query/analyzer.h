@@ -51,6 +51,10 @@ struct BoundQuery {
   bool analyze = false;
   std::shared_ptr<Relation> relation;
   RelationStats stats;
+  /// The relation's columnar on-disk backing, when one is attached in the
+  /// catalog (nullptr otherwise).  The executor may serve eligible batch
+  /// aggregates from it via the pruned column scan.
+  std::shared_ptr<const ColumnBacking> column_backing;
   std::vector<BoundAggregate> aggregates;
   std::vector<size_t> group_attributes;
   std::vector<BoundOutputColumn> columns;

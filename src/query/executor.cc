@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <map>
 
+#include "core/column_scan.h"
 #include "core/multi_agg.h"
 #include "core/partitioned_agg.h"
 #include "core/span_agg.h"
+#include "storage/column_relation.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "util/env.h"
@@ -109,6 +111,13 @@ obs::Counter& ShardRoutedTotal() {
   static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
       "tagg_query_shard_routed_total",
       "queries answered scatter-gather by the sharded live index");
+  return c;
+}
+
+obs::Counter& ColumnScanRoutedTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tagg_query_column_scan_routed_total",
+      "queries served by the pruned scan over a columnar backing");
   return c;
 }
 
@@ -267,6 +276,86 @@ Result<QueryResult> ExecuteSelect(const BoundQuery& query,
       }
       return routed;
     }
+  }
+
+  // 0b. Columnar pruned-scan routing: when the catalog attached a columnar
+  // backing file that is exactly as fresh as the relation, the same class
+  // of query the live tiers serve (single aggregate, instant grouping, no
+  // WHERE or GROUP BY) is answered by the pruned scan (core/column_scan)
+  // over the stored blocks — zone-map skipping, footer-summary
+  // composition, and decode only where needed — instead of re-aggregating
+  // the in-memory tuples.
+  if (query.column_backing != nullptr && query.where == nullptr &&
+      query.group_attributes.empty() && query.aggregates.size() == 1 &&
+      query.temporal.kind == TemporalGrouping::Kind::kInstant &&
+      (!options.force_algorithm.has_value() ||
+       *options.force_algorithm == AlgorithmKind::kColumnScan)) {
+    const BoundAggregate& agg = query.aggregates[0];
+    // Column files store a single value column; COUNT(*) is also fine
+    // because stored files cannot contain NULLs.
+    const bool attribute_ok =
+        agg.attribute == kColumnValueAttribute ||
+        (agg.kind == AggregateKind::kCount &&
+         agg.attribute == AggregateOptions::kNoAttribute);
+    auto backing = std::dynamic_pointer_cast<const ColumnRelation>(
+        query.column_backing);
+    if (attribute_ok && backing != nullptr &&
+        backing->row_count() == relation.size()) {
+      QueryResult routed;
+      routed.analyzed = query.analyze;
+      for (const BoundOutputColumn& col : query.columns) {
+        routed.column_names.push_back(col.name);
+      }
+      routed.plan.algorithm = AlgorithmKind::kColumnScan;
+      routed.plan.rationale =
+          "pruned scan over the columnar backing '" + backing->path() +
+          "' (" + std::to_string(backing->blocks().size()) +
+          " block(s); zone-map skipping + footer summaries)";
+      if (query.explain && !query.analyze) return routed;
+      ColumnScanRoutedTotal().Increment();
+      obs::Span scan_span(profile, "column_scan");
+      ColumnScanOptions copts;
+      copts.aggregate = agg.kind;
+      copts.attribute = agg.attribute;
+      copts.window = Period::All();
+      copts.parallel_workers = ResolveWorkers(options.parallel_workers);
+      ColumnScanStats scan_stats;
+      TAGG_ASSIGN_OR_RETURN(
+          AggregateSeries series,
+          ComputeColumnScanAggregate(*backing, copts, &scan_stats));
+      scan_span.Annotate("blocks_total", scan_stats.blocks_total);
+      scan_span.Annotate("blocks_skipped", scan_stats.blocks_skipped);
+      scan_span.Annotate("blocks_summarized", scan_stats.blocks_summarized);
+      scan_span.Annotate("blocks_decoded", scan_stats.blocks_decoded);
+      scan_span.Annotate("rows_decoded", scan_stats.rows_decoded);
+      scan_span.Annotate("intervals", series.intervals.size());
+      scan_span.End();
+      const Value empty = EmptyValueOf(agg.kind);
+      routed.rows.reserve(series.intervals.size());
+      for (ResultInterval& ri : series.intervals) {
+        if (options.drop_empty && ri.value == empty) continue;
+        if (options.coalesce && !routed.rows.empty() &&
+            routed.rows.back().values[0] == ri.value &&
+            routed.rows.back().valid.MeetsBefore(ri.period)) {
+          routed.rows.back().valid = Period(
+              routed.rows.back().valid.start(), ri.period.end());
+          continue;
+        }
+        routed.rows.push_back({{std::move(ri.value)}, ri.period});
+      }
+      return routed;
+    }
+    if (options.force_algorithm == AlgorithmKind::kColumnScan) {
+      return Status::InvalidArgument(
+          "column scan was forced but the relation's columnar backing is "
+          "missing, stale, or the aggregate does not target the stored "
+          "value column");
+    }
+  } else if (options.force_algorithm == AlgorithmKind::kColumnScan) {
+    return Status::InvalidArgument(
+        "column scan requires an attached columnar backing and a "
+        "single-aggregate instant-grouped query without WHERE or GROUP "
+        "BY");
   }
 
   // 1. Filter.

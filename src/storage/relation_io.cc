@@ -46,4 +46,47 @@ Result<Relation> LoadRelationFromHeapFile(HeapFile& file,
   return relation;
 }
 
+Result<std::shared_ptr<const ColumnRelation>> WriteRelationToColumnFile(
+    const Relation& relation, const std::string& path,
+    uint32_t rows_per_block) {
+  // The file format requires total time order; sort a copy so callers can
+  // hand over relations in any order (the converter's common case).
+  Relation sorted = relation;
+  sorted.SortByTime();
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<ColumnRelationWriter> writer,
+                        ColumnRelationWriter::Create(path, rows_per_block));
+  ColumnRecord record;
+  for (const Tuple& t : sorted) {
+    TAGG_RETURN_IF_ERROR(PackColumnRecord(t, &record));
+    TAGG_RETURN_IF_ERROR(writer->Append(record));
+  }
+  TAGG_RETURN_IF_ERROR(writer->Finish());
+  return ColumnRelation::Open(path);
+}
+
+Result<Relation> LoadRelationFromColumnFile(const ColumnRelation& file,
+                                            std::string relation_name) {
+  Relation relation(RecordSchema(), std::move(relation_name));
+  relation.Reserve(file.row_count());
+  TAGG_ASSIGN_OR_RETURN(std::unique_ptr<ColumnRelationReader> reader,
+                        file.NewReader());
+  std::vector<ColumnRecord> rows;
+  for (size_t b = 0; b < file.blocks().size(); ++b) {
+    rows.clear();
+    TAGG_RETURN_IF_ERROR(reader->ReadBlock(b, &rows));
+    for (const ColumnRecord& r : rows) {
+      TAGG_ASSIGN_OR_RETURN(Tuple t, UnpackColumnRecord(r));
+      relation.AppendUnchecked(std::move(t));
+    }
+  }
+  return relation;
+}
+
+Result<std::shared_ptr<const ColumnRelation>> ConvertHeapFileToColumnFile(
+    HeapFile& heap, const std::string& path, uint32_t rows_per_block) {
+  TAGG_ASSIGN_OR_RETURN(Relation relation,
+                        LoadRelationFromHeapFile(heap, "converted"));
+  return WriteRelationToColumnFile(relation, path, rows_per_block);
+}
+
 }  // namespace tagg

@@ -1,16 +1,19 @@
-// Bridging in-memory relations and heap files.
+// Bridging in-memory relations, heap files, and columnar relation files.
 //
 // Employed-schema relations (the paper's test relation: name, salary,
 // valid time) can be spilled to a heap file in the 128-byte record layout
 // and loaded back, so workloads survive across runs and the disk-backed
 // execution path (TableScan -> TemporalAggregator) can start from data
-// generated in memory.
+// generated in memory.  The same relations can be stored columnar
+// (storage/column_relation): time-sorted compressed blocks with zone maps
+// and per-block summaries, the format behind the pruned scan path.
 
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "storage/column_relation.h"
 #include "storage/heap_file.h"
 #include "temporal/relation.h"
 #include "util/result.h"
@@ -25,5 +28,24 @@ Result<std::unique_ptr<HeapFile>> WriteRelationToHeapFile(
 /// Employed-layout records) into memory.
 Result<Relation> LoadRelationFromHeapFile(HeapFile& file,
                                           std::string relation_name);
+
+/// Writes an Employed-schema relation into a new column relation file at
+/// `path` (a time-sorted copy is stored; the input relation's order is
+/// irrelevant) and reopens it through the validated footer path.
+Result<std::shared_ptr<const ColumnRelation>> WriteRelationToColumnFile(
+    const Relation& relation, const std::string& path,
+    uint32_t rows_per_block = kDefaultColumnRowsPerBlock);
+
+/// Loads a column relation file back into memory, in the file's
+/// time-sorted row order.
+Result<Relation> LoadRelationFromColumnFile(const ColumnRelation& relation,
+                                            std::string relation_name);
+
+/// Converts an existing heap file into a column relation file at `path`:
+/// the heap -> columnar half of tools/tagg_convert.  Also usable for CSV
+/// import: LoadCsvRelation -> WriteRelationToColumnFile.
+Result<std::shared_ptr<const ColumnRelation>> ConvertHeapFileToColumnFile(
+    HeapFile& heap, const std::string& path,
+    uint32_t rows_per_block = kDefaultColumnRowsPerBlock);
 
 }  // namespace tagg

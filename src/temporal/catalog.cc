@@ -46,6 +46,23 @@ Status Catalog::SetStats(std::string_view name, RelationStats stats) {
   return Status::OK();
 }
 
+Status Catalog::AttachColumnBacking(
+    std::string_view name, std::shared_ptr<const ColumnBacking> backing) {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  it->second.column_backing = std::move(backing);
+  return Status::OK();
+}
+
+std::shared_ptr<const ColumnBacking> Catalog::GetColumnBacking(
+    std::string_view name) const {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) return nullptr;
+  return it->second.column_backing;
+}
+
 Status Catalog::Drop(std::string_view name) {
   auto it = entries_.find(ToLower(name));
   if (it == entries_.end()) {

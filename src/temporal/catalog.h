@@ -23,6 +23,23 @@ struct RelationStats {
   int64_t declared_k = -1;
 };
 
+/// A columnar on-disk backing of a registered relation (the stored-relation
+/// format of storage/column_relation).  The catalog sits below storage, so
+/// it holds the backing through this minimal interface; the query layer
+/// downcasts to the concrete ColumnRelation when planning a pruned scan.
+class ColumnBacking {
+ public:
+  virtual ~ColumnBacking() = default;
+
+  /// Rows stored in the backing file.  The executor only routes to the
+  /// backing while this matches the in-memory relation's size (the same
+  /// freshness discipline as the live-index epoch check).
+  virtual uint64_t row_count() const = 0;
+
+  /// Path of the backing file, for diagnostics and EXPLAIN output.
+  virtual const std::string& path() const = 0;
+};
+
 /// Owns named relations and their declared statistics.
 class Catalog {
  public:
@@ -39,6 +56,17 @@ class Catalog {
   /// Replaces the stats for an existing relation.
   Status SetStats(std::string_view name, RelationStats stats);
 
+  /// Attaches (or, with nullptr, detaches) a columnar backing to an
+  /// existing relation.  The backing file is always time-sorted, but the
+  /// in-memory relation need not be — the stats are left untouched.
+  Status AttachColumnBacking(std::string_view name,
+                             std::shared_ptr<const ColumnBacking> backing);
+
+  /// The columnar backing of a relation; nullptr when the relation is
+  /// unknown or has no backing attached.
+  std::shared_ptr<const ColumnBacking> GetColumnBacking(
+      std::string_view name) const;
+
   /// Removes a relation; fails when absent.
   Status Drop(std::string_view name);
 
@@ -49,6 +77,7 @@ class Catalog {
   struct Entry {
     std::shared_ptr<Relation> relation;
     RelationStats stats;
+    std::shared_ptr<const ColumnBacking> column_backing;
   };
   // Keyed by lowercased name.
   std::map<std::string, Entry> entries_;

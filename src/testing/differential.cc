@@ -1,20 +1,28 @@
 #include "testing/differential.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <iterator>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/aggregates.h"
+#include "core/column_scan.h"
 #include "core/partitioned_agg.h"
 #include "core/workload.h"
 #include "live/live_index.h"
 #include "shard/sharded_service.h"
+#include "storage/column_relation.h"
+#include "storage/relation_io.h"
 #include "temporal/catalog.h"
 #include "util/random.h"
 
@@ -182,6 +190,33 @@ Result<std::vector<ResultInterval>> PartitionedSeries(
                         ComputePartitionedAggregate(relation, options));
   return std::move(series.intervals);
 }
+
+/// One pruned-scan configuration over the seed's column file, coalesced
+/// so the cut set matches the reference's maximal equal-value runs.
+Result<std::vector<ResultInterval>> ColumnScanSeries(
+    const ColumnRelation& column, AggregateKind aggregate, size_t attribute,
+    bool prune, bool use_summaries, size_t workers) {
+  ColumnScanOptions options;
+  options.aggregate = aggregate;
+  options.attribute = attribute;
+  options.prune = prune;
+  options.use_summaries = use_summaries;
+  options.parallel_workers = workers;
+  TAGG_ASSIGN_OR_RETURN(AggregateSeries series,
+                        ComputeColumnScanAggregate(column, options));
+  return CoalesceEqualValues(std::move(series.intervals));
+}
+
+/// Removes the seed's temporary column file on every exit path (including
+/// a Divergence return mid-grid).
+struct ColumnFileRemover {
+  std::string path;
+  ~ColumnFileRemover() {
+    if (path.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
 
 Result<std::vector<ResultInterval>> LiveSeries(const Relation& relation,
                                                AggregateKind aggregate,
@@ -526,6 +561,64 @@ Status CompareSeries(const std::vector<ResultInterval>& expected,
   return Status::OK();
 }
 
+/// CompareSeries restricted to a window: both series must partition
+/// `window` (a windowed scan never covers [kOrigin, kForever], so
+/// ValidatePartition's full-timeline contract does not apply), then the
+/// same merged-boundary step-function walk decides value equality.
+Status CompareWindowedSeries(const std::vector<ResultInterval>& expected,
+                             const std::vector<ResultInterval>& actual,
+                             AggregateKind kind, double relative_tolerance,
+                             const std::vector<ResultInterval>* conditioning,
+                             Period window) {
+  const auto validate = [&window](const std::vector<ResultInterval>& series,
+                                  const char* label) -> Status {
+    if (series.empty()) {
+      return Status::Internal(std::string(label) + " series is empty");
+    }
+    if (series.front().period.start() != window.start() ||
+        series.back().period.end() != window.end()) {
+      return Status::Internal(
+          std::string(label) + " series spans [" +
+          InstantToString(series.front().period.start()) + ", " +
+          InstantToString(series.back().period.end()) +
+          "] instead of the window [" + InstantToString(window.start()) +
+          ", " + InstantToString(window.end()) + "]");
+    }
+    for (size_t i = 1; i < series.size(); ++i) {
+      if (series[i].period.start() != series[i - 1].period.end() + 1) {
+        return Status::Internal(std::string(label) +
+                                " series has a gap or overlap after " +
+                                InstantToString(series[i - 1].period.end()));
+      }
+    }
+    return Status::OK();
+  };
+  TAGG_RETURN_IF_ERROR(validate(expected, "expected"));
+  TAGG_RETURN_IF_ERROR(validate(actual, "actual"));
+  ConditioningCursor condition(conditioning);
+  size_t ie = 0;
+  size_t ia = 0;
+  while (ie < expected.size() && ia < actual.size()) {
+    const ResultInterval& re = expected[ie];
+    const ResultInterval& ra = actual[ia];
+    const Instant seg_lo = std::max(re.period.start(), ra.period.start());
+    const Instant seg_hi = std::min(re.period.end(), ra.period.end());
+    const Status match = ValuesMatch(re.value, ra.value, kind,
+                                     relative_tolerance,
+                                     condition.MaxOver(seg_lo, seg_hi));
+    if (!match.ok()) {
+      return Status::Internal("over [" + InstantToString(seg_lo) + ", " +
+                              InstantToString(seg_hi) + "]: " +
+                              std::string(match.message()));
+    }
+    const Instant ee = re.period.end();
+    const Instant ea = ra.period.end();
+    if (ee <= ea) ++ie;
+    if (ea <= ee) ++ia;
+  }
+  return Status::OK();
+}
+
 Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
                            size_t* comparisons) {
   WorkloadInfo info;
@@ -539,6 +632,27 @@ Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
   if (!conditioning.ok()) {
     return Divergence(seed, info, AggregateKind::kSum, "conditioning",
                       conditioning.status().message());
+  }
+
+  // One column file per seed serves every aggregate's pruned-scan grid;
+  // tiny blocks so even the small generated relations span many blocks
+  // and the skip/summarize/decode classification sees all three classes.
+  std::shared_ptr<const ColumnRelation> column;
+  ColumnFileRemover column_file;
+  if (options.include_column_scan) {
+    column_file.path =
+        (std::filesystem::temp_directory_path() /
+         ("tagg_diff_column_" + std::to_string(::getpid()) + "_" +
+          std::to_string(seed) + ".tcr"))
+            .string();
+    Result<std::shared_ptr<const ColumnRelation>> written =
+        WriteRelationToColumnFile(relation, column_file.path,
+                                  /*rows_per_block=*/32);
+    if (!written.ok()) {
+      return Divergence(seed, info, AggregateKind::kCount,
+                        "column-scan/write", written.status().message());
+    }
+    column = std::move(written.value());
   }
 
   for (const AggregateKind aggregate : kAllAggregates) {
@@ -656,6 +770,102 @@ Status RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
         popts.spill_sort_budget_records = 32;
         TAGG_RETURN_IF_ERROR(
             check(cfg.name, PartitionedSeries(relation, popts)));
+      }
+    }
+
+    if (options.include_column_scan) {
+      struct ScanConfig {
+        const char* name;
+        bool prune;
+        bool use_summaries;
+        size_t workers;
+      };
+      const ScanConfig grid[] = {
+          {"column-scan/unpruned-w1", false, false, 1},
+          {"column-scan/pruned-w1", true, true, 1},
+          {"column-scan/pruned-nosummary-w3", true, false, 3},
+          {"column-scan/pruned-w3", true, true, 3},
+      };
+      for (const ScanConfig& cfg : grid) {
+        Result<std::vector<ResultInterval>> scan =
+            ColumnScanSeries(*column, aggregate, attribute, cfg.prune,
+                             cfg.use_summaries, cfg.workers);
+        TAGG_RETURN_IF_ERROR(check(cfg.name, scan));
+        // Footer summaries and decoded events contribute exact values
+        // for the order-insensitive aggregates, so after coalescing the
+        // scan's cut set collapses to the reference's maximal
+        // equal-value runs and the series must match bit for bit.
+        if (aggregate == AggregateKind::kCount ||
+            aggregate == AggregateKind::kMin ||
+            aggregate == AggregateKind::kMax) {
+          const Status identical =
+              SeriesTupleIdentical(oracle.value(), scan.value());
+          if (!identical.ok()) {
+            return Divergence(seed, info, aggregate,
+                              std::string(cfg.name) + "/reference-equality",
+                              identical.message());
+          }
+          if (comparisons != nullptr) ++*comparisons;
+        }
+      }
+
+      // Windowed scans: a window at the oracle's inner quartiles (nudged
+      // off the boundary so clipping fires at both edges) makes the zone
+      // map actually skip leading/trailing blocks and the summary fast
+      // path absorb covering ones; the expectation is the reference
+      // series restricted to the window and re-coalesced.
+      const std::vector<ResultInterval>& full = oracle.value();
+      if (full.size() >= 4) {
+        const Instant wlo_raw = full[full.size() / 4].period.start();
+        const Period& high = full[(3 * full.size()) / 4].period;
+        const Instant whi =
+            high.end() == kForever ? high.start() : high.end();
+        if (wlo_raw + 1 <= whi) {
+          const Instant wlo = wlo_raw + 1;
+          std::vector<ResultInterval> expected;
+          for (const ResultInterval& ri : full) {
+            const Instant s = std::max(ri.period.start(), wlo);
+            const Instant e = std::min(ri.period.end(), whi);
+            if (s > e) continue;
+            expected.push_back(ResultInterval{Period(s, e), ri.value});
+          }
+          expected = CoalesceEqualValues(std::move(expected));
+          for (const size_t workers : {size_t{1}, size_t{3}}) {
+            const std::string name =
+                "column-scan/windowed-w" + std::to_string(workers);
+            ColumnScanOptions sopts;
+            sopts.aggregate = aggregate;
+            sopts.attribute = attribute;
+            sopts.window = Period(wlo, whi);
+            sopts.parallel_workers = workers;
+            Result<AggregateSeries> series =
+                ComputeColumnScanAggregate(*column, sopts);
+            if (!series.ok()) {
+              return Divergence(seed, info, aggregate, name,
+                                series.status().message());
+            }
+            const std::vector<ResultInterval> scan =
+                CoalesceEqualValues(std::move(series.value().intervals));
+            const Status diff = CompareWindowedSeries(
+                expected, scan, aggregate, options.relative_tolerance,
+                condition, Period(wlo, whi));
+            if (!diff.ok()) {
+              return Divergence(seed, info, aggregate, name,
+                                diff.message());
+            }
+            if (aggregate == AggregateKind::kCount ||
+                aggregate == AggregateKind::kMin ||
+                aggregate == AggregateKind::kMax) {
+              const Status identical = SeriesTupleIdentical(expected, scan);
+              if (!identical.ok()) {
+                return Divergence(seed, info, aggregate,
+                                  name + "/restricted-equality",
+                                  identical.message());
+              }
+            }
+            if (comparisons != nullptr) ++*comparisons;
+          }
+        }
       }
     }
 

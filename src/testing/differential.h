@@ -64,6 +64,17 @@ struct DifferentialOptions {
   /// Include the partitioned evaluation (workers × spill × kernel grid).
   bool include_partitioned = true;
 
+  /// Include the pruned columnar stored-relation scan (core/column_scan):
+  /// each seed's relation is written to a temporary TCR1 column file and
+  /// scanned under a grid of pruning on/off × summary fast path × worker
+  /// configurations.  Every series is coalesced and diffed against the
+  /// reference; COUNT/MIN/MAX must additionally be *tuple-identical* to
+  /// the (coalesced) reference, because block summaries and decoded
+  /// events contribute exact values for those aggregates.  SUM/AVG keep
+  /// the tolerance policy — the summary fast path adds block sums in a
+  /// different order than the reference tree.
+  bool include_column_scan = true;
+
   /// Include the live index (sequential insert + AggregateOver).  Both
   /// concurrency engines run — each is diffed against the reference, and
   /// the COW engine's series must additionally be *tuple-identical* (no

@@ -24,6 +24,12 @@
 //                            PodRunSorter::FlushRun
 //   temporal_column.encode   EncodeTemporalBlock (compressed spill write)
 //   temporal_column.decode   DecodeTemporalBlock (compressed spill replay)
+//   column_relation.create   ColumnRelationWriter::Create / Open's fopen
+//   column_relation.append   ColumnRelationWriter::FlushBlock
+//   column_relation.footer   footer/trailer write in Finish, footer read
+//                            in ColumnRelation::Open
+//   column_relation.read     ColumnRelationReader::ReadBlock /
+//                            ColumnRelation::NewReader
 //
 // Arming is process-global and not meant for concurrent arm/disarm; the
 // instrumented seams themselves may be hit from any thread (the armed

@@ -11,6 +11,7 @@
 
 #include "testing/fault_injector.h"
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/column_scan.h"
 #include "core/node_arena.h"
 #include "core/partitioned_agg.h"
 #include "core/workload.h"
@@ -340,6 +342,89 @@ TEST(BufferPoolFaultSweep, ScanPropagatesFetchFaults) {
 
   file.value().reset();
   fs::remove_all(dir);
+}
+
+// --- columnar stored relation: write, open, pruned scan ---------------------
+
+/// Open descriptors of this process; every column-relation error path must
+/// close its writer/reader handle (checked per armed N).
+size_t CountOpenFds() {
+  size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+class ColumnRelationFaultSweep : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tagg_fault_column_sweep_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "relation.tcr").string();
+    fd_baseline_ = CountOpenFds();
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// The whole columnar pipeline: convert the relation to a column file,
+  /// reopen it through the validated path, and run a windowed pruned scan
+  /// with parallel decode workers (each opens its own reader handle).
+  std::function<Status()> Scenario(AggregateKind aggregate,
+                                   size_t attribute) {
+    return [this, aggregate, attribute]() -> Status {
+      const Status status = [&]() -> Status {
+        TAGG_ASSIGN_OR_RETURN(
+            std::shared_ptr<const ColumnRelation> column,
+            WriteRelationToColumnFile(relation_, path_,
+                                      /*rows_per_block=*/32));
+        ColumnScanOptions options;
+        options.aggregate = aggregate;
+        options.attribute = attribute;
+        options.window = Period(500, 3000);
+        options.parallel_workers = 3;
+        return ComputeColumnScanAggregate(*column, options).status();
+      }();
+      std::error_code ec;
+      fs::remove(path_, ec);
+      return status;
+    };
+  }
+
+  void ExpectFdBaseline(bool /*failed*/) {
+    EXPECT_EQ(CountOpenFds(), fd_baseline_)
+        << "a column-relation error path leaked a file handle";
+  }
+
+  Relation relation_ = SweepRelation();
+  fs::path dir_;
+  std::string path_;
+  size_t fd_baseline_ = 0;
+};
+
+TEST_F(ColumnRelationFaultSweep, SurvivesCreateFaults) {
+  SweepSite("column_relation.create",
+            Scenario(AggregateKind::kCount, AggregateOptions::kNoAttribute),
+            [this](bool failed) { ExpectFdBaseline(failed); });
+}
+
+TEST_F(ColumnRelationFaultSweep, SurvivesAppendFaults) {
+  SweepSite("column_relation.append", Scenario(AggregateKind::kSum, 1),
+            [this](bool failed) { ExpectFdBaseline(failed); });
+}
+
+TEST_F(ColumnRelationFaultSweep, SurvivesFooterFaults) {
+  SweepSite("column_relation.footer", Scenario(AggregateKind::kAvg, 1),
+            [this](bool failed) { ExpectFdBaseline(failed); });
+}
+
+TEST_F(ColumnRelationFaultSweep, SurvivesReadFaults) {
+  SweepSite("column_relation.read", Scenario(AggregateKind::kMax, 1),
+            [this](bool failed) { ExpectFdBaseline(failed); });
 }
 
 }  // namespace

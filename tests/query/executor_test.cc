@@ -1,11 +1,15 @@
 #include "query/executor.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "core/workload.h"
 #include "live/service.h"
+#include "storage/column_relation.h"
+#include "storage/relation_io.h"
 
 namespace tagg {
 namespace {
@@ -528,6 +532,135 @@ TEST_F(ExecutorTest, PlanSpanAnnotatesWorkers) {
   EXPECT_NE(result->profile->Find("route"), nullptr);
   EXPECT_NE(result->profile->Find("build"), nullptr);
   EXPECT_NE(result->profile->Find("stitch"), nullptr);
+}
+
+// The columnar routing tier (0b): the catalog carries a columnar backing
+// file for `employed`, and eligible queries are served by the pruned scan
+// instead of re-aggregating the in-memory tuples.
+class ColumnarRoutingTest : public ExecutorTest {
+ protected:
+  void SetUp() override {
+    ExecutorTest::SetUp();
+    path_ = testing::TempDir() + "tagg_executor_column_" +
+            std::to_string(::getpid()) + ".tcr";
+    auto relation = catalog_.Get("employed");
+    ASSERT_TRUE(relation.ok());
+    auto column =
+        WriteRelationToColumnFile(**relation, path_, /*rows_per_block=*/4);
+    ASSERT_TRUE(column.ok()) << column.status().ToString();
+    ASSERT_TRUE(catalog_.AttachColumnBacking("employed", *column).ok());
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  std::string path_;
+};
+
+TEST_F(ColumnarRoutingTest, ServesEligibleAggregatesFromBacking) {
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM employed", "SELECT SUM(salary) FROM employed",
+        "SELECT MIN(salary) FROM employed",
+        "SELECT MAX(salary) FROM employed",
+        "SELECT AVG(salary) FROM employed"}) {
+    auto routed = RunQuery(sql, catalog_);
+    ASSERT_TRUE(routed.ok()) << sql << ": " << routed.status().ToString();
+    EXPECT_EQ(routed->plan.algorithm, AlgorithmKind::kColumnScan) << sql;
+    // Byte-identical rows to the batch path it replaced.
+    ExecutorOptions batch_options;
+    batch_options.force_algorithm = AlgorithmKind::kAggregationTree;
+    auto batch = RunQuery(sql, catalog_, batch_options);
+    ASSERT_TRUE(batch.ok()) << sql;
+    EXPECT_NE(batch->plan.algorithm, AlgorithmKind::kColumnScan) << sql;
+    ExpectSameRows(*routed, *batch);
+  }
+}
+
+TEST_F(ColumnarRoutingTest, ParallelWorkersStayOnColumnScan) {
+  ExecutorOptions options;
+  options.parallel_workers = 3;
+  auto routed =
+      RunQuery("SELECT SUM(salary) FROM employed", catalog_, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(routed->plan.algorithm, AlgorithmKind::kColumnScan);
+  auto sequential = RunQuery("SELECT SUM(salary) FROM employed", catalog_);
+  ASSERT_TRUE(sequential.ok());
+  ExpectSameRows(*routed, *sequential);
+}
+
+TEST_F(ColumnarRoutingTest, ExplainReportsPrunedScanPlan) {
+  auto result =
+      RunQuery("EXPLAIN SELECT SUM(salary) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kColumnScan);
+  EXPECT_NE(result->plan.rationale.find("pruned scan"), std::string::npos)
+      << result->plan.rationale;
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(ColumnarRoutingTest, SkipsQueriesItCannotServe) {
+  // WHERE, GROUP BY, and an aggregate over a non-stored attribute all
+  // fall back to the batch planner — and still answer correctly.
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM employed WHERE salary >= 40000",
+        "SELECT name, COUNT(*) FROM employed GROUP BY name",
+        "SELECT COUNT(name) FROM employed"}) {
+    auto result = RunQuery(sql, catalog_);
+    ASSERT_TRUE(result.ok()) << sql;
+    EXPECT_NE(result->plan.algorithm, AlgorithmKind::kColumnScan) << sql;
+  }
+}
+
+TEST_F(ColumnarRoutingTest, StaleBackingFallsBackToFreshAnswer) {
+  // Grow the relation behind the backing's back: the row-count freshness
+  // check must notice and fall back rather than serve stale blocks.
+  auto relation = catalog_.Get("employed");
+  ASSERT_TRUE(relation.ok());
+  ASSERT_TRUE((*relation)
+                  ->Append(Tuple({Value::String("Paula"), Value::Int(50000)},
+                                 Period(18, 20)))
+                  .ok());
+  auto result = RunQuery("SELECT COUNT(*) FROM employed", catalog_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->plan.algorithm, AlgorithmKind::kColumnScan);
+  bool found = false;
+  for (const auto& row : result->rows) {
+    if (row.valid == Period(18, 20)) {
+      EXPECT_EQ(row.values[0], Value::Int(4));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ColumnarRoutingTest, ForcedColumnScanRoutes) {
+  ExecutorOptions options;
+  options.force_algorithm = AlgorithmKind::kColumnScan;
+  auto result =
+      RunQuery("SELECT MAX(salary) FROM employed", catalog_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->plan.algorithm, AlgorithmKind::kColumnScan);
+}
+
+TEST_F(ColumnarRoutingTest, ForcedColumnScanRejectsIneligibleQuery) {
+  ExecutorOptions options;
+  options.force_algorithm = AlgorithmKind::kColumnScan;
+  auto result = RunQuery("SELECT COUNT(*) FROM employed WHERE salary > 1",
+                         catalog_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+}
+
+TEST_F(ExecutorTest, ForcedColumnScanWithoutBackingFails) {
+  ExecutorOptions options;
+  options.force_algorithm = AlgorithmKind::kColumnScan;
+  auto result = RunQuery("SELECT COUNT(*) FROM employed", catalog_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
 }
 
 TEST_F(ExecutorTest, ExplainReportsLiveIndexPlan) {

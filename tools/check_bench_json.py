@@ -84,6 +84,23 @@ SHARD_METRIC_COUNTERS = (
 )
 SHARD_METRIC_GAUGES = ("tagg_shard_count", "tagg_shard_topology_version")
 
+# The columnar-scan bench must keep the block-classification counters on
+# every ColumnarScan entry (they are the evidence that zone-map pruning
+# works), the point/narrow windows must actually skip >= 90% of the
+# blocks, and the metrics snapshot must carry the scan's instruments.
+COLUMNAR_BLOCK_COUNTERS = (
+    "blocks_total", "blocks_skipped", "blocks_summarized",
+    "blocks_decoded", "bytes_pruned", "bytes_decoded", "rows_decoded")
+COLUMNAR_SKIP_LABELS = ("point", "narrow")
+COLUMNAR_METRIC_COUNTERS = (
+    "tagg_column_scan_scans_total",
+    "tagg_column_scan_blocks_skipped_total",
+    "tagg_column_scan_blocks_summarized_total",
+    "tagg_column_scan_blocks_decoded_total",
+    "tagg_column_scan_bytes_decoded_total",
+    "tagg_column_scan_bytes_pruned_total",
+)
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -253,6 +270,57 @@ def check_shard_scaling(path: pathlib.Path, benchmarks: list,
             fail(f"{path}: metrics snapshot missing gauge '{gauge}'")
 
 
+def check_columnar_scan(path: pathlib.Path, benchmarks: list,
+                        metrics: dict) -> None:
+    """bench_columnar_scan only: every ColumnarScan entry must carry the
+    block-classification counters with a consistent total, the point and
+    narrow windows must prune >= 90% of the blocks, the heap baseline
+    family must be present for the speedup comparison, and the metrics
+    snapshot must carry the scan instruments."""
+    scan_entries = []
+    heap_entries = 0
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "BM_ColumnarScan/" in bench["name"]:
+            scan_entries.append(bench)
+        if "BM_HeapTableScan/" in bench["name"]:
+            heap_entries += 1
+    if not scan_entries:
+        fail(f"{path}: no BM_ColumnarScan entries")
+    if heap_entries == 0:
+        fail(f"{path}: no BM_HeapTableScan entries — the heap baseline "
+             "is part of the schema")
+    for bench in scan_entries:
+        for counter in COLUMNAR_BLOCK_COUNTERS:
+            if counter not in bench:
+                fail(f"{path}: '{bench['name']}' is missing block "
+                     f"counter '{counter}'")
+        total = bench["blocks_total"]
+        classified = (bench["blocks_skipped"] + bench["blocks_summarized"]
+                      + bench["blocks_decoded"])
+        if total <= 0:
+            fail(f"{path}: '{bench['name']}' reports no blocks")
+        if classified != total:
+            fail(f"{path}: '{bench['name']}' classifies {classified} "
+                 f"blocks but blocks_total={total}")
+        label = bench.get("label", "")
+        if label.split("/")[0] in COLUMNAR_SKIP_LABELS:
+            # A narrow window always decodes the one or two blocks that
+            # straddle its endpoints, so bound the *unskipped* blocks by
+            # max(2, 10% of total) — at 256 blocks this is the ">=90%
+            # skipped" acceptance gate, and at 16 blocks it still pins
+            # the scan to the boundary blocks alone.
+            unskipped = total - bench["blocks_skipped"]
+            if unskipped > max(2, 0.1 * total):
+                fail(f"{path}: '{bench['name']}' ({label}) skipped only "
+                     f"{bench['blocks_skipped']}/{total} blocks — the "
+                     "zone map no longer prunes narrow windows")
+    for counter in COLUMNAR_METRIC_COUNTERS:
+        if counter not in metrics["counters"]:
+            fail(f"{path}: metrics snapshot missing counter '{counter}'")
+
+
 def check_timings(path: pathlib.Path) -> int:
     with path.open() as f:
         doc = json.load(f)
@@ -321,6 +389,7 @@ def main() -> None:
             "bench_net_serving": check_net_serving,
             "bench_ablation_partitioned": check_partitioned_kernels,
             "bench_shard_scaling": check_shard_scaling,
+            "bench_columnar_scan": check_columnar_scan,
         }
         if timing.stem in special:
             with timing.open() as f:
